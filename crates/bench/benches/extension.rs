@@ -1,0 +1,80 @@
+//! Extension experiment: the vectorised deblocking filter the paper left
+//! as future work ("a SIMD optimized version for the deblocking filter is
+//! currently under development").
+//!
+//! Measures the vertical-edge luma filter (bS 1..=3) in the three
+//! implementations across the Table II machines — the same presentation
+//! as Fig. 8 — quantifying how much of the vectorisation win depends on
+//! the unaligned instructions (every row load/store of the
+//! column-transpose approach is unaligned by 4/8/12 bytes).
+
+use valign_bench::{execs, SEED};
+use valign_core::experiments::measure;
+use valign_h264::plane::Plane;
+use valign_kernels::deblock::{deblock_vertical_luma, DeblockArgs};
+use valign_kernels::util::Variant;
+use valign_pipeline::PipelineConfig;
+use valign_vm::Vm;
+
+fn blocking_plane() -> Plane {
+    let mut p = Plane::new(256, 256);
+    p.fill_with(|x, y| {
+        let base = 100 + ((x / 8 + y / 8) % 2) as i32 * 8;
+        (base + ((x * 7 + y * 13) % 7) as i32) as u8
+    });
+    p
+}
+
+fn trace(variant: Variant, n: usize) -> valign_isa::Trace {
+    let p = blocking_plane();
+    let mut vm = Vm::new();
+    let base = vm.mem_mut().alloc(p.raw().len(), 16);
+    vm.mem_mut().write_bytes(base, p.raw());
+    let p00 = base + p.index_of(0, 0) as u64;
+    vm.clear_trace();
+    for e in 0..n as u64 {
+        // Edges on the 4-pixel grid, 16-line groups.
+        let x = 16 + (e * 4) % 192;
+        let y = 16 + (e * 16) % 192;
+        let args = DeblockArgs {
+            edge: p00 + y * p.stride() as u64 + x,
+            stride: p.stride() as i64,
+            bs: 1 + (e % 3) as u8,
+            index_a: 40,
+            index_b: 40,
+        };
+        deblock_vertical_luma(&mut vm, variant, &args);
+    }
+    vm.take_trace()
+}
+
+fn main() {
+    let n = execs(200);
+    let _ = SEED;
+    println!("EXTENSION: VECTORISED DEBLOCKING FILTER (vertical luma edges, bS 1..3)");
+    println!("({n} edge groups of 16 lines; speed-up normalised to 2-way scalar)\n");
+    println!(
+        "{:<8} {:>12} {:>9} {:>9} {:>10} {:>12}",
+        "config", "scalar(cyc)", "scalar", "altivec", "unaligned", "unal/altivec"
+    );
+    println!("{}", "-".repeat(66));
+    let traces: Vec<_> = Variant::ALL.iter().map(|&v| (v, trace(v, n))).collect();
+    let base = measure(PipelineConfig::two_way(), &traces[0].1).cycles;
+    for cfg in PipelineConfig::table_ii() {
+        let cycles: Vec<u64> = traces
+            .iter()
+            .map(|(_, t)| measure(cfg.clone(), t).cycles)
+            .collect();
+        println!(
+            "{:<8} {:>12} {:>9.2} {:>9.2} {:>10.2} {:>11.2}x",
+            cfg.name,
+            cycles[0],
+            base as f64 / cycles[0] as f64,
+            base as f64 / cycles[1] as f64,
+            base as f64 / cycles[2] as f64,
+            cycles[1] as f64 / cycles[2] as f64,
+        );
+    }
+    println!("\nInstruction counts: scalar {}, altivec {}, unaligned {}",
+        traces[0].1.len(), traces[1].1.len(), traces[2].1.len());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 10 (whole-decoder per-stage execution-time
+//! profile for the four test sequences, three implementations).
+
+fn main() {
+    let execs = valign_bench::execs(100);
+    let f = valign_core::experiments::fig10::run(execs, 2, valign_bench::SEED);
+    println!("{}", f.render());
+}

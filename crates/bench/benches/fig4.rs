@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 4 (MC pointer alignment distributions for
+//! the twelve sequence/resolution pairs).
+
+fn main() {
+    let frames = valign_bench::execs(3) as u32;
+    let f = valign_core::experiments::fig4::run(frames, valign_bench::SEED);
+    println!("{}", f.render());
+}

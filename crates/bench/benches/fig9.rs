@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 9 (sensitivity of the unaligned kernels to
+//! the realignment-network latency, +0/+1/+2/+4/+6 cycles, 4-way config).
+
+fn main() {
+    let execs = valign_bench::execs(200);
+    let f = valign_core::experiments::fig9::run(execs, valign_bench::SEED);
+    println!("{}", f.render());
+}

@@ -1,0 +1,96 @@
+//! One-page reproduction scorecard: recomputes the paper's headline
+//! claims live and prints paper-vs-measured side by side.
+
+use valign_bench::{execs, SEED};
+use valign_cache::RealignConfig;
+use valign_core::experiments::{fig10, fig8, fig9, measure, table3};
+use valign_core::workload::{trace_kernel, KernelId};
+use valign_h264::BlockSize;
+use valign_isa::InstrClass;
+use valign_kernels::util::Variant;
+use valign_pipeline::PipelineConfig;
+
+fn main() {
+    let n = execs(100);
+    println!("REPRODUCTION SCORECARD — Alvarez et al., ISPASS 2007");
+    println!("(live recomputation, {n} executions per kernel, seed {SEED})\n");
+
+    // --- Claim 1: vectorisation shrinks dynamic instruction counts. ---
+    let t3 = table3::run(n, SEED);
+    println!("1. Dynamic-instruction reductions, unaligned vs plain Altivec (paper: 33%/23%/2%/34%");
+    println!("   for luma/chroma/idct/sad on average across block sizes):");
+    for (kernel, pct) in t3.unaligned_reduction_pct() {
+        println!("     {kernel:<14} {pct:>5.1}% fewer instructions");
+    }
+
+    // --- Claim 2: SAD permute elimination (~95%). ---
+    let av = trace_kernel(KernelId::Sad(BlockSize::B16x16), Variant::Altivec, n, SEED).mix();
+    let un = trace_kernel(KernelId::Sad(BlockSize::B16x16), Variant::Unaligned, n, SEED).mix();
+    let perm_drop = 100.0
+        * (av.get(InstrClass::VecPerm) - un.get(InstrClass::VecPerm)) as f64
+        / av.get(InstrClass::VecPerm) as f64;
+    println!("\n2. SAD permute elimination (paper: ~95%): measured {perm_drop:.1}%");
+
+    // --- Claim 3: kernel speed-ups from unaligned support. ---
+    let f8 = fig8::run(n, SEED);
+    println!("\n3. Kernel speed-up from unaligned support at equal latency, 4-way");
+    println!("   (paper: up to 3.8x on luma 4x4; 1.06-1.09x on IDCT):");
+    for k in [
+        KernelId::Luma(BlockSize::B4x4),
+        KernelId::Luma(BlockSize::B16x16),
+        KernelId::Chroma(BlockSize::B8x8),
+        KernelId::Idct4x4,
+        KernelId::Sad(BlockSize::B8x8),
+    ] {
+        let g = f8.unaligned_gain(k, "4-way").unwrap_or(f64::NAN);
+        println!("     {:<16} {g:.2}x", k.label());
+    }
+
+    // --- Claim 4: latency tolerance and the SAD16 crossing. ---
+    let f9 = fig9::run(n, SEED);
+    println!("\n4. Latency sensitivity (paper: gains survive moderate extra latency;");
+    println!("   only SAD 16x16 drops below plain Altivec):");
+    for k in [
+        KernelId::Luma(BlockSize::B16x16),
+        KernelId::Sad(BlockSize::B16x16),
+    ] {
+        let s = f9.sweep(k).expect("swept");
+        println!(
+            "     {:<16} equal {:.3} -> +6cyc {:.3}{}",
+            k.label(),
+            s.speedup(0),
+            s.speedup(4),
+            if s.speedup(4) < 1.0 { "  (crosses below 1.0)" } else { "" }
+        );
+    }
+
+    // --- Claim 5: proposed hardware (+1 load / +2 store) still wins. ---
+    let proposed = PipelineConfig::four_way().with_realign(RealignConfig::proposed());
+    let luma_av = trace_kernel(KernelId::Luma(BlockSize::B8x8), Variant::Altivec, n, SEED);
+    let luma_un = trace_kernel(KernelId::Luma(BlockSize::B8x8), Variant::Unaligned, n, SEED);
+    let g = measure(proposed.clone(), &luma_av).cycles as f64
+        / measure(proposed, &luma_un).cycles as f64;
+    println!("\n5. With the proposed realignment hardware (+1 load/+2 store cycles),");
+    println!("   luma 8x8 keeps a {g:.2}x win over plain Altivec (paper: \"significant");
+    println!("   speed-up with respect to the original Altivec version\").");
+
+    // --- Claim 6: application-level impact. ---
+    let f10 = fig10::run((n / 2).max(4), 1, SEED);
+    println!("\n6. Whole-decoder speed-ups (paper: altivec 1.2x over scalar, unaligned");
+    println!("   1.49x over scalar; riverbed benefits least):");
+    println!(
+        "     altivec/scalar {:.2}x, unaligned/scalar {:.2}x, unaligned/altivec {:.2}x",
+        f10.speedup(Variant::Altivec, Variant::Scalar),
+        f10.speedup(Variant::Unaligned, Variant::Scalar),
+        f10.speedup(Variant::Unaligned, Variant::Altivec),
+    );
+    let gain = |seq| {
+        let sr = f10.sequences.iter().find(|s| s.seq == seq).unwrap();
+        sr.seconds(Variant::Scalar) / sr.seconds(Variant::Unaligned)
+    };
+    println!(
+        "     per-sequence gain: riverbed {:.2}x (least) vs blue_sky {:.2}x",
+        gain(valign_h264::Sequence::Riverbed),
+        gain(valign_h264::Sequence::BlueSky),
+    );
+}

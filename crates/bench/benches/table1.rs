@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table I (unaligned-support survey).
+
+fn main() {
+    println!("{}", valign_core::experiments::table1::render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table II (simulated processor configurations).
+
+fn main() {
+    println!("{}", valign_core::experiments::table2::render());
+}

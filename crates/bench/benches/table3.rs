@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table III (dynamic instruction counts for the
+//! H.264 kernels, scalar vs Altivec vs Altivec+unaligned).
+
+fn main() {
+    let execs = valign_bench::execs(1000);
+    let t = valign_core::experiments::table3::run(execs, valign_bench::SEED);
+    println!("{}", t.render());
+}

@@ -1,0 +1,150 @@
+//! The realignment-network latency model (the paper's Fig. 6/7 hardware).
+//!
+//! The paper proposes servicing unaligned vector accesses with a two-bank
+//! interleaved D-L1 plus an interchange switch and a shift/mask network:
+//! two consecutive lines can be read in parallel, so a line-crossing
+//! unaligned access costs no extra serialisation. The realignment network
+//! itself adds a small fixed latency — in the proposed design **+1 cycle
+//! for unaligned loads and +2 for unaligned stores** — and section V-C of
+//! the paper sweeps this extra latency over +0/+1/+2/+4/+6 cycles.
+//!
+//! [`RealignConfig`] captures the knobs; [`RealignConfig::penalty`]
+//! computes the extra cycles for one access given its alignment and
+//! whether it crosses a line.
+
+/// How line-crossing unaligned accesses are serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankScheme {
+    /// Two-bank interleaved cache (the paper's proposal): both lines are
+    /// read in parallel, so crossing a line adds no serialisation.
+    TwoBankInterleaved,
+    /// Single-banked cache: a line-crossing access needs a second
+    /// sequential cache access (the behaviour the paper criticises in
+    /// several shipping designs).
+    SingleBank,
+}
+
+/// Latency model of the realignment hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RealignConfig {
+    /// Extra cycles an unaligned vector *load* pays over an aligned one.
+    pub load_extra: u32,
+    /// Extra cycles an unaligned vector *store* pays over an aligned one.
+    pub store_extra: u32,
+    /// Bank organisation for line-crossing accesses.
+    pub banks: BankScheme,
+}
+
+impl RealignConfig {
+    /// The upper-bound experiment of section V-B: unaligned accesses have
+    /// the *same* latency as aligned ones.
+    pub fn equal_latency() -> Self {
+        RealignConfig {
+            load_extra: 0,
+            store_extra: 0,
+            banks: BankScheme::TwoBankInterleaved,
+        }
+    }
+
+    /// The paper's proposed hardware: +1 cycle loads, +2 cycle stores,
+    /// two-bank interleaved L1.
+    pub fn proposed() -> Self {
+        RealignConfig {
+            load_extra: 1,
+            store_extra: 2,
+            banks: BankScheme::TwoBankInterleaved,
+        }
+    }
+
+    /// A uniform `+n`-cycle penalty on both unaligned loads and stores —
+    /// the sweep of Fig. 9.
+    pub fn extra(n: u32) -> Self {
+        RealignConfig {
+            load_extra: n,
+            store_extra: n,
+            banks: BankScheme::TwoBankInterleaved,
+        }
+    }
+
+    /// Extra cycles for one vector access.
+    ///
+    /// * `unaligned` — the effective address has a non-zero 16-byte offset
+    ///   (only ever true for `lvxu`/`stvxu`).
+    /// * `is_store` — store vs load.
+    /// * `crosses_line` — the 16 bytes span two cache lines.
+    /// * `l1_latency` — the base D-L1 hit latency, used as the cost of the
+    ///   serialized second access in the [`BankScheme::SingleBank`] model.
+    pub fn penalty(&self, unaligned: bool, is_store: bool, crosses_line: bool, l1_latency: u32) -> u32 {
+        if !unaligned {
+            return 0;
+        }
+        let network = if is_store { self.store_extra } else { self.load_extra };
+        let banking = match self.banks {
+            BankScheme::TwoBankInterleaved => 0,
+            BankScheme::SingleBank => {
+                if crosses_line {
+                    l1_latency
+                } else {
+                    0
+                }
+            }
+        };
+        network + banking
+    }
+}
+
+impl Default for RealignConfig {
+    /// Defaults to the paper's proposed hardware.
+    fn default() -> Self {
+        Self::proposed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_accesses_are_free() {
+        for cfg in [RealignConfig::equal_latency(), RealignConfig::proposed(), RealignConfig::extra(6)] {
+            assert_eq!(cfg.penalty(false, false, true, 4), 0);
+            assert_eq!(cfg.penalty(false, true, false, 4), 0);
+        }
+    }
+
+    #[test]
+    fn proposed_design_load1_store2() {
+        let cfg = RealignConfig::proposed();
+        assert_eq!(cfg.penalty(true, false, false, 4), 1);
+        assert_eq!(cfg.penalty(true, true, false, 4), 2);
+        // Two-bank: line crossing costs nothing extra.
+        assert_eq!(cfg.penalty(true, false, true, 4), 1);
+        assert_eq!(cfg.penalty(true, true, true, 4), 2);
+    }
+
+    #[test]
+    fn sweep_is_uniform() {
+        for n in [0u32, 1, 2, 4, 6] {
+            let cfg = RealignConfig::extra(n);
+            assert_eq!(cfg.penalty(true, false, false, 4), n);
+            assert_eq!(cfg.penalty(true, true, false, 4), n);
+        }
+    }
+
+    #[test]
+    fn single_bank_serializes_line_crossings() {
+        let cfg = RealignConfig {
+            load_extra: 1,
+            store_extra: 2,
+            banks: BankScheme::SingleBank,
+        };
+        assert_eq!(cfg.penalty(true, false, false, 4), 1);
+        assert_eq!(cfg.penalty(true, false, true, 4), 5, "second sequential access");
+        assert_eq!(cfg.penalty(true, true, true, 4), 6);
+    }
+
+    #[test]
+    fn default_is_proposed() {
+        assert_eq!(RealignConfig::default(), RealignConfig::proposed());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the cache and realignment models.
+
+use proptest::prelude::*;
+use valign_cache::{
+    BankScheme, CacheConfig, Hierarchy, HierarchyConfig, RealignConfig, SetAssocCache,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn immediate_reaccess_always_hits(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut c = SetAssocCache::new(CacheConfig::new(32 * 1024, 128, 2));
+        for &a in &addrs {
+            c.access(a, false);
+            prop_assert!(c.access(a, false), "address {a:#x} must hit right after touch");
+            prop_assert!(c.probe(a));
+        }
+    }
+
+    #[test]
+    fn stats_account_every_access(addrs in proptest::collection::vec(0u64..1_000_000, 0..300)) {
+        let mut c = SetAssocCache::new(CacheConfig::new(4096, 64, 4));
+        for &a in &addrs {
+            c.access(a, a % 3 == 0);
+        }
+        prop_assert_eq!(c.stats().accesses(), addrs.len() as u64);
+        prop_assert!(c.stats().miss_ratio() <= 1.0);
+        prop_assert!(c.stats().writebacks <= c.stats().misses);
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_conflicts(start in 0u64..1_000_000u64) {
+        // A contiguous region smaller than one way per set always fits.
+        let mut c = SetAssocCache::new(CacheConfig::new(32 * 1024, 128, 2));
+        let base = start & !127;
+        let lines: Vec<u64> = (0..128).map(|i| base + i * 128).collect(); // 16 KB
+        for &l in &lines {
+            c.access(l, false);
+        }
+        c.reset_stats();
+        for &l in &lines {
+            prop_assert!(c.access(l, false));
+        }
+        prop_assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn hierarchy_latency_is_one_of_three_levels(
+        addr in 0u64..10_000_000,
+        bytes in 1u32..16,
+        write in any::<bool>(),
+    ) {
+        let cfg = HierarchyConfig::table_ii();
+        let mut h = Hierarchy::new(cfg);
+        let out = h.access(addr, bytes, write, BankScheme::TwoBankInterleaved);
+        let l1 = cfg.l1_latency;
+        let l2 = l1 + cfg.l2_latency;
+        let mem = l2 + cfg.mem_latency;
+        prop_assert!([l1, l2, mem].contains(&out.latency), "latency {}", out.latency);
+        // Second access to the same line is an L1 hit.
+        let again = h.access(addr, bytes, write, BankScheme::TwoBankInterleaved);
+        if !again.split {
+            prop_assert_eq!(again.latency, l1);
+        }
+        prop_assert!(again.l1_hit);
+    }
+
+    #[test]
+    fn single_bank_never_faster_than_two_bank(
+        addrs in proptest::collection::vec((0u64..100_000, 1u32..17), 1..100),
+    ) {
+        let mut two = Hierarchy::new(HierarchyConfig::table_ii());
+        let mut one = Hierarchy::new(HierarchyConfig::table_ii());
+        let mut sum_two = 0u64;
+        let mut sum_one = 0u64;
+        for &(a, b) in &addrs {
+            sum_two += u64::from(two.access(a, b, false, BankScheme::TwoBankInterleaved).latency);
+            sum_one += u64::from(one.access(a, b, false, BankScheme::SingleBank).latency);
+        }
+        prop_assert!(sum_one >= sum_two);
+    }
+
+    #[test]
+    fn realign_penalty_monotone_in_extra_cycles(
+        unaligned in any::<bool>(),
+        store in any::<bool>(),
+        crossing in any::<bool>(),
+    ) {
+        let mut prev = 0;
+        for extra in 0..10u32 {
+            let p = RealignConfig::extra(extra).penalty(unaligned, store, crossing, 4);
+            prop_assert!(p >= prev);
+            prev = p;
+            if !unaligned {
+                prop_assert_eq!(p, 0, "aligned accesses never pay");
+            }
+        }
+    }
+
+    #[test]
+    fn split_detection_consistent_with_geometry(addr in 0u64..1_000_000, bytes in 1u32..17) {
+        let mut h = Hierarchy::new(HierarchyConfig::table_ii());
+        let out = h.access(addr, bytes, false, BankScheme::TwoBankInterleaved);
+        let line = 128;
+        let expect = addr / line != (addr + u64::from(bytes) - 1) / line;
+        prop_assert_eq!(out.split, expect);
+    }
+}

@@ -1,0 +1,142 @@
+//! Fig. 4 — distribution of `(src % 16)` alignment offsets in the MC
+//! kernels, for every sequence at every resolution.
+//!
+//! Four panels: luma load pointers, chroma load pointers, luma store
+//! pointers, chroma store pointers. Each panel holds twelve series
+//! (`{576,720,1088} x {rush_hour, blue_sky, pedestrian, riverbed}`), the
+//! y-axis being the percentage of block addresses at each offset.
+
+use std::fmt::Write as _;
+use valign_h264::plane::Resolution;
+use valign_h264::synth::{mc_alignment_stats, plan_frame, AlignmentStats, Sequence};
+
+/// One series: a sequence/resolution pair and its four histograms.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Resolution of the sequence.
+    pub res: Resolution,
+    /// Content model.
+    pub seq: Sequence,
+    /// The four Fig. 4 histograms.
+    pub stats: AlignmentStats,
+}
+
+impl Series {
+    /// The paper's series label, e.g. `1088_rush_hour`.
+    pub fn label(&self) -> String {
+        format!("{}_{}", self.res.label(), self.seq.label())
+    }
+}
+
+/// The full Fig. 4 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// All twelve series.
+    pub series: Vec<Series>,
+}
+
+/// Runs the Fig. 4 experiment over `frames` planned frames per series.
+pub fn run(frames: u32, seed: u64) -> Fig4 {
+    let mut series = Vec::new();
+    for &res in Resolution::ALL {
+        for &seq in Sequence::ALL {
+            let mut stats = AlignmentStats::default();
+            for f in 0..frames {
+                let plan = plan_frame(seq, res, seed + u64::from(f));
+                stats.merge(&mc_alignment_stats(&plan));
+            }
+            series.push(Series { res, seq, stats });
+        }
+    }
+    Fig4 { series }
+}
+
+impl Fig4 {
+    /// Renders the four panels as offset-percentage tables.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "FIG. 4: ALIGNMENT OFFSETS IN H.264/AVC LUMA AND CHROMA INTERPOLATION KERNELS\n",
+        );
+        let panels: [(&str, fn(&AlignmentStats) -> [f64; 16]); 4] = [
+            ("(a) luma load pointers", |s| s.luma_load.percentages()),
+            ("(b) chroma load pointers", |s| s.chroma_load.percentages()),
+            ("(c) luma store pointers", |s| s.luma_store.percentages()),
+            ("(d) chroma store pointers", |s| s.chroma_store.percentages()),
+        ];
+        for (title, extract) in panels {
+            let _ = writeln!(out, "\n{title} — % of block addresses per (src % 16)\n");
+            let _ = write!(out, "{:<20}", "series");
+            for off in 0..16 {
+                let _ = write!(out, " {off:>5}");
+            }
+            out.push('\n');
+            let _ = writeln!(out, "{}", "-".repeat(20 + 16 * 6));
+            for s in &self.series {
+                let _ = write!(out, "{:<20}", s.label());
+                for pct in extract(&s.stats) {
+                    let _ = write!(out, " {pct:>5.1}");
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_series() {
+        let f = run(1, 3);
+        assert_eq!(f.series.len(), 12);
+        let labels: std::collections::HashSet<_> =
+            f.series.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 12);
+        assert!(labels.contains("1088_riverbed"));
+        assert!(labels.contains("576_rush_hour"));
+    }
+
+    #[test]
+    fn load_offsets_spread_store_offsets_quantised() {
+        let f = run(1, 5);
+        for s in &f.series {
+            // Loads cover the full offset range (Fig. 4a/b).
+            assert!(
+                s.stats.luma_load.unaligned_fraction() > 0.5,
+                "{}: loads should be mostly unaligned",
+                s.label()
+            );
+            // Stores hit only multiples of 4 (luma) / 2 (chroma).
+            for (off, &c) in s.stats.luma_store.counts().iter().enumerate() {
+                if off % 4 != 0 {
+                    assert_eq!(c, 0, "{} luma store at {off}", s.label());
+                }
+            }
+            for (off, &c) in s.stats.chroma_store.counts().iter().enumerate() {
+                if off % 2 != 0 {
+                    assert_eq!(c, 0, "{} chroma store at {off}", s.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_frame_accumulation_grows_counts() {
+        let one = run(1, 9);
+        let three = run(3, 9);
+        for (a, b) in one.series.iter().zip(three.series.iter()) {
+            assert!(b.stats.luma_load.total() > a.stats.luma_load.total());
+        }
+    }
+
+    #[test]
+    fn render_has_all_series_and_offsets() {
+        let f = run(1, 2);
+        let s = f.render();
+        assert!(s.contains("(a) luma load pointers"));
+        assert!(s.contains("(d) chroma store pointers"));
+        assert!(s.contains("720_pedestrian"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Fig. 8 — kernel speed-ups with unaligned load/store support.
+//!
+//! Every kernel point is traced once per implementation variant and
+//! replayed on the three Table II configurations, with unaligned accesses
+//! at the *same latency* as aligned ones (the paper's upper-bound
+//! experiment of section V-B). All speed-ups are normalised to the 2-way
+//! scalar version, exactly as in the figure.
+
+use crate::experiments::measure;
+use crate::workload::{trace_kernel, KernelId};
+use std::fmt::Write as _;
+use valign_cache::RealignConfig;
+use valign_kernels::util::Variant;
+use valign_pipeline::PipelineConfig;
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Kernel.
+    pub kernel: KernelId,
+    /// Machine configuration name ("2-way", "4-way", "8-way").
+    pub config: &'static str,
+    /// Implementation variant.
+    pub variant: Variant,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Speed-up relative to this kernel's 2-way scalar cycles.
+    pub speedup: f64,
+}
+
+/// The full Fig. 8 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// Executions traced per kernel/variant.
+    pub execs: usize,
+    /// All points, kernel-major then config then variant.
+    pub points: Vec<Point>,
+}
+
+/// Runs the Fig. 8 experiment.
+pub fn run(execs: usize, seed: u64) -> Fig8 {
+    let mut points = Vec::new();
+    for &kernel in KernelId::ALL {
+        // Trace once per variant; replay across configs.
+        let traces: Vec<_> = Variant::ALL
+            .iter()
+            .map(|&v| (v, trace_kernel(kernel, v, execs, seed)))
+            .collect();
+
+        // Baseline: 2-way scalar.
+        let base_cfg = PipelineConfig::two_way().with_realign(RealignConfig::equal_latency());
+        let base = measure(base_cfg, &traces[0].1).cycles;
+
+        for cfg in PipelineConfig::table_ii() {
+            let cfg = cfg.with_realign(RealignConfig::equal_latency());
+            for (variant, trace) in &traces {
+                let cycles = measure(cfg.clone(), trace).cycles;
+                points.push(Point {
+                    kernel,
+                    config: cfg.name,
+                    variant: *variant,
+                    cycles,
+                    speedup: base as f64 / cycles as f64,
+                });
+            }
+        }
+    }
+    Fig8 { execs, points }
+}
+
+impl Fig8 {
+    /// Finds a point.
+    pub fn point(&self, kernel: KernelId, config: &str, variant: Variant) -> Option<&Point> {
+        self.points
+            .iter()
+            .find(|p| p.kernel == kernel && p.config == config && p.variant == variant)
+    }
+
+    /// The speed-up of the unaligned variant over plain Altivec for a
+    /// kernel on a configuration.
+    pub fn unaligned_gain(&self, kernel: KernelId, config: &str) -> Option<f64> {
+        let av = self.point(kernel, config, Variant::Altivec)?;
+        let un = self.point(kernel, config, Variant::Unaligned)?;
+        Some(av.cycles as f64 / un.cycles as f64)
+    }
+
+    /// Renders the figure as three panels of speed-up tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "FIG. 8: SPEED-UP IN KERNELS WITH SUPPORT FOR UNALIGNED LOAD AND STORES\n\
+             (normalised to the 2-way scalar version; equal unaligned latency; {} executions)\n",
+            self.execs
+        );
+        let panels: [(&str, &[KernelId]); 3] = [
+            (
+                "(a) Luma and chroma",
+                &[
+                    KernelId::Luma(valign_h264::BlockSize::B16x16),
+                    KernelId::Luma(valign_h264::BlockSize::B8x8),
+                    KernelId::Luma(valign_h264::BlockSize::B4x4),
+                    KernelId::Chroma(valign_h264::BlockSize::B8x8),
+                    KernelId::Chroma(valign_h264::BlockSize::B4x4),
+                ],
+            ),
+            (
+                "(b) IDCT",
+                &[KernelId::Idct8x8, KernelId::Idct4x4, KernelId::Idct4x4Matrix],
+            ),
+            (
+                "(c) SAD",
+                &[
+                    KernelId::Sad(valign_h264::BlockSize::B16x16),
+                    KernelId::Sad(valign_h264::BlockSize::B8x8),
+                    KernelId::Sad(valign_h264::BlockSize::B4x4),
+                ],
+            ),
+        ];
+        for (title, kernels) in panels {
+            let _ = writeln!(out, "{title}\n");
+            let _ = writeln!(
+                out,
+                "{:<16} {:<6} {:>9} {:>9} {:>10} {:>12}",
+                "kernel", "config", "scalar", "altivec", "unaligned", "unal/altivec"
+            );
+            let _ = writeln!(out, "{}", "-".repeat(68));
+            for &kernel in kernels {
+                for config in ["2-way", "4-way", "8-way"] {
+                    let s = |v| self.point(kernel, config, v).map(|p| p.speedup);
+                    let gain = self.unaligned_gain(kernel, config).unwrap_or(f64::NAN);
+                    let _ = writeln!(
+                        out,
+                        "{:<16} {:<6} {:>9.2} {:>9.2} {:>10.2} {:>11.2}x",
+                        kernel.label(),
+                        config,
+                        s(Variant::Scalar).unwrap_or(f64::NAN),
+                        s(Variant::Altivec).unwrap_or(f64::NAN),
+                        s(Variant::Unaligned).unwrap_or(f64::NAN),
+                        gain,
+                    );
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valign_h264::BlockSize;
+
+    #[test]
+    fn speedups_have_the_paper_shape() {
+        // Small run: shape checks only.
+        let f = run(12, 42);
+        assert_eq!(f.points.len(), KernelId::ALL.len() * 9);
+
+        // Scalar on 2-way is the 1.0 baseline by construction.
+        for &k in KernelId::ALL {
+            let p = f.point(k, "2-way", Variant::Scalar).unwrap();
+            assert!((p.speedup - 1.0).abs() < 1e-9, "{k}");
+        }
+
+        // Vectorisation wins on the big MC kernels.
+        for k in [KernelId::Luma(BlockSize::B16x16), KernelId::Sad(BlockSize::B16x16)] {
+            for cfg in ["2-way", "4-way", "8-way"] {
+                let s = f.point(k, cfg, Variant::Scalar).unwrap().speedup;
+                let a = f.point(k, cfg, Variant::Altivec).unwrap().speedup;
+                assert!(a > s, "{k} {cfg}: altivec {a} vs scalar {s}");
+            }
+        }
+
+        // Unaligned support never loses to plain Altivec at equal latency.
+        for &k in KernelId::ALL {
+            for cfg in ["2-way", "4-way", "8-way"] {
+                let gain = f.unaligned_gain(k, cfg).unwrap();
+                assert!(gain >= 0.97, "{k} {cfg}: gain {gain}");
+            }
+        }
+
+        // Wider machines run vector code faster.
+        let k = KernelId::Luma(BlockSize::B16x16);
+        let two = f.point(k, "2-way", Variant::Unaligned).unwrap().cycles;
+        let eight = f.point(k, "8-way", Variant::Unaligned).unwrap().cycles;
+        assert!(eight < two);
+    }
+
+    #[test]
+    fn render_lists_all_panels() {
+        let f = run(4, 1);
+        let s = f.render();
+        for label in ["(a) Luma and chroma", "(b) IDCT", "(c) SAD", "luma4x4", "idct4x4_matrix"] {
+            assert!(s.contains(label), "missing {label}");
+        }
+    }
+}

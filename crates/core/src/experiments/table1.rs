@@ -1,0 +1,23 @@
+//! Table I — unaligned-access support across SIMD architectures.
+
+use valign_isa::support;
+
+/// Renders Table I.
+pub fn render() -> String {
+    let mut out = String::from(
+        "TABLE I: SUPPORT FOR UNALIGNED LOADS IN DIFFERENT PLATFORMS\n\n",
+    );
+    out.push_str(&support::render_support_table());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_platforms() {
+        let t = super::render();
+        for name in ["SSE", "Altivec", "TM3270", "TMS320C64X", "LVXU"] {
+            assert!(t.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Table II — the three simulated processor configurations.
+
+use valign_pipeline::PipelineConfig;
+
+/// Renders Table II from the configuration presets.
+pub fn render() -> String {
+    let mut out = String::from(
+        "TABLE II: PROCESSOR CONFIGURATIONS USED IN SIMULATION ANALYSIS\n\n",
+    );
+    for cfg in PipelineConfig::table_ii() {
+        out.push_str(&cfg.describe());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_three_configs() {
+        let t = super::render();
+        for name in ["2-way", "4-way", "8-way", "In-order", "Out-of-Order"] {
+            assert!(t.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # valign-core — the unaligned-SIMD study
+//!
+//! The paper's contribution as a library: given the ISA model, tracing VM,
+//! kernels, cycle-accurate simulator and video substrate of the sibling
+//! crates, this crate drives every experiment of the evaluation section —
+//! Table I/II/III and Figures 4, 8, 9 and 10 — deterministically and
+//! renders the same rows/series the paper reports.
+//!
+//! * [`workload`] — turns kernels plus synthetic content into dynamic
+//!   instruction traces ("1000 executions of each kernel").
+//! * [`experiments`] — one driver per table/figure; see its module docs
+//!   for the mapping and the bench targets that regenerate each artefact.
+//!
+//! ## Example: the headline measurement in five lines
+//!
+//! ```
+//! use valign_core::workload::{trace_kernel, KernelId};
+//! use valign_core::experiments::measure;
+//! use valign_kernels::util::Variant;
+//! use valign_h264::BlockSize;
+//! use valign_pipeline::PipelineConfig;
+//!
+//! let altivec = trace_kernel(KernelId::Luma(BlockSize::B8x8), Variant::Altivec, 20, 42);
+//! let unaligned = trace_kernel(KernelId::Luma(BlockSize::B8x8), Variant::Unaligned, 20, 42);
+//! let av = measure(PipelineConfig::four_way(), &altivec);
+//! let un = measure(PipelineConfig::four_way(), &unaligned);
+//! assert!(un.cycles < av.cycles, "unaligned loads accelerate the kernel");
+//! ```
+
+pub mod experiments;
+pub mod workload;
+
+pub use workload::{trace_kernel, KernelId, Workload};

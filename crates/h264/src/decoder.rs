@@ -1,0 +1,362 @@
+//! Decoder pipeline work model — the substrate for the paper's Fig. 10.
+//!
+//! The paper estimates the application-level impact of the unaligned
+//! instructions by profiling the FFmpeg H.264 decoder per stage
+//! (MotionComp, Inv.Transform, Deb.Filter, CABAC, VideoOut, OS, Others)
+//! and scaling the SIMD-optimised stages by the measured kernel speedups.
+//! This module performs the same composition explicitly:
+//!
+//! 1. [`decoder_work`] walks a [`FramePlan`] and counts the work units of
+//!    every stage (MC block calls per size, transform blocks, CABAC bins,
+//!    deblocking edges, output pixels);
+//! 2. [`compose`] multiplies those counts by per-unit cycle costs — the
+//!    SIMD-kernel costs are *measured on the cycle-accurate simulator* by
+//!    `valign-core`, the scalar-only stages use the calibrated constants
+//!    of [`ScalarStageCosts`] — yielding a [`StageBreakdown`].
+
+use crate::mb::MbPlan;
+use crate::synth::FramePlan;
+
+/// Work-unit counts for one decoded frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecoderWork {
+    /// Total macroblocks.
+    pub mbs: u64,
+    /// Intra-coded macroblocks.
+    pub intra_mbs: u64,
+    /// Inter-coded macroblocks.
+    pub inter_mbs: u64,
+    /// Luma MC block calls per size `[16x16, 8x8, 4x4]`.
+    pub luma_blocks: [u64; 3],
+    /// Chroma MC 8x8 block calls (from 16x16 partitions).
+    pub chroma8_blocks: u64,
+    /// Chroma MC 4x4 block calls (from 8x8 partitions).
+    pub chroma4_blocks: u64,
+    /// Chroma 2x2 block calls (from 4x4 partitions) — too small for DLP,
+    /// handled scalar, as the paper notes.
+    pub chroma2_blocks: u64,
+    /// Inverse 4x4 transform invocations (luma + chroma).
+    pub idct4_blocks: u64,
+    /// Inverse 8x8 transform invocations.
+    pub idct8_blocks: u64,
+    /// CABAC bins decoded.
+    pub cabac_bins: u64,
+    /// Deblocking 16-sample edge segments filtered.
+    pub deblock_edges: u64,
+    /// Output pixels (luma + both chroma planes).
+    pub pixels: u64,
+}
+
+impl DecoderWork {
+    /// Element-wise accumulation (for multi-frame totals).
+    pub fn accumulate(&mut self, other: &DecoderWork) {
+        self.mbs += other.mbs;
+        self.intra_mbs += other.intra_mbs;
+        self.inter_mbs += other.inter_mbs;
+        for i in 0..3 {
+            self.luma_blocks[i] += other.luma_blocks[i];
+        }
+        self.chroma8_blocks += other.chroma8_blocks;
+        self.chroma4_blocks += other.chroma4_blocks;
+        self.chroma2_blocks += other.chroma2_blocks;
+        self.idct4_blocks += other.idct4_blocks;
+        self.idct8_blocks += other.idct8_blocks;
+        self.cabac_bins += other.cabac_bins;
+        self.deblock_edges += other.deblock_edges;
+        self.pixels += other.pixels;
+    }
+}
+
+/// Counts the stage work of one frame plan.
+pub fn decoder_work(plan: &FramePlan) -> DecoderWork {
+    let model = plan.seq.model();
+    let mut w = DecoderWork::default();
+    let (width, height) = plan.res.luma_dims();
+    w.pixels = (width * height + 2 * (width / 2) * (height / 2)) as u64;
+
+    for (_mb_x, _mb_y, mb) in plan.iter_mbs() {
+        w.mbs += 1;
+        // Deblocking: 4 vertical + 4 horizontal 16-sample luma edges per MB
+        // plus 2+2 chroma edge pairs (counted as two more segments).
+        w.deblock_edges += 10;
+
+        match mb {
+            MbPlan::Intra {
+                transform8x8,
+                coded_luma_blocks,
+                coded_chroma_blocks,
+            } => {
+                w.intra_mbs += 1;
+                count_transforms(&mut w, *transform8x8, *coded_luma_blocks, *coded_chroma_blocks);
+                // Intra MBs carry denser residual entropy.
+                w.cabac_bins += (model.cabac_bins_per_mb
+                    * (0.9 + 0.8 * f64::from(*coded_luma_blocks) / 16.0))
+                    as u64;
+            }
+            MbPlan::Inter {
+                plan: inter,
+                transform8x8,
+                coded_luma_blocks,
+                coded_chroma_blocks,
+            } => {
+                w.inter_mbs += 1;
+                let n = inter.size.partitions_per_mb() as u64;
+                w.luma_blocks[inter.size.index()] += n;
+                match inter.size.chroma_pixels() {
+                    8 => w.chroma8_blocks += n,
+                    4 => w.chroma4_blocks += n,
+                    _ => w.chroma2_blocks += n,
+                }
+                count_transforms(&mut w, *transform8x8, *coded_luma_blocks, *coded_chroma_blocks);
+                w.cabac_bins += (model.cabac_bins_per_mb
+                    * (0.6 + 0.8 * f64::from(*coded_luma_blocks) / 16.0))
+                    as u64;
+            }
+        }
+    }
+    w
+}
+
+fn count_transforms(w: &mut DecoderWork, t8: bool, coded_luma: u8, coded_chroma: u8) {
+    if t8 {
+        // 8x8 transform: up to four 8x8 blocks; a coded "4x4 unit" maps
+        // 4-to-1 onto them.
+        w.idct8_blocks += u64::from(coded_luma.div_ceil(4));
+    } else {
+        w.idct4_blocks += u64::from(coded_luma);
+    }
+    w.idct4_blocks += u64::from(coded_chroma);
+}
+
+/// Measured SIMD-kernel cycle costs per invocation (one implementation
+/// variant). Produced by running the kernels through `valign-pipeline`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCycleCosts {
+    /// Cycles per luma MC block call, per size `[16x16, 8x8, 4x4]`.
+    pub luma: [f64; 3],
+    /// Cycles per chroma MC call, per size `[8x8, 4x4]`.
+    pub chroma: [f64; 2],
+    /// Cycles per 4x4 inverse transform.
+    pub idct4: f64,
+    /// Cycles per 8x8 inverse transform.
+    pub idct8: f64,
+}
+
+/// Calibrated per-unit cycle costs for the stages that stay scalar in all
+/// three implementations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarStageCosts {
+    /// Cycles per CABAC bin (strongly serial, as the paper notes).
+    pub cabac_per_bin: f64,
+    /// Cycles per 16-sample deblocking edge segment.
+    pub deblock_per_edge: f64,
+    /// Cycles per output pixel (colour conversion / display copy).
+    pub videout_per_pixel: f64,
+    /// Cycles per intra-predicted macroblock (prediction itself).
+    pub intra_per_mb: f64,
+    /// Cycles per scalar chroma 2x2 MC block.
+    pub chroma2_per_block: f64,
+    /// Cycles of bookkeeping per macroblock (parsing, MV reconstruction).
+    pub other_per_mb: f64,
+    /// Fraction of total time spent in the OS (the paper's "OS" slice).
+    pub os_fraction: f64,
+}
+
+impl Default for ScalarStageCosts {
+    /// Constants calibrated so the scalar-decoder stage mix matches the
+    /// paper's Fig. 10 profile shape (MC and CABAC dominant, deblocking
+    /// close behind).
+    fn default() -> Self {
+        ScalarStageCosts {
+            cabac_per_bin: 14.0,
+            deblock_per_edge: 420.0,
+            videout_per_pixel: 1.1,
+            intra_per_mb: 2200.0,
+            chroma2_per_block: 90.0,
+            other_per_mb: 1100.0,
+            os_fraction: 0.05,
+        }
+    }
+}
+
+/// Cycles per stage for a decoded workload — one bar of Fig. 10.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Motion compensation (luma + chroma interpolation).
+    pub motion_comp: f64,
+    /// Inverse transform.
+    pub inv_transform: f64,
+    /// Deblocking filter.
+    pub deblock: f64,
+    /// CABAC entropy decoding.
+    pub cabac: f64,
+    /// Video output.
+    pub video_out: f64,
+    /// Operating system.
+    pub os: f64,
+    /// Everything else (parsing, intra prediction, bookkeeping).
+    pub others: f64,
+}
+
+impl StageBreakdown {
+    /// Total cycles.
+    pub fn total(&self) -> f64 {
+        self.motion_comp
+            + self.inv_transform
+            + self.deblock
+            + self.cabac
+            + self.video_out
+            + self.os
+            + self.others
+    }
+
+    /// Total time in seconds at a clock frequency in Hz.
+    pub fn seconds_at(&self, hz: f64) -> f64 {
+        self.total() / hz
+    }
+
+    /// Stage labels and values, in the paper's legend order.
+    pub fn stages(&self) -> [(&'static str, f64); 7] {
+        [
+            ("MotionComp", self.motion_comp),
+            ("Inv.Transform", self.inv_transform),
+            ("Deb.Filter", self.deblock),
+            ("CABAC", self.cabac),
+            ("VideoOut", self.video_out),
+            ("OS", self.os),
+            ("Others", self.others),
+        ]
+    }
+}
+
+/// Composes work counts with per-unit costs into a stage breakdown.
+pub fn compose(
+    work: &DecoderWork,
+    kernels: &KernelCycleCosts,
+    scalar: &ScalarStageCosts,
+) -> StageBreakdown {
+    let mc = work.luma_blocks[0] as f64 * kernels.luma[0]
+        + work.luma_blocks[1] as f64 * kernels.luma[1]
+        + work.luma_blocks[2] as f64 * kernels.luma[2]
+        + work.chroma8_blocks as f64 * kernels.chroma[0]
+        + work.chroma4_blocks as f64 * kernels.chroma[1]
+        + work.chroma2_blocks as f64 * scalar.chroma2_per_block;
+    let idct =
+        work.idct4_blocks as f64 * kernels.idct4 + work.idct8_blocks as f64 * kernels.idct8;
+    let deblock = work.deblock_edges as f64 * scalar.deblock_per_edge;
+    let cabac = work.cabac_bins as f64 * scalar.cabac_per_bin;
+    let video_out = work.pixels as f64 * scalar.videout_per_pixel;
+    let others = work.intra_mbs as f64 * scalar.intra_per_mb
+        + work.mbs as f64 * scalar.other_per_mb;
+    let cpu_total = mc + idct + deblock + cabac + video_out + others;
+    let os = cpu_total * scalar.os_fraction / (1.0 - scalar.os_fraction);
+    StageBreakdown {
+        motion_comp: mc,
+        inv_transform: idct,
+        deblock,
+        cabac,
+        video_out,
+        os,
+        others,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::Resolution;
+    use crate::synth::{plan_frame, Sequence};
+
+    fn costs() -> KernelCycleCosts {
+        KernelCycleCosts {
+            luma: [1200.0, 400.0, 150.0],
+            chroma: [300.0, 120.0],
+            idct4: 180.0,
+            idct8: 600.0,
+        }
+    }
+
+    #[test]
+    fn work_counts_are_consistent() {
+        let plan = plan_frame(Sequence::Pedestrian, Resolution::Sd576, 1);
+        let w = decoder_work(&plan);
+        let (mb_w, mb_h) = Resolution::Sd576.mb_dims();
+        assert_eq!(w.mbs, (mb_w * mb_h) as u64);
+        assert_eq!(w.mbs, w.intra_mbs + w.inter_mbs);
+        // Every inter MB contributed exactly one partition set.
+        let parts = w.luma_blocks[0] + w.luma_blocks[1] / 4 + w.luma_blocks[2] / 16;
+        assert_eq!(parts, w.inter_mbs);
+        // Chroma block count matches luma partition count per size.
+        assert_eq!(w.chroma8_blocks, w.luma_blocks[0]);
+        assert_eq!(w.chroma4_blocks, w.luma_blocks[1]);
+        assert_eq!(w.chroma2_blocks, w.luma_blocks[2]);
+        assert_eq!(w.deblock_edges, w.mbs * 10);
+        assert!(w.cabac_bins > 0);
+        assert_eq!(w.pixels, (720 * 576 * 3 / 2) as u64);
+    }
+
+    #[test]
+    fn riverbed_has_fewer_mc_calls_than_pedestrian() {
+        let r = decoder_work(&plan_frame(Sequence::Riverbed, Resolution::Hd720, 1));
+        let p = decoder_work(&plan_frame(Sequence::Pedestrian, Resolution::Hd720, 1));
+        let r_mc: u64 = r.luma_blocks.iter().sum();
+        let p_mc: u64 = p.luma_blocks.iter().sum();
+        assert!(
+            r.inter_mbs < p.inter_mbs,
+            "riverbed {} vs pedestrian {}",
+            r.inter_mbs,
+            p.inter_mbs
+        );
+        assert!(r_mc < p_mc);
+        // But more entropy work.
+        assert!(r.cabac_bins > p.cabac_bins);
+    }
+
+    #[test]
+    fn compose_produces_plausible_profile() {
+        let plan = plan_frame(Sequence::RushHour, Resolution::Hd1088, 1);
+        let w = decoder_work(&plan);
+        let b = compose(&w, &costs(), &ScalarStageCosts::default());
+        assert!(b.total() > 0.0);
+        for (name, v) in b.stages() {
+            assert!(v >= 0.0, "{name} negative");
+        }
+        // OS fraction holds by construction.
+        assert!((b.os / b.total() - 0.05).abs() < 1e-6);
+        // MC should be a major stage for a motion-heavy sequence decoded
+        // with scalar-cost kernels.
+        assert!(b.motion_comp / b.total() > 0.1);
+        assert!(b.seconds_at(2.0e9) > 0.0);
+    }
+
+    #[test]
+    fn cheaper_mc_kernels_shrink_only_mc_and_idct() {
+        let plan = plan_frame(Sequence::BlueSky, Resolution::Hd720, 1);
+        let w = decoder_work(&plan);
+        let slow = compose(&w, &costs(), &ScalarStageCosts::default());
+        let fast_kernels = KernelCycleCosts {
+            luma: [600.0, 200.0, 75.0],
+            chroma: [150.0, 60.0],
+            idct4: 90.0,
+            idct8: 300.0,
+        };
+        let fast = compose(&w, &fast_kernels, &ScalarStageCosts::default());
+        assert!(fast.motion_comp < slow.motion_comp);
+        assert!(fast.inv_transform < slow.inv_transform);
+        assert_eq!(fast.cabac, slow.cabac);
+        assert_eq!(fast.deblock, slow.deblock);
+        assert!(fast.total() < slow.total());
+    }
+
+    #[test]
+    fn accumulate_sums_frames() {
+        let plan = plan_frame(Sequence::RushHour, Resolution::Sd576, 1);
+        let w1 = decoder_work(&plan);
+        let mut total = DecoderWork::default();
+        total.accumulate(&w1);
+        total.accumulate(&w1);
+        assert_eq!(total.mbs, 2 * w1.mbs);
+        assert_eq!(total.cabac_bins, 2 * w1.cabac_bins);
+        assert_eq!(total.luma_blocks[2], 2 * w1.luma_blocks[2]);
+    }
+}

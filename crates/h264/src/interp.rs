@@ -1,0 +1,267 @@
+//! Golden (reference) H.264/AVC sub-pel interpolation kernels.
+//!
+//! These are straightforward scalar implementations of the standard's
+//! clause 8.4.2.2 — the quarter-pel luma interpolation built on the 6-tap
+//! half-pel filter `(1, -5, 20, 20, -5, 1)`, and the eighth-pel bilinear
+//! chroma interpolation. The SIMD kernels in `valign-kernels` are verified
+//! against these functions bit-for-bit.
+
+use crate::plane::Plane;
+
+#[inline]
+fn clip8(v: i32) -> u8 {
+    v.clamp(0, 255) as u8
+}
+
+#[inline]
+fn f6(a: i32, b: i32, c: i32, d: i32, e: i32, f: i32) -> i32 {
+    a - 5 * b + 20 * c + 20 * d - 5 * e + f
+}
+
+#[inline]
+fn avg(a: u8, b: u8) -> u8 {
+    ((u16::from(a) + u16::from(b) + 1) >> 1) as u8
+}
+
+/// Raw (unrounded, unclipped) horizontal half-pel value `b1` at integer
+/// position `(x, y)`: the 6-tap filter across `x-2..=x+3`.
+fn hraw(src: &Plane, x: isize, y: isize) -> i32 {
+    f6(
+        i32::from(src.get(x - 2, y)),
+        i32::from(src.get(x - 1, y)),
+        i32::from(src.get(x, y)),
+        i32::from(src.get(x + 1, y)),
+        i32::from(src.get(x + 2, y)),
+        i32::from(src.get(x + 3, y)),
+    )
+}
+
+/// Raw vertical half-pel value `h1` at `(x, y)`.
+fn vraw(src: &Plane, x: isize, y: isize) -> i32 {
+    f6(
+        i32::from(src.get(x, y - 2)),
+        i32::from(src.get(x, y - 1)),
+        i32::from(src.get(x, y)),
+        i32::from(src.get(x, y + 1)),
+        i32::from(src.get(x, y + 2)),
+        i32::from(src.get(x, y + 3)),
+    )
+}
+
+/// Horizontal half-pel pixel `b` at `(x, y)`.
+fn half_h(src: &Plane, x: isize, y: isize) -> u8 {
+    clip8((hraw(src, x, y) + 16) >> 5)
+}
+
+/// Vertical half-pel pixel `h` at `(x, y)`.
+fn half_v(src: &Plane, x: isize, y: isize) -> u8 {
+    clip8((vraw(src, x, y) + 16) >> 5)
+}
+
+/// Centre half-pel pixel `j` at `(x, y)`: vertical 6-tap over the raw
+/// horizontal intermediates, 10-bit rounding.
+fn half_hv(src: &Plane, x: isize, y: isize) -> u8 {
+    let j1 = f6(
+        hraw(src, x, y - 2),
+        hraw(src, x, y - 1),
+        hraw(src, x, y),
+        hraw(src, x, y + 1),
+        hraw(src, x, y + 2),
+        hraw(src, x, y + 3),
+    );
+    clip8((j1 + 512) >> 10)
+}
+
+/// Quarter-pel luma motion compensation: produces the `w` x `h` predicted
+/// block whose integer top-left is `(x, y)` and whose fractional offset is
+/// `(dx, dy)` in quarter-pel units (`0..=3` each).
+///
+/// Returns the block row-major.
+///
+/// # Panics
+///
+/// Panics if `dx` or `dy` exceeds 3.
+pub fn luma_qpel(src: &Plane, x: isize, y: isize, dx: u8, dy: u8, w: usize, h: usize) -> Vec<u8> {
+    assert!(dx < 4 && dy < 4, "fractional offsets are quarter-pel (0..4)");
+    let mut out = Vec::with_capacity(w * h);
+    for r in 0..h as isize {
+        for c in 0..w as isize {
+            let (px, py) = (x + c, y + r);
+            let v = match (dx, dy) {
+                (0, 0) => src.get(px, py),
+                (2, 0) => half_h(src, px, py),
+                (0, 2) => half_v(src, px, py),
+                (2, 2) => half_hv(src, px, py),
+                (1, 0) => avg(src.get(px, py), half_h(src, px, py)),
+                (3, 0) => avg(half_h(src, px, py), src.get(px + 1, py)),
+                (0, 1) => avg(src.get(px, py), half_v(src, px, py)),
+                (0, 3) => avg(half_v(src, px, py), src.get(px, py + 1)),
+                (1, 1) => avg(half_h(src, px, py), half_v(src, px, py)),
+                (3, 1) => avg(half_h(src, px, py), half_v(src, px + 1, py)),
+                (1, 3) => avg(half_v(src, px, py), half_h(src, px, py + 1)),
+                (3, 3) => avg(half_v(src, px + 1, py), half_h(src, px, py + 1)),
+                (2, 1) => avg(half_h(src, px, py), half_hv(src, px, py)),
+                (2, 3) => avg(half_hv(src, px, py), half_h(src, px, py + 1)),
+                (1, 2) => avg(half_v(src, px, py), half_hv(src, px, py)),
+                (3, 2) => avg(half_hv(src, px, py), half_v(src, px + 1, py)),
+                _ => unreachable!(),
+            };
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Eighth-pel bilinear chroma motion compensation (clause 8.4.2.2.2):
+/// `(dx, dy)` are in eighth-pel units (`0..=7`).
+///
+/// Returns the `w` x `h` block row-major.
+///
+/// # Panics
+///
+/// Panics if `dx` or `dy` exceeds 7.
+pub fn chroma_epel(src: &Plane, x: isize, y: isize, dx: u8, dy: u8, w: usize, h: usize) -> Vec<u8> {
+    assert!(dx < 8 && dy < 8, "fractional offsets are eighth-pel (0..8)");
+    let (fx, fy) = (i32::from(dx), i32::from(dy));
+    let mut out = Vec::with_capacity(w * h);
+    for r in 0..h as isize {
+        for c in 0..w as isize {
+            let a = i32::from(src.get(x + c, y + r));
+            let b = i32::from(src.get(x + c + 1, y + r));
+            let cc = i32::from(src.get(x + c, y + r + 1));
+            let d = i32::from(src.get(x + c + 1, y + r + 1));
+            let v = ((8 - fx) * (8 - fy) * a
+                + fx * (8 - fy) * b
+                + (8 - fx) * fy * cc
+                + fx * fy * d
+                + 32)
+                >> 6;
+            out.push(v as u8);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(w: usize, h: usize) -> Plane {
+        let mut p = Plane::new(w, h);
+        p.fill_with(|x, y| ((x * 37 + y * 91 + (x * y) % 17) % 256) as u8);
+        p
+    }
+
+    #[test]
+    fn integer_position_is_a_copy() {
+        let p = textured(64, 32);
+        let got = luma_qpel(&p, 5, 7, 0, 0, 8, 8);
+        assert_eq!(got, p.block(5, 7, 8, 8));
+    }
+
+    #[test]
+    fn flat_region_interpolates_flat() {
+        let mut p = Plane::new(64, 32);
+        p.fill_with(|_, _| 100);
+        for dx in 0..4 {
+            for dy in 0..4 {
+                let b = luma_qpel(&p, 10, 10, dx, dy, 4, 4);
+                assert!(b.iter().all(|&v| v == 100), "({dx},{dy}) -> {b:?}");
+            }
+        }
+        for dx in 0..8 {
+            for dy in 0..8 {
+                let b = chroma_epel(&p, 10, 10, dx, dy, 4, 4);
+                assert!(b.iter().all(|&v| v == 100), "chroma ({dx},{dy})");
+            }
+        }
+    }
+
+    #[test]
+    fn halfpel_filter_on_step_edge() {
+        // A horizontal step 0|255: the 6-tap filter must overshoot and clip.
+        let mut p = Plane::new(64, 8);
+        p.fill_with(|x, _| if x < 32 { 0 } else { 255 });
+        // At the pixel just left of the edge, b = (0 -0 +0 +20*255 -5*255 +255)/32
+        let b = luma_qpel(&p, 31, 2, 2, 0, 1, 1)[0];
+        let expect = clip8((f6(0, 0, 0, 255, 255, 255) + 16) >> 5);
+        assert_eq!(b, expect);
+        // Far from the edge the filter is the identity on constants.
+        assert_eq!(luma_qpel(&p, 5, 2, 2, 0, 1, 1)[0], 0);
+        assert_eq!(luma_qpel(&p, 50, 2, 2, 0, 1, 1)[0], 255);
+    }
+
+    #[test]
+    fn quarter_positions_are_averages() {
+        let p = textured(64, 32);
+        let (x, y) = (12, 9);
+        let g = p.get(x, y);
+        let b = luma_qpel(&p, x, y, 2, 0, 1, 1)[0];
+        let hh = luma_qpel(&p, x, y, 0, 2, 1, 1)[0];
+        let j = luma_qpel(&p, x, y, 2, 2, 1, 1)[0];
+        assert_eq!(luma_qpel(&p, x, y, 1, 0, 1, 1)[0], avg(g, b));
+        assert_eq!(luma_qpel(&p, x, y, 0, 1, 1, 1)[0], avg(g, hh));
+        assert_eq!(luma_qpel(&p, x, y, 1, 1, 1, 1)[0], avg(b, hh));
+        assert_eq!(luma_qpel(&p, x, y, 2, 1, 1, 1)[0], avg(b, j));
+        assert_eq!(luma_qpel(&p, x, y, 1, 2, 1, 1)[0], avg(hh, j));
+        let h_right = luma_qpel(&p, x + 1, y, 0, 2, 1, 1)[0];
+        assert_eq!(luma_qpel(&p, x, y, 3, 1, 1, 1)[0], avg(b, h_right));
+        let b_below = luma_qpel(&p, x, y + 1, 2, 0, 1, 1)[0];
+        assert_eq!(luma_qpel(&p, x, y, 1, 3, 1, 1)[0], avg(hh, b_below));
+        assert_eq!(luma_qpel(&p, x, y, 3, 3, 1, 1)[0], avg(h_right, b_below));
+        assert_eq!(luma_qpel(&p, x, y, 2, 3, 1, 1)[0], avg(j, b_below));
+        assert_eq!(luma_qpel(&p, x, y, 3, 2, 1, 1)[0], avg(j, h_right));
+        assert_eq!(
+            luma_qpel(&p, x, y, 3, 0, 1, 1)[0],
+            avg(b, p.get(x + 1, y))
+        );
+        assert_eq!(
+            luma_qpel(&p, x, y, 0, 3, 1, 1)[0],
+            avg(hh, p.get(x, y + 1))
+        );
+    }
+
+    #[test]
+    fn chroma_bilinear_weights() {
+        let mut p = Plane::new(16, 16);
+        // Four distinct corner values at (3,3)..(4,4).
+        p.fill_with(|x, y| match (x, y) {
+            (3, 3) => 10,
+            (4, 3) => 50,
+            (3, 4) => 90,
+            (4, 4) => 130,
+            _ => 0,
+        });
+        // dx=dy=4 (half): (10+50+90+130+... *16 each + 32)>>6.
+        let v = chroma_epel(&p, 3, 3, 4, 4, 1, 1)[0];
+        assert_eq!(v, ((16 * (10 + 50 + 90 + 130) + 32) >> 6) as u8);
+        // dx=0, dy=0 copies A.
+        assert_eq!(chroma_epel(&p, 3, 3, 0, 0, 1, 1)[0], 10);
+        // dx=7 is dominated by the right sample.
+        let v7 = chroma_epel(&p, 3, 3, 7, 0, 1, 1)[0];
+        assert_eq!(v7, ((1 * 8 * 10 + 7 * 8 * 50 + 32) >> 6) as u8);
+    }
+
+    #[test]
+    fn block_shapes() {
+        let p = textured(64, 64);
+        for (w, h) in [(16, 16), (8, 8), (4, 4), (16, 8), (4, 8)] {
+            assert_eq!(luma_qpel(&p, 8, 8, 2, 2, w, h).len(), w * h);
+            assert_eq!(chroma_epel(&p, 8, 8, 3, 5, w, h).len(), w * h);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quarter-pel")]
+    fn luma_fraction_range_checked() {
+        let p = textured(16, 16);
+        let _ = luma_qpel(&p, 0, 0, 4, 0, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "eighth-pel")]
+    fn chroma_fraction_range_checked() {
+        let p = textured(16, 16);
+        let _ = chroma_epel(&p, 0, 0, 0, 8, 4, 4);
+    }
+}

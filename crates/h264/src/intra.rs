@@ -1,0 +1,320 @@
+//! Golden H.264/AVC intra prediction (clause 8.3).
+//!
+//! Intra-coded macroblocks — the dominant type in *riverbed*, where
+//! motion estimation fails — are predicted from already-decoded neighbour
+//! pixels. This module implements the 16x16 luma modes (V, H, DC, Plane)
+//! and the common 4x4 modes (V, H, DC, diagonal-down-left,
+//! diagonal-down-right), completing the decoder substrate's prediction
+//! paths.
+
+#[inline]
+fn clip8(v: i32) -> u8 {
+    v.clamp(0, 255) as u8
+}
+
+/// 16x16 luma intra prediction modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intra16Mode {
+    /// Copy the row above into every row.
+    Vertical,
+    /// Copy the left column into every column.
+    Horizontal,
+    /// Flat fill with the mean of available neighbours.
+    Dc,
+    /// First-order plane fit through the border pixels.
+    Plane,
+}
+
+/// Predicts a 16x16 block from its neighbours.
+///
+/// `above` is the reconstructed row directly above, `left` the column to
+/// the left, `above_left` the corner pixel; `None` marks unavailable
+/// neighbours (frame edges).
+///
+/// Returns the block row-major.
+///
+/// # Panics
+///
+/// Panics if a mode requires a neighbour that is unavailable (`Vertical`
+/// needs `above`, `Horizontal` needs `left`, `Plane` needs all three).
+pub fn predict16x16(
+    mode: Intra16Mode,
+    above: Option<&[u8; 16]>,
+    left: Option<&[u8; 16]>,
+    above_left: Option<u8>,
+) -> [u8; 256] {
+    let mut out = [0u8; 256];
+    match mode {
+        Intra16Mode::Vertical => {
+            let a = above.expect("vertical prediction needs the row above");
+            for y in 0..16 {
+                out[16 * y..16 * y + 16].copy_from_slice(a);
+            }
+        }
+        Intra16Mode::Horizontal => {
+            let l = left.expect("horizontal prediction needs the left column");
+            for y in 0..16 {
+                out[16 * y..16 * y + 16].fill(l[y]);
+            }
+        }
+        Intra16Mode::Dc => {
+            let dc = match (above, left) {
+                (Some(a), Some(l)) => {
+                    let s: u32 = a.iter().chain(l.iter()).map(|&v| u32::from(v)).sum();
+                    ((s + 16) >> 5) as u8
+                }
+                (Some(a), None) => {
+                    let s: u32 = a.iter().map(|&v| u32::from(v)).sum();
+                    ((s + 8) >> 4) as u8
+                }
+                (None, Some(l)) => {
+                    let s: u32 = l.iter().map(|&v| u32::from(v)).sum();
+                    ((s + 8) >> 4) as u8
+                }
+                (None, None) => 128,
+            };
+            out.fill(dc);
+        }
+        Intra16Mode::Plane => {
+            let a = above.expect("plane prediction needs the row above");
+            let l = left.expect("plane prediction needs the left column");
+            let corner = i32::from(above_left.expect("plane prediction needs the corner"));
+            let mut hgrad = 0i32;
+            let mut vgrad = 0i32;
+            for i in 1..=8i32 {
+                let right = i32::from(a[(7 + i) as usize]);
+                let leftp = if 7 - i >= 0 {
+                    i32::from(a[(7 - i) as usize])
+                } else {
+                    corner
+                };
+                hgrad += i * (right - leftp);
+                let below = i32::from(l[(7 + i) as usize]);
+                let abovep = if 7 - i >= 0 {
+                    i32::from(l[(7 - i) as usize])
+                } else {
+                    corner
+                };
+                vgrad += i * (below - abovep);
+            }
+            let b = (5 * hgrad + 32) >> 6;
+            let c = (5 * vgrad + 32) >> 6;
+            let aa = 16 * (i32::from(a[15]) + i32::from(l[15]));
+            for y in 0..16i32 {
+                for x in 0..16i32 {
+                    out[(16 * y + x) as usize] =
+                        clip8((aa + b * (x - 7) + c * (y - 7) + 16) >> 5);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// 4x4 luma intra prediction modes (the subset exercised here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intra4Mode {
+    /// Copy the four pixels above.
+    Vertical,
+    /// Copy the four pixels to the left.
+    Horizontal,
+    /// Flat fill with the neighbour mean.
+    Dc,
+    /// 45° interpolation from above / above-right.
+    DiagonalDownLeft,
+    /// 45° interpolation from left / above / corner.
+    DiagonalDownRight,
+}
+
+/// Predicts a 4x4 block. `above` holds eight pixels (the row above plus
+/// the above-right extension, replicated by the caller when
+/// unavailable); `left` the four left pixels; `above_left` the corner.
+///
+/// # Panics
+///
+/// Panics if a mode requires an unavailable neighbour.
+pub fn predict4x4(
+    mode: Intra4Mode,
+    above: Option<&[u8; 8]>,
+    left: Option<&[u8; 4]>,
+    above_left: Option<u8>,
+) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    match mode {
+        Intra4Mode::Vertical => {
+            let a = above.expect("vertical needs above");
+            for y in 0..4 {
+                out[4 * y..4 * y + 4].copy_from_slice(&a[0..4]);
+            }
+        }
+        Intra4Mode::Horizontal => {
+            let l = left.expect("horizontal needs left");
+            for y in 0..4 {
+                out[4 * y..4 * y + 4].fill(l[y]);
+            }
+        }
+        Intra4Mode::Dc => {
+            let dc = match (above, left) {
+                (Some(a), Some(l)) => {
+                    let s: u32 = a[0..4].iter().chain(l.iter()).map(|&v| u32::from(v)).sum();
+                    ((s + 4) >> 3) as u8
+                }
+                (Some(a), None) => {
+                    let s: u32 = a[0..4].iter().map(|&v| u32::from(v)).sum();
+                    ((s + 2) >> 2) as u8
+                }
+                (None, Some(l)) => {
+                    let s: u32 = l.iter().map(|&v| u32::from(v)).sum();
+                    ((s + 2) >> 2) as u8
+                }
+                (None, None) => 128,
+            };
+            out.fill(dc);
+        }
+        Intra4Mode::DiagonalDownLeft => {
+            let a = above.expect("diagonal-down-left needs above + above-right");
+            let p = |i: usize| i32::from(a[i.min(7)]);
+            for y in 0..4usize {
+                for x in 0..4usize {
+                    let i = x + y;
+                    let v = if i == 6 {
+                        (p(6) + 3 * p(7) + 2) >> 2
+                    } else {
+                        (p(i) + 2 * p(i + 1) + p(i + 2) + 2) >> 2
+                    };
+                    out[4 * y + x] = v as u8;
+                }
+            }
+        }
+        Intra4Mode::DiagonalDownRight => {
+            let a = above.expect("diagonal-down-right needs above");
+            let l = left.expect("diagonal-down-right needs left");
+            let c = i32::from(above_left.expect("diagonal-down-right needs the corner"));
+            // Border array q[-4..=3]: q[-k] = left[k-1], q[-0..] = corner,
+            // above…
+            let q = |i: i32| -> i32 {
+                if i < 0 {
+                    i32::from(l[(-i - 1) as usize])
+                } else if i == 0 {
+                    c
+                } else {
+                    i32::from(a[(i - 1) as usize])
+                }
+            };
+            for y in 0..4i32 {
+                for x in 0..4i32 {
+                    let d = x - y;
+                    let v = (q(d - 1) + 2 * q(d) + q(d + 1) + 2) >> 2;
+                    out[(4 * y + x) as usize] = v as u8;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ABOVE16: [u8; 16] = [
+        10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150, 160,
+    ];
+    const LEFT16: [u8; 16] = [
+        5, 15, 25, 35, 45, 55, 65, 75, 85, 95, 105, 115, 125, 135, 145, 155,
+    ];
+
+    #[test]
+    fn vertical_and_horizontal_copy_neighbours() {
+        let v = predict16x16(Intra16Mode::Vertical, Some(&ABOVE16), None, None);
+        for y in 0..16 {
+            assert_eq!(&v[16 * y..16 * y + 16], &ABOVE16);
+        }
+        let h = predict16x16(Intra16Mode::Horizontal, None, Some(&LEFT16), None);
+        for y in 0..16 {
+            assert!(h[16 * y..16 * y + 16].iter().all(|&p| p == LEFT16[y]));
+        }
+    }
+
+    #[test]
+    fn dc_averages_with_standard_rounding() {
+        let d = predict16x16(Intra16Mode::Dc, Some(&ABOVE16), Some(&LEFT16), None);
+        let sum: u32 = ABOVE16.iter().chain(LEFT16.iter()).map(|&v| u32::from(v)).sum();
+        assert!(d.iter().all(|&p| u32::from(p) == (sum + 16) >> 5));
+        // Edge cases.
+        let a_only = predict16x16(Intra16Mode::Dc, Some(&ABOVE16), None, None);
+        let sa: u32 = ABOVE16.iter().map(|&v| u32::from(v)).sum();
+        assert_eq!(u32::from(a_only[0]), (sa + 8) >> 4);
+        let none = predict16x16(Intra16Mode::Dc, None, None, None);
+        assert!(none.iter().all(|&p| p == 128));
+    }
+
+    #[test]
+    fn plane_mode_reproduces_a_linear_ramp() {
+        // Neighbours sampled from pred(x,y) = 60 + 4x + 2y must recover it.
+        let above: [u8; 16] = std::array::from_fn(|x| (60 + 4 * x as i32 - 2) as u8); // y = -1
+        let left: [u8; 16] = std::array::from_fn(|y| (60 - 4 + 2 * y as i32) as u8); // x = -1
+        let corner = (60 - 4 - 2) as u8;
+        let p = predict16x16(Intra16Mode::Plane, Some(&above), Some(&left), Some(corner));
+        for y in 0..16i32 {
+            for x in 0..16i32 {
+                let want = 60 + 4 * x + 2 * y;
+                let got = i32::from(p[(16 * y + x) as usize]);
+                assert!(
+                    (got - want).abs() <= 1,
+                    "plane at ({x},{y}): {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predict4x4_modes() {
+        let above = [10u8, 20, 30, 40, 50, 60, 70, 80];
+        let left = [12u8, 22, 32, 42];
+        let v = predict4x4(Intra4Mode::Vertical, Some(&above), None, None);
+        assert_eq!(&v[0..4], &[10, 20, 30, 40]);
+        assert_eq!(&v[12..16], &[10, 20, 30, 40]);
+        let h = predict4x4(Intra4Mode::Horizontal, None, Some(&left), None);
+        assert!(h[4..8].iter().all(|&p| p == 22));
+        let d = predict4x4(Intra4Mode::Dc, Some(&above), Some(&left), None);
+        let s: u32 = [10u32, 20, 30, 40, 12, 22, 32, 42].iter().sum();
+        assert!(d.iter().all(|&p| u32::from(p) == (s + 4) >> 3));
+    }
+
+    #[test]
+    fn diagonal_modes_smooth_along_45_degrees() {
+        // Flat neighbours produce a flat prediction.
+        let above = [100u8; 8];
+        let left = [100u8; 4];
+        let ddl = predict4x4(Intra4Mode::DiagonalDownLeft, Some(&above), None, None);
+        assert!(ddl.iter().all(|&p| p == 100));
+        let ddr = predict4x4(
+            Intra4Mode::DiagonalDownRight,
+            Some(&above),
+            Some(&left),
+            Some(100),
+        );
+        assert!(ddr.iter().all(|&p| p == 100));
+        // DDR is constant along x - y diagonals.
+        let above2 = [10u8, 30, 50, 70, 90, 110, 130, 150];
+        let left2 = [40u8, 60, 80, 100];
+        let p = predict4x4(
+            Intra4Mode::DiagonalDownRight,
+            Some(&above2),
+            Some(&left2),
+            Some(20),
+        );
+        for y in 0..3 {
+            for x in 0..3 {
+                assert_eq!(p[4 * y + x], p[4 * (y + 1) + (x + 1)], "diagonal ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs the row above")]
+    fn vertical_requires_above() {
+        let _ = predict16x16(Intra16Mode::Vertical, None, Some(&LEFT16), None);
+    }
+}

@@ -1,0 +1,268 @@
+//! Macroblock, partition and motion-vector models.
+//!
+//! H.264 tree-structured motion compensation divides each 16x16 macroblock
+//! into partitions with independent motion vectors. The paper evaluates
+//! the three square sizes (16x16, 8x8, 4x4); variable block size is
+//! exactly what makes MC store alignment depend on the partition (Fig. 4c/d)
+//! and MC load alignment unpredictable (Fig. 4a/b).
+
+use std::fmt;
+
+/// A motion vector in **quarter-pel** luma units (H.264 precision).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MotionVector {
+    /// Horizontal displacement, quarter-pel.
+    pub x: i32,
+    /// Vertical displacement, quarter-pel.
+    pub y: i32,
+}
+
+impl MotionVector {
+    /// Creates a motion vector from quarter-pel components.
+    pub fn new(x: i32, y: i32) -> Self {
+        MotionVector { x, y }
+    }
+
+    /// Integer-pel horizontal part (floor).
+    pub fn int_x(self) -> i32 {
+        self.x >> 2
+    }
+
+    /// Integer-pel vertical part (floor).
+    pub fn int_y(self) -> i32 {
+        self.y >> 2
+    }
+
+    /// Quarter-pel fractional parts `(dx, dy)`, each in `0..4`.
+    pub fn frac(self) -> (u8, u8) {
+        ((self.x & 3) as u8, (self.y & 3) as u8)
+    }
+
+    /// Chroma integer parts: chroma vectors are the luma vector in
+    /// eighth-pel chroma units, so the integer displacement is `>> 3`.
+    pub fn chroma_int(self) -> (i32, i32) {
+        (self.x >> 3, self.y >> 3)
+    }
+
+    /// Chroma eighth-pel fractional parts, each in `0..8`.
+    pub fn chroma_frac(self) -> (u8, u8) {
+        ((self.x & 7) as u8, (self.y & 7) as u8)
+    }
+}
+
+impl fmt::Display for MotionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})q", self.x, self.y)
+    }
+}
+
+/// The square partition sizes evaluated by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockSize {
+    /// 16x16 pixels (one partition per macroblock).
+    B16x16,
+    /// 8x8 pixels (four partitions).
+    B8x8,
+    /// 4x4 pixels (sixteen partitions).
+    B4x4,
+}
+
+impl BlockSize {
+    /// All sizes, largest first.
+    pub const ALL: &'static [BlockSize] = &[BlockSize::B16x16, BlockSize::B8x8, BlockSize::B4x4];
+
+    /// Edge length in luma pixels.
+    pub fn pixels(self) -> usize {
+        match self {
+            BlockSize::B16x16 => 16,
+            BlockSize::B8x8 => 8,
+            BlockSize::B4x4 => 4,
+        }
+    }
+
+    /// Number of partitions of this size in a macroblock.
+    pub fn partitions_per_mb(self) -> usize {
+        match self {
+            BlockSize::B16x16 => 1,
+            BlockSize::B8x8 => 4,
+            BlockSize::B4x4 => 16,
+        }
+    }
+
+    /// The corresponding chroma block edge length (4:2:0).
+    pub fn chroma_pixels(self) -> usize {
+        self.pixels() / 2
+    }
+
+    /// Label used in reports ("16x16", "8x8", "4x4").
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockSize::B16x16 => "16x16",
+            BlockSize::B8x8 => "8x8",
+            BlockSize::B4x4 => "4x4",
+        }
+    }
+
+    /// Dense index (0 for 16x16, 1 for 8x8, 2 for 4x4).
+    pub fn index(self) -> usize {
+        match self {
+            BlockSize::B16x16 => 0,
+            BlockSize::B8x8 => 1,
+            BlockSize::B4x4 => 2,
+        }
+    }
+}
+
+impl fmt::Display for BlockSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One macroblock's inter-prediction plan: a uniform partitioning with one
+/// motion vector per partition (in raster order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterPlan {
+    /// Partition size used throughout this macroblock.
+    pub size: BlockSize,
+    /// One motion vector per partition, raster order.
+    pub mvs: Vec<MotionVector>,
+}
+
+impl InterPlan {
+    /// Builds a plan, checking the vector count matches the partitioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mvs.len()` differs from the partition count.
+    pub fn new(size: BlockSize, mvs: Vec<MotionVector>) -> Self {
+        assert_eq!(
+            mvs.len(),
+            size.partitions_per_mb(),
+            "motion vector count must match partition count"
+        );
+        InterPlan { size, mvs }
+    }
+
+    /// Iterates `(part_x, part_y, mv)` with partition offsets in luma
+    /// pixels relative to the macroblock origin.
+    pub fn partitions(&self) -> impl Iterator<Item = (usize, usize, MotionVector)> + '_ {
+        let edge = self.size.pixels();
+        let per_row = 16 / edge;
+        self.mvs.iter().enumerate().map(move |(i, &mv)| {
+            let px = (i % per_row) * edge;
+            let py = (i / per_row) * edge;
+            (px, py, mv)
+        })
+    }
+}
+
+/// How one macroblock is decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MbPlan {
+    /// Intra-predicted macroblock: no motion compensation.
+    Intra {
+        /// Whether the High-profile 8x8 transform covers the residual.
+        transform8x8: bool,
+        /// Number of coded luma 4x4 (or sub-sampled 8x8) blocks.
+        coded_luma_blocks: u8,
+        /// Number of coded chroma 4x4 blocks (both planes).
+        coded_chroma_blocks: u8,
+    },
+    /// Inter-predicted macroblock.
+    Inter {
+        /// Partitioning and motion vectors.
+        plan: InterPlan,
+        /// Whether the 8x8 transform is used.
+        transform8x8: bool,
+        /// Number of coded luma 4x4 (or 8x8) blocks.
+        coded_luma_blocks: u8,
+        /// Number of coded chroma 4x4 blocks.
+        coded_chroma_blocks: u8,
+    },
+}
+
+impl MbPlan {
+    /// Whether this macroblock performs motion compensation.
+    pub fn is_inter(&self) -> bool {
+        matches!(self, MbPlan::Inter { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarter_pel_decomposition() {
+        let mv = MotionVector::new(9, -7);
+        assert_eq!(mv.int_x(), 2);
+        assert_eq!(mv.frac().0, 1);
+        // Floor semantics for negatives: -7 >> 2 == -2 (floor(-1.75)).
+        assert_eq!(mv.int_y(), -2);
+        assert_eq!(mv.frac().1, 1); // -7 & 3 == 1
+        assert_eq!(MotionVector::default(), MotionVector::new(0, 0));
+    }
+
+    #[test]
+    fn chroma_eighth_pel() {
+        let mv = MotionVector::new(13, 5); // luma quarter-pel
+        assert_eq!(mv.chroma_int(), (1, 0));
+        assert_eq!(mv.chroma_frac(), (5, 5));
+        let neg = MotionVector::new(-3, -9);
+        assert_eq!(neg.chroma_int(), (-1, -2));
+        assert_eq!(neg.chroma_frac(), (5, 7));
+    }
+
+    #[test]
+    fn block_size_facts() {
+        assert_eq!(BlockSize::B16x16.partitions_per_mb(), 1);
+        assert_eq!(BlockSize::B8x8.partitions_per_mb(), 4);
+        assert_eq!(BlockSize::B4x4.partitions_per_mb(), 16);
+        assert_eq!(BlockSize::B8x8.chroma_pixels(), 4);
+        assert_eq!(BlockSize::B4x4.label(), "4x4");
+        for (i, s) in BlockSize::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn partition_offsets_raster_order() {
+        let mvs: Vec<_> = (0..4).map(|i| MotionVector::new(i, 0)).collect();
+        let plan = InterPlan::new(BlockSize::B8x8, mvs);
+        let offs: Vec<_> = plan.partitions().map(|(x, y, _)| (x, y)).collect();
+        assert_eq!(offs, vec![(0, 0), (8, 0), (0, 8), (8, 8)]);
+        let plan4 = InterPlan::new(
+            BlockSize::B4x4,
+            (0..16).map(|_| MotionVector::default()).collect(),
+        );
+        let offs4: Vec<_> = plan4.partitions().map(|(x, y, _)| (x, y)).collect();
+        assert_eq!(offs4[0], (0, 0));
+        assert_eq!(offs4[3], (12, 0));
+        assert_eq!(offs4[4], (0, 4));
+        assert_eq!(offs4[15], (12, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match partition count")]
+    fn mv_count_validated() {
+        let _ = InterPlan::new(BlockSize::B8x8, vec![MotionVector::default(); 3]);
+    }
+
+    #[test]
+    fn mb_plan_kind() {
+        let intra = MbPlan::Intra {
+            transform8x8: false,
+            coded_luma_blocks: 16,
+            coded_chroma_blocks: 8,
+        };
+        assert!(!intra.is_inter());
+        let inter = MbPlan::Inter {
+            plan: InterPlan::new(BlockSize::B16x16, vec![MotionVector::default()]),
+            transform8x8: true,
+            coded_luma_blocks: 4,
+            coded_chroma_blocks: 2,
+        };
+        assert!(inter.is_inter());
+    }
+}

@@ -1,0 +1,232 @@
+//! Motion-estimation search strategies.
+//!
+//! The SAD kernel the paper measures is the inner loop of these searches;
+//! this module provides the encoder-side algorithms that drive it:
+//! exhaustive [`full_search`](crate::sad::full_search) (golden reference,
+//! in [`crate::sad`]), plus the classic fast searches — [`three_step`]
+//! and [`diamond`] — whose candidate patterns are exactly the source of
+//! the unpredictable `(addr % 16)` offsets of Fig. 4: each probe lands on
+//! an arbitrary displacement inside the search window.
+
+use crate::plane::Plane;
+use crate::sad::sad_block;
+
+/// The outcome of a motion search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchResult {
+    /// Best integer displacement found.
+    pub dx: isize,
+    /// Best integer displacement found.
+    pub dy: isize,
+    /// SAD at the best displacement.
+    pub sad: u32,
+    /// Number of candidate blocks evaluated (SAD kernel invocations).
+    pub evaluations: u32,
+}
+
+fn probe(
+    cur: &Plane,
+    cx: isize,
+    cy: isize,
+    refp: &Plane,
+    dx: isize,
+    dy: isize,
+    edge: usize,
+    evals: &mut u32,
+) -> u32 {
+    *evals += 1;
+    sad_block(cur, cx, cy, refp, cx + dx, cy + dy, edge, edge)
+}
+
+/// Three-step search: probe a shrinking 8-neighbour pattern, halving the
+/// step each round (classic TSS, step starting at `range/2`).
+pub fn three_step(
+    cur: &Plane,
+    cx: isize,
+    cy: isize,
+    refp: &Plane,
+    edge: usize,
+    range: isize,
+) -> SearchResult {
+    let mut evals = 0;
+    let (mut bx, mut by) = (0isize, 0isize);
+    let mut best = probe(cur, cx, cy, refp, 0, 0, edge, &mut evals);
+    let mut step = (range / 2).max(1);
+    loop {
+        let (pbx, pby) = (bx, by);
+        for (ox, oy) in [
+            (-1, -1),
+            (0, -1),
+            (1, -1),
+            (-1, 0),
+            (1, 0),
+            (-1, 1),
+            (0, 1),
+            (1, 1),
+        ] {
+            let (dx, dy) = (pbx + ox * step, pby + oy * step);
+            if dx.abs() > range || dy.abs() > range {
+                continue;
+            }
+            let s = probe(cur, cx, cy, refp, dx, dy, edge, &mut evals);
+            if s < best {
+                best = s;
+                bx = dx;
+                by = dy;
+            }
+        }
+        if step == 1 {
+            break;
+        }
+        step /= 2;
+    }
+    SearchResult {
+        dx: bx,
+        dy: by,
+        sad: best,
+        evaluations: evals,
+    }
+}
+
+/// Diamond search (large-diamond refinement followed by the small
+/// diamond), the shape used by most practical encoders.
+pub fn diamond(
+    cur: &Plane,
+    cx: isize,
+    cy: isize,
+    refp: &Plane,
+    edge: usize,
+    range: isize,
+) -> SearchResult {
+    const LARGE: [(isize, isize); 8] = [
+        (0, -2),
+        (-1, -1),
+        (1, -1),
+        (-2, 0),
+        (2, 0),
+        (-1, 1),
+        (1, 1),
+        (0, 2),
+    ];
+    const SMALL: [(isize, isize); 4] = [(0, -1), (-1, 0), (1, 0), (0, 1)];
+
+    let mut evals = 0;
+    let (mut bx, mut by) = (0isize, 0isize);
+    let mut best = probe(cur, cx, cy, refp, 0, 0, edge, &mut evals);
+
+    // Large diamond until the centre stays best (bounded to the window).
+    loop {
+        let (pbx, pby) = (bx, by);
+        for (ox, oy) in LARGE {
+            let (dx, dy) = (pbx + ox, pby + oy);
+            if dx.abs() > range || dy.abs() > range {
+                continue;
+            }
+            let s = probe(cur, cx, cy, refp, dx, dy, edge, &mut evals);
+            if s < best {
+                best = s;
+                bx = dx;
+                by = dy;
+            }
+        }
+        if (bx, by) == (pbx, pby) {
+            break;
+        }
+    }
+    // Small-diamond refinement, iterated to convergence.
+    loop {
+        let (pbx, pby) = (bx, by);
+        for (ox, oy) in SMALL {
+            let (dx, dy) = (pbx + ox, pby + oy);
+            if dx.abs() > range || dy.abs() > range {
+                continue;
+            }
+            let s = probe(cur, cx, cy, refp, dx, dy, edge, &mut evals);
+            if s < best {
+                best = s;
+                bx = dx;
+                by = dy;
+            }
+        }
+        if (bx, by) == (pbx, pby) {
+            break;
+        }
+    }
+    SearchResult {
+        dx: bx,
+        dy: by,
+        sad: best,
+        evaluations: evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sad::full_search;
+
+    fn shifted_pair(shift_x: isize, shift_y: isize) -> (Plane, Plane) {
+        // Smooth texture so fast searches have a well-behaved surface.
+        let mut refp = Plane::new(96, 96);
+        refp.fill_with(|x, y| {
+            (128.0
+                + 60.0 * ((x as f64) * 0.10).sin()
+                + 50.0 * ((y as f64) * 0.085).cos()) as u8
+        });
+        let mut cur = Plane::new(96, 96);
+        cur.fill_with(|x, y| refp.get(x as isize + shift_x, y as isize + shift_y));
+        (cur, refp)
+    }
+
+    #[test]
+    fn fast_searches_find_the_planted_motion() {
+        for (sx, sy) in [(3isize, -2isize), (-5, 4), (0, 0), (6, 6)] {
+            let (cur, refp) = shifted_pair(sx, sy);
+            let tss = three_step(&cur, 40, 40, &refp, 16, 8);
+            assert_eq!((tss.dx, tss.dy), (sx, sy), "TSS at shift ({sx},{sy})");
+            assert_eq!(tss.sad, 0);
+            let dia = diamond(&cur, 40, 40, &refp, 16, 8);
+            assert_eq!((dia.dx, dia.dy), (sx, sy), "diamond at shift ({sx},{sy})");
+            assert_eq!(dia.sad, 0);
+        }
+    }
+
+    #[test]
+    fn fast_searches_use_far_fewer_evaluations_than_full_search() {
+        let (cur, refp) = shifted_pair(4, -3);
+        let range = 8isize;
+        let full_evals = (2 * range + 1).pow(2) as u32;
+        let tss = three_step(&cur, 40, 40, &refp, 16, range);
+        let dia = diamond(&cur, 40, 40, &refp, 16, range);
+        assert!(
+            tss.evaluations * 4 < full_evals,
+            "TSS evals {} vs full {}",
+            tss.evaluations,
+            full_evals
+        );
+        assert!(
+            dia.evaluations * 4 < full_evals,
+            "diamond evals {} vs full {}",
+            dia.evaluations,
+            full_evals
+        );
+        // And (on this smooth surface) they match the exhaustive optimum.
+        let (fx, fy, fsad) = full_search(&cur, 40, 40, &refp, 16, 16, range);
+        assert_eq!((tss.dx, tss.dy, tss.sad), (fx, fy, fsad));
+        assert_eq!((dia.dx, dia.dy, dia.sad), (fx, fy, fsad));
+    }
+
+    #[test]
+    fn results_never_exceed_the_zero_mv_cost() {
+        let (cur, refp) = shifted_pair(2, 2);
+        let zero = sad_block(&cur, 40, 40, &refp, 40, 40, 16, 16);
+        for r in [
+            three_step(&cur, 40, 40, &refp, 16, 8),
+            diamond(&cur, 40, 40, &refp, 16, 8),
+        ] {
+            assert!(r.sad <= zero, "search cannot be worse than not searching");
+            assert!(r.dx.abs() <= 8 && r.dy.abs() <= 8, "window respected");
+            assert!(r.evaluations >= 1);
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! Synthetic video sequences with the motion character of the paper's
+//! test set.
+//!
+//! The paper evaluates four well-known HD sequences — *rush_hour*,
+//! *blue_sky*, *pedestrian* and *riverbed* — at three resolutions. The
+//! original clips are not redistributable, so this module substitutes
+//! parametric content models that reproduce the observables the
+//! experiments consume:
+//!
+//! * per-macroblock inter/intra mix (riverbed's fluid motion defeats
+//!   motion estimation, so few MBs are inter — as the paper notes);
+//! * motion-vector statistics (blue_sky is a global pan, pedestrian has
+//!   large diverse motion, rush_hour slow traffic);
+//! * partition-size mix (chaotic content codes more 4x4 partitions);
+//! * residual density and entropy-coding work;
+//! * and actual pixel data (band-limited pseudo-noise textures) so the
+//!   kernels compute on realistic values.
+//!
+//! Everything is deterministic given `(sequence, resolution, seed)`.
+
+use crate::mb::{BlockSize, InterPlan, MbPlan, MotionVector};
+use crate::plane::{Frame, Plane, Resolution};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The four test sequences of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sequence {
+    /// Slow, dense traffic: small motion vectors, mostly inter.
+    RushHour,
+    /// A global pan across sky: near-constant motion field.
+    BlueSky,
+    /// Pedestrian area: large, diverse motion.
+    Pedestrian,
+    /// Turbulent water: motion estimation fails, mostly intra.
+    Riverbed,
+}
+
+impl Sequence {
+    /// All four sequences, in the paper's plotting order.
+    pub const ALL: &'static [Sequence] = &[
+        Sequence::BlueSky,
+        Sequence::Pedestrian,
+        Sequence::Riverbed,
+        Sequence::RushHour,
+    ];
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Sequence::RushHour => "rush_hour",
+            Sequence::BlueSky => "blue_sky",
+            Sequence::Pedestrian => "pedestrian",
+            Sequence::Riverbed => "riverbed",
+        }
+    }
+
+    /// The content model for this sequence.
+    pub fn model(self) -> ContentModel {
+        match self {
+            Sequence::RushHour => ContentModel {
+                inter_ratio: 0.92,
+                mv_mean: (0.6, 0.1),
+                mv_sigma: 1.8,
+                partition_mix: [0.55, 0.30, 0.15],
+                transform8x8_ratio: 0.45,
+                residual_density: 0.35,
+                cabac_bins_per_mb: 280.0,
+                texture_roughness: 0.35,
+            },
+            Sequence::BlueSky => ContentModel {
+                inter_ratio: 0.95,
+                mv_mean: (5.2, 1.2),
+                mv_sigma: 1.1,
+                partition_mix: [0.70, 0.20, 0.10],
+                transform8x8_ratio: 0.55,
+                residual_density: 0.30,
+                cabac_bins_per_mb: 260.0,
+                texture_roughness: 0.20,
+            },
+            Sequence::Pedestrian => ContentModel {
+                inter_ratio: 0.85,
+                mv_mean: (1.2, 0.3),
+                mv_sigma: 3.5,
+                partition_mix: [0.45, 0.33, 0.22],
+                transform8x8_ratio: 0.40,
+                residual_density: 0.45,
+                cabac_bins_per_mb: 330.0,
+                texture_roughness: 0.50,
+            },
+            Sequence::Riverbed => ContentModel {
+                inter_ratio: 0.38,
+                mv_mean: (0.0, 0.0),
+                mv_sigma: 6.0,
+                partition_mix: [0.25, 0.35, 0.40],
+                transform8x8_ratio: 0.30,
+                residual_density: 0.80,
+                cabac_bins_per_mb: 520.0,
+                texture_roughness: 0.85,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Parametric description of a sequence's coding behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentModel {
+    /// Fraction of macroblocks that are inter-coded.
+    pub inter_ratio: f64,
+    /// Mean motion vector in integer pixels (global pan component).
+    pub mv_mean: (f64, f64),
+    /// Standard deviation of the motion field, pixels.
+    pub mv_sigma: f64,
+    /// Probability of an inter MB using [16x16, 8x8, 4x4] partitioning.
+    pub partition_mix: [f64; 3],
+    /// Fraction of MBs using the High-profile 8x8 transform.
+    pub transform8x8_ratio: f64,
+    /// Fraction of residual blocks actually coded (CBP density).
+    pub residual_density: f64,
+    /// Average CABAC bins decoded per macroblock.
+    pub cabac_bins_per_mb: f64,
+    /// Texture roughness in `[0, 1]` for the pixel synthesiser.
+    pub texture_roughness: f64,
+}
+
+fn rng_for(seq: Sequence, res: Resolution, seed: u64) -> SmallRng {
+    let mix = (seq.label().len() as u64) << 32
+        ^ (res.luma_dims().0 as u64) << 16
+        ^ (res.luma_dims().1 as u64)
+        ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    SmallRng::seed_from_u64(mix)
+}
+
+/// Standard normal sample via Box–Muller.
+fn normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Synthesises one textured frame for `(seq, res)`. `frame_idx`
+/// translates the texture by the model's mean motion so consecutive
+/// frames really are shifted versions plus noise (motion estimation on
+/// them recovers the pan).
+pub fn synth_frame(seq: Sequence, res: Resolution, frame_idx: u32, seed: u64) -> Frame {
+    let model = seq.model();
+    let mut frame = Frame::new(res);
+    let shift_x = (model.mv_mean.0 * f64::from(frame_idx)) as isize;
+    let shift_y = (model.mv_mean.1 * f64::from(frame_idx)) as isize;
+    fill_textured(&mut frame.y, &model, seed, shift_x, shift_y);
+    fill_textured(&mut frame.cb, &model, seed ^ 0xcb, shift_x / 2, shift_y / 2);
+    fill_textured(&mut frame.cr, &model, seed ^ 0xc4, shift_x / 2, shift_y / 2);
+    frame
+}
+
+fn fill_textured(plane: &mut Plane, model: &ContentModel, seed: u64, sx: isize, sy: isize) {
+    let rough = model.texture_roughness;
+    plane.fill_with(|x, y| {
+        let (x, y) = (x as isize + sx, y as isize + sy);
+        let xf = x as f64;
+        let yf = y as f64;
+        // Smooth base: a few incommensurate waves.
+        let base = 128.0
+            + 40.0 * (xf * 0.013 + yf * 0.007).sin()
+            + 24.0 * (xf * 0.031 - yf * 0.019).cos()
+            + 16.0 * ((xf + yf) * 0.047).sin();
+        // Rough detail: hashed per-pixel noise, weighted by roughness.
+        let h = (x as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((y as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f))
+            .wrapping_add(seed)
+            .wrapping_mul(0xff51_afd7_ed55_8ccd);
+        let noise = ((h >> 40) & 0xff) as f64 - 128.0;
+        (base + rough * noise * 0.5).clamp(0.0, 255.0) as u8
+    });
+}
+
+/// A per-frame coding plan: one [`MbPlan`] per macroblock, raster order.
+#[derive(Debug, Clone)]
+pub struct FramePlan {
+    /// Sequence the plan was drawn from.
+    pub seq: Sequence,
+    /// Frame resolution.
+    pub res: Resolution,
+    /// Per-macroblock plans, raster order (`mb_w * mb_h` entries).
+    pub mbs: Vec<MbPlan>,
+}
+
+impl FramePlan {
+    /// Macroblock grid dimensions.
+    pub fn mb_dims(&self) -> (usize, usize) {
+        self.res.mb_dims()
+    }
+
+    /// Iterates `(mb_x, mb_y, plan)`.
+    pub fn iter_mbs(&self) -> impl Iterator<Item = (usize, usize, &MbPlan)> {
+        let (mb_w, _) = self.mb_dims();
+        self.mbs
+            .iter()
+            .enumerate()
+            .map(move |(i, mb)| (i % mb_w, i / mb_w, mb))
+    }
+
+    /// Fraction of inter-coded macroblocks.
+    pub fn inter_fraction(&self) -> f64 {
+        if self.mbs.is_empty() {
+            return 0.0;
+        }
+        self.mbs.iter().filter(|m| m.is_inter()).count() as f64 / self.mbs.len() as f64
+    }
+}
+
+/// Draws a coding plan for one frame of `(seq, res)`.
+///
+/// Motion vectors are clamped so every partition's interpolation window
+/// (including the 6-tap filter's 3-pixel apron) stays inside the plane's
+/// guarded area.
+pub fn plan_frame(seq: Sequence, res: Resolution, seed: u64) -> FramePlan {
+    let model = seq.model();
+    let mut rng = rng_for(seq, res, seed);
+    let (mb_w, mb_h) = res.mb_dims();
+    let (width, height) = res.luma_dims();
+    let mut mbs = Vec::with_capacity(mb_w * mb_h);
+
+    for mb_i in 0..mb_w * mb_h {
+        let mb_x = (mb_i % mb_w) * 16;
+        let mb_y = (mb_i / mb_w) * 16;
+        let transform8x8 = rng.gen_bool(model.transform8x8_ratio);
+        let coded_luma_blocks = (0..16)
+            .filter(|_| rng.gen_bool(model.residual_density))
+            .count() as u8;
+        let coded_chroma_blocks = (0..8)
+            .filter(|_| rng.gen_bool(model.residual_density))
+            .count() as u8;
+
+        if !rng.gen_bool(model.inter_ratio) {
+            mbs.push(MbPlan::Intra {
+                transform8x8,
+                coded_luma_blocks: coded_luma_blocks.max(4),
+                coded_chroma_blocks: coded_chroma_blocks.max(2),
+            });
+            continue;
+        }
+
+        let size = sample_partition(&mut rng, &model.partition_mix);
+        let nparts = size.partitions_per_mb();
+        let mut mvs = Vec::with_capacity(nparts);
+        // One "macroblock-level" motion draw plus per-partition jitter, so
+        // small partitions have correlated but distinct vectors.
+        let mb_mx = model.mv_mean.0 + model.mv_sigma * normal(&mut rng);
+        let mb_my = model.mv_mean.1 + model.mv_sigma * normal(&mut rng);
+        let edge = size.pixels();
+        let per_row = 16 / edge;
+        for p in 0..nparts {
+            let px = (p % per_row) * edge;
+            let py = (p / per_row) * edge;
+            let jitter = model.mv_sigma * 0.3;
+            let mvx_pels = mb_mx + jitter * normal(&mut rng);
+            let mvy_pels = mb_my + jitter * normal(&mut rng);
+            let mv = clamp_mv(
+                MotionVector::new((mvx_pels * 4.0).round() as i32, (mvy_pels * 4.0).round() as i32),
+                (mb_x + px) as i32,
+                (mb_y + py) as i32,
+                edge as i32,
+                width as i32,
+                height as i32,
+            );
+            mvs.push(mv);
+        }
+        mbs.push(MbPlan::Inter {
+            plan: InterPlan::new(size, mvs),
+            transform8x8,
+            coded_luma_blocks,
+            coded_chroma_blocks,
+        });
+    }
+
+    FramePlan { seq, res, mbs }
+}
+
+fn sample_partition(rng: &mut SmallRng, mix: &[f64; 3]) -> BlockSize {
+    let r: f64 = rng.gen_range(0.0..1.0);
+    if r < mix[0] {
+        BlockSize::B16x16
+    } else if r < mix[0] + mix[1] {
+        BlockSize::B8x8
+    } else {
+        BlockSize::B4x4
+    }
+}
+
+/// Margin (integer pixels) the interpolation window may extend beyond the
+/// block: 6-tap apron (2 left/up, 3 right/down) plus one for quarter-pel
+/// averaging neighbours.
+const MC_APRON_NEG: i32 = 3;
+const MC_APRON_POS: i32 = 4;
+
+fn clamp_mv(mv: MotionVector, x: i32, y: i32, edge: i32, width: i32, height: i32) -> MotionVector {
+    // Keep the read window within [-(margin), dim + margin) with a safe
+    // margin of 16 guarded pixels: effectively clamp the integer part so
+    // the window stays inside the visible frame plus a small border.
+    let min_x = (-x + MC_APRON_NEG - 16).max(-64) * 4;
+    let max_x = (width - x - edge - MC_APRON_POS + 16).min(64) * 4;
+    let min_y = (-y + MC_APRON_NEG - 16).max(-64) * 4;
+    let max_y = (height - y - edge - MC_APRON_POS + 16).min(64) * 4;
+    MotionVector::new(mv.x.clamp(min_x, max_x.max(min_x)), mv.y.clamp(min_y, max_y.max(min_y)))
+}
+
+/// Histogram of `(addr % 16)` offsets — one curve of the paper's Fig. 4.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OffsetHistogram {
+    counts: [u64; 16],
+}
+
+impl OffsetHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one address offset.
+    pub fn record(&mut self, offset: u8) {
+        self.counts[(offset & 0xf) as usize] += 1;
+    }
+
+    /// Raw counts per offset.
+    pub fn counts(&self) -> &[u64; 16] {
+        &self.counts
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Percentage per offset (the paper's y-axis).
+    pub fn percentages(&self) -> [f64; 16] {
+        let total = self.total().max(1) as f64;
+        std::array::from_fn(|i| self.counts[i] as f64 * 100.0 / total)
+    }
+
+    /// Adds another histogram's counts into this one.
+    pub fn merge(&mut self, other: &OffsetHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Fraction of samples at non-zero offsets (truly unaligned).
+    pub fn unaligned_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (total - self.counts[0]) as f64 / total as f64
+        }
+    }
+}
+
+/// The four Fig. 4 histograms for one `(sequence, resolution)` pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlignmentStats {
+    /// Luma MC source (load) pointer offsets — Fig. 4(a).
+    pub luma_load: OffsetHistogram,
+    /// Chroma MC source pointer offsets — Fig. 4(b).
+    pub chroma_load: OffsetHistogram,
+    /// Luma MC destination (store) pointer offsets — Fig. 4(c).
+    pub luma_store: OffsetHistogram,
+    /// Chroma MC destination pointer offsets — Fig. 4(d).
+    pub chroma_store: OffsetHistogram,
+}
+
+impl AlignmentStats {
+    /// Accumulates another frame's statistics into this one.
+    pub fn merge(&mut self, other: &AlignmentStats) {
+        self.luma_load.merge(&other.luma_load);
+        self.chroma_load.merge(&other.chroma_load);
+        self.luma_store.merge(&other.luma_store);
+        self.chroma_store.merge(&other.chroma_store);
+    }
+}
+
+/// Collects MC pointer-alignment statistics for a frame plan: plane bases
+/// and strides are 16-byte aligned, so `(addr % 16)` reduces to the
+/// pixel x-coordinate modulo 16.
+pub fn mc_alignment_stats(plan: &FramePlan) -> AlignmentStats {
+    let mut stats = AlignmentStats::default();
+    for (mb_x, _mb_y, mb) in plan.iter_mbs() {
+        let MbPlan::Inter { plan: inter, .. } = mb else {
+            continue;
+        };
+        for (px, _py, mv) in inter.partitions() {
+            let luma_x = (mb_x * 16 + px) as i32;
+            stats.luma_load.record((luma_x + mv.int_x()).rem_euclid(16) as u8);
+            stats.luma_store.record(luma_x.rem_euclid(16) as u8);
+            let chroma_x = (mb_x * 8 + px / 2) as i32;
+            let (cmx, _) = mv.chroma_int();
+            stats.chroma_load.record((chroma_x + cmx).rem_euclid(16) as u8);
+            stats.chroma_store.record(chroma_x.rem_euclid(16) as u8);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_are_distinct_and_sane() {
+        for seq in Sequence::ALL {
+            let m = seq.model();
+            assert!((0.0..=1.0).contains(&m.inter_ratio));
+            let mix_sum: f64 = m.partition_mix.iter().sum();
+            assert!((mix_sum - 1.0).abs() < 1e-9, "{seq}: {mix_sum}");
+            assert!(m.cabac_bins_per_mb > 0.0);
+        }
+        assert!(
+            Sequence::Riverbed.model().inter_ratio < 0.5,
+            "riverbed is mostly intra, per the paper"
+        );
+        assert!(Sequence::BlueSky.model().mv_mean.0.abs() > 2.0, "blue_sky pans");
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let a = plan_frame(Sequence::Pedestrian, Resolution::Sd576, 7);
+        let b = plan_frame(Sequence::Pedestrian, Resolution::Sd576, 7);
+        assert_eq!(a.mbs, b.mbs);
+        let c = plan_frame(Sequence::Pedestrian, Resolution::Sd576, 8);
+        assert_ne!(a.mbs, c.mbs, "different seed, different plan");
+    }
+
+    #[test]
+    fn inter_fraction_tracks_model() {
+        for seq in Sequence::ALL {
+            let plan = plan_frame(*seq, Resolution::Hd720, 1);
+            let expected = seq.model().inter_ratio;
+            let got = plan.inter_fraction();
+            assert!(
+                (got - expected).abs() < 0.05,
+                "{seq}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn mvs_keep_reads_in_guarded_area() {
+        for seq in Sequence::ALL {
+            let plan = plan_frame(*seq, Resolution::Sd576, 3);
+            let (w, h) = Resolution::Sd576.luma_dims();
+            for (mb_x, mb_y, mb) in plan.iter_mbs() {
+                if let MbPlan::Inter { plan: inter, .. } = mb {
+                    for (px, py, mv) in inter.partitions() {
+                        let edge = inter.size.pixels() as i32;
+                        let x0 = (mb_x * 16 + px) as i32 + mv.int_x();
+                        let y0 = (mb_y * 16 + py) as i32 + mv.int_y();
+                        assert!(x0 - MC_APRON_NEG >= -(crate::plane::PLANE_MARGIN as i32));
+                        assert!(x0 + edge + MC_APRON_POS <= w as i32 + crate::plane::PLANE_MARGIN as i32);
+                        assert!(y0 - MC_APRON_NEG >= -(crate::plane::PLANE_MARGIN as i32));
+                        assert!(y0 + edge + MC_APRON_POS <= h as i32 + crate::plane::PLANE_MARGIN as i32);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alignment_stats_shape_matches_fig4() {
+        let plan = plan_frame(Sequence::Pedestrian, Resolution::Hd720, 1);
+        let stats = mc_alignment_stats(&plan);
+        // Loads spread across the full 0..16 range.
+        let nonzero = stats.luma_load.counts().iter().filter(|&&c| c > 0).count();
+        assert!(nonzero >= 12, "luma load offsets should cover the range, got {nonzero}");
+        // Stores land only on multiples of 4 (partition x-offsets).
+        for (off, &c) in stats.luma_store.counts().iter().enumerate() {
+            if off % 4 != 0 {
+                assert_eq!(c, 0, "luma stores cannot hit offset {off}");
+            }
+        }
+        // Chroma stores land on multiples of 2.
+        for (off, &c) in stats.chroma_store.counts().iter().enumerate() {
+            if off % 2 != 0 {
+                assert_eq!(c, 0, "chroma stores cannot hit offset {off}");
+            }
+        }
+        assert!(stats.luma_load.total() > 0);
+        assert!(stats.luma_load.unaligned_fraction() > 0.5);
+    }
+
+    #[test]
+    fn blue_sky_pan_shifts_load_histogram() {
+        // A pan of ~5.2 px means load offsets concentrate around
+        // (x + 5) % 16 for 16x16 partitions at x % 16 == 0.
+        let plan = plan_frame(Sequence::BlueSky, Resolution::Hd1088, 2);
+        let stats = mc_alignment_stats(&plan);
+        let pct = stats.luma_load.percentages();
+        let peak = pct
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(
+            (4..=7).contains(&peak),
+            "expected pan-induced peak near offset 5, got {peak} ({pct:?})"
+        );
+    }
+
+    #[test]
+    fn frames_are_textured_and_shifted() {
+        let f0 = synth_frame(Sequence::BlueSky, Resolution::Sd576, 0, 9);
+        let f1 = synth_frame(Sequence::BlueSky, Resolution::Sd576, 1, 9);
+        // Frames differ (motion).
+        assert_ne!(f0.y, f1.y);
+        // And are non-trivial (not constant).
+        let b = f0.y.block(100, 100, 16, 16);
+        assert!(b.iter().any(|&v| v != b[0]));
+        // Frame 1 is frame 0 shifted by the integer pan — (5, 1) px for
+        // blue_sky's mean motion of (5.2, 1.2).
+        assert_eq!(f1.y.get(100, 50), f0.y.get(105, 51));
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = OffsetHistogram::new();
+        for o in [0u8, 0, 4, 8, 12, 12] {
+            h.record(o);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts()[12], 2);
+        let p = h.percentages();
+        assert!((p[0] - 33.333).abs() < 0.01);
+        assert!((h.unaligned_fraction() - 4.0 / 6.0).abs() < 1e-9);
+        assert_eq!(OffsetHistogram::new().unaligned_fraction(), 0.0);
+    }
+}

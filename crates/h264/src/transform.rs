@@ -1,0 +1,377 @@
+//! Golden (reference) H.264/AVC inverse transforms.
+//!
+//! Three inverse transforms, as evaluated by the paper:
+//!
+//! * [`idct4x4`] — the factorised 4x4 inverse core transform
+//!   (clause 8.5.12.1 butterflies);
+//! * [`idct4x4_matrix`] — the matrix-product formulation of Zhou, Li and
+//!   Chen, which evaluates the same transform as two 4x4 integer matrix
+//!   multiplies (it differs from the butterfly only in the rounding of the
+//!   `>>1` half terms, by at most one LSB);
+//! * [`idct8x8`] — the High-profile 8x8 inverse transform
+//!   (clause 8.5.12.2 butterflies).
+//!
+//! A forward 4x4 core transform ([`fdct4x4`]) is provided for tests: the
+//! standard pair reconstructs residuals exactly.
+
+#[inline]
+fn clip8(v: i32) -> u8 {
+    v.clamp(0, 255) as u8
+}
+
+/// Forward 4x4 core transform (the encoder side), used for
+/// perfect-reconstruction tests: `Y = C X Cᵀ` with
+/// `C = [[1,1,1,1],[2,1,-1,-2],[1,-1,-1,1],[1,-2,2,-1]]`.
+pub fn fdct4x4(block: &[i32; 16]) -> [i32; 16] {
+    let mut tmp = [0i32; 16];
+    // Rows: tmp = X * Cᵀ  (apply to each row).
+    for r in 0..4 {
+        let x = &block[4 * r..4 * r + 4];
+        let s0 = x[0] + x[3];
+        let s1 = x[1] + x[2];
+        let d0 = x[0] - x[3];
+        let d1 = x[1] - x[2];
+        tmp[4 * r] = s0 + s1;
+        tmp[4 * r + 1] = 2 * d0 + d1;
+        tmp[4 * r + 2] = s0 - s1;
+        tmp[4 * r + 3] = d0 - 2 * d1;
+    }
+    let mut out = [0i32; 16];
+    // Columns.
+    for c in 0..4 {
+        let x = [tmp[c], tmp[4 + c], tmp[8 + c], tmp[12 + c]];
+        let s0 = x[0] + x[3];
+        let s1 = x[1] + x[2];
+        let d0 = x[0] - x[3];
+        let d1 = x[1] - x[2];
+        out[c] = s0 + s1;
+        out[4 + c] = 2 * d0 + d1;
+        out[8 + c] = s0 - s1;
+        out[12 + c] = d0 - 2 * d1;
+    }
+    out
+}
+
+#[inline]
+fn idct4_1d(x: [i32; 4]) -> [i32; 4] {
+    let e0 = x[0] + x[2];
+    let e1 = x[0] - x[2];
+    let e2 = (x[1] >> 1) - x[3];
+    let e3 = x[1] + (x[3] >> 1);
+    [e0 + e3, e1 + e2, e1 - e2, e0 - e3]
+}
+
+/// Factorised 4x4 inverse core transform: returns the residual block
+/// (after the final `(x + 32) >> 6` rounding), row-major.
+pub fn idct4x4(coeffs: &[i16; 16]) -> [i32; 16] {
+    let mut tmp = [0i32; 16];
+    // Rows.
+    for r in 0..4 {
+        let row = idct4_1d([
+            i32::from(coeffs[4 * r]),
+            i32::from(coeffs[4 * r + 1]),
+            i32::from(coeffs[4 * r + 2]),
+            i32::from(coeffs[4 * r + 3]),
+        ]);
+        tmp[4 * r..4 * r + 4].copy_from_slice(&row);
+    }
+    let mut out = [0i32; 16];
+    // Columns + rounding.
+    for c in 0..4 {
+        let col = idct4_1d([tmp[c], tmp[4 + c], tmp[8 + c], tmp[12 + c]]);
+        for r in 0..4 {
+            out[4 * r + c] = (col[r] + 32) >> 6;
+        }
+    }
+    out
+}
+
+/// Matrix-product 4x4 inverse transform (Zhou/Li/Chen formulation):
+/// evaluates `Cᵢᵀ Y Cᵢ` with the half-weights carried at doubled
+/// precision, so the result can differ from [`idct4x4`] by at most one in
+/// the final residual when odd coefficients make the butterfly's `>>1`
+/// floor-round.
+pub fn idct4x4_matrix(coeffs: &[i16; 16]) -> [i32; 16] {
+    // Doubled inverse matrix rows (Cᵢ scaled by 2 to keep halves exact):
+    // Cᵢ = [[1, 1, 1, 1/2], [1, 1/2, -1, -1], [1, -1/2, -1, 1], [1, -1, 1, -1/2]]
+    const CI2: [[i32; 4]; 4] = [
+        [2, 2, 2, 1],
+        [2, 1, -2, -2],
+        [2, -1, -2, 2],
+        [2, -2, 2, -1],
+    ];
+    // We evaluate out = Cᵢ2ᵀ Y Cᵢ2 / 16, folding the two doublings into
+    // the final rounding shift: (x + 32*4) >> 8.
+    let mut tmp = [0i32; 16];
+    // Row pass: tmp = Y * Cᵢ2ᵀ  (each output row r: combinations of the
+    // row's four coefficients with matrix columns).
+    for r in 0..4 {
+        for c in 0..4 {
+            let mut acc = 0;
+            for k in 0..4 {
+                acc += i32::from(coeffs[4 * r + k]) * CI2[c][k];
+            }
+            tmp[4 * r + c] = acc;
+        }
+    }
+    // Column pass + rounding: out = Cᵢ2 ᵀ applied over columns, then
+    // (x + 128) >> 8 (the two doublings fold into the shift).
+    let mut out = [0i32; 16];
+    for c in 0..4 {
+        for r in 0..4 {
+            let mut acc = 0;
+            for k in 0..4 {
+                acc += CI2[r][k] * tmp[4 * k + c];
+            }
+            out[4 * r + c] = (acc + 128) >> 8;
+        }
+    }
+    out
+}
+
+#[inline]
+fn idct8_1d(a: [i32; 8]) -> [i32; 8] {
+    let e0 = a[0] + a[4];
+    let e1 = -a[3] + a[5] - a[7] - (a[7] >> 1);
+    let e2 = a[0] - a[4];
+    let e3 = a[1] + a[7] - a[3] - (a[3] >> 1);
+    let e4 = (a[2] >> 1) - a[6];
+    let e5 = -a[1] + a[7] + a[5] + (a[5] >> 1);
+    let e6 = a[2] + (a[6] >> 1);
+    let e7 = a[3] + a[5] + a[1] + (a[1] >> 1);
+
+    let f0 = e0 + e6;
+    let f1 = e1 + (e7 >> 2);
+    let f2 = e2 + e4;
+    let f3 = e3 + (e5 >> 2);
+    let f4 = e2 - e4;
+    let f5 = (e3 >> 2) - e5;
+    let f6 = e0 - e6;
+    let f7 = e7 - (e1 >> 2);
+
+    [
+        f0 + f7,
+        f2 + f5,
+        f4 + f3,
+        f6 + f1,
+        f6 - f1,
+        f4 - f3,
+        f2 - f5,
+        f0 - f7,
+    ]
+}
+
+/// High-profile 8x8 inverse transform: returns the 64-entry residual block
+/// (after `(x + 32) >> 6`), row-major.
+pub fn idct8x8(coeffs: &[i16; 64]) -> [i32; 64] {
+    let mut tmp = [0i32; 64];
+    for r in 0..8 {
+        let row: [i32; 8] = std::array::from_fn(|k| i32::from(coeffs[8 * r + k]));
+        tmp[8 * r..8 * r + 8].copy_from_slice(&idct8_1d(row));
+    }
+    let mut out = [0i32; 64];
+    for c in 0..8 {
+        let col: [i32; 8] = std::array::from_fn(|k| tmp[8 * k + c]);
+        let t = idct8_1d(col);
+        for r in 0..8 {
+            out[8 * r + c] = (t[r] + 32) >> 6;
+        }
+    }
+    out
+}
+
+/// Adds a residual block to a prediction block with clipping — the final
+/// load-add-store-clip sequence whose unaligned stores the paper discusses
+/// for small block sizes.
+pub fn add_residual(pred: &[u8], residual: &[i32], out: &mut [u8]) {
+    assert_eq!(pred.len(), residual.len(), "pred/residual size mismatch");
+    assert_eq!(pred.len(), out.len(), "pred/out size mismatch");
+    for ((&p, &r), o) in pred.iter().zip(residual.iter()).zip(out.iter_mut()) {
+        *o = clip8(i32::from(p) + r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng_blocks(n: usize, lo: i32, hi: i32, seed: u64) -> Vec<[i32; 16]> {
+        // Deterministic xorshift — keeps the crate free of dev-only deps
+        // in unit tests.
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            lo + (s % (hi - lo + 1) as u64) as i32
+        };
+        (0..n)
+            .map(|_| std::array::from_fn(|_| next()))
+            .collect()
+    }
+
+    #[test]
+    fn dc_only_coefficient() {
+        let mut c = [0i16; 16];
+        c[0] = 64;
+        let r = idct4x4(&c);
+        // Every output = (64 + 32) >> 6 = 1.
+        assert!(r.iter().all(|&v| v == 1), "{r:?}");
+        let m = idct4x4_matrix(&c);
+        assert!(m.iter().all(|&v| v == 1), "{m:?}");
+        let mut c8 = [0i16; 64];
+        c8[0] = 64;
+        let r8 = idct8x8(&c8);
+        assert!(r8.iter().all(|&v| v == 1), "{r8:?}");
+    }
+
+    #[test]
+    fn zero_coefficients_give_zero_residual() {
+        assert!(idct4x4(&[0; 16]).iter().all(|&v| v == 0));
+        assert!(idct4x4_matrix(&[0; 16]).iter().all(|&v| v == 0));
+        assert!(idct8x8(&[0; 64]).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn perfect_reconstruction_through_forward_transform() {
+        // The H.264 pair reconstructs exactly once the norm factors are
+        // restored: Cᵢᵀ(C X Cᵀ)Cᵢ = D X D with D = diag(4,5,4,5), and the
+        // standard folds 64/(dᵢ·dⱼ) into dequantisation. Emulate that by
+        // scaling each coefficient in floating point and re-rounding —
+        // which must recover the residual exactly for X with headroom.
+        for residual in rng_blocks(50, -160, 160, 0xbeef) {
+            let coeffs = fdct4x4(&residual);
+            const D: [f64; 4] = [4.0, 5.0, 4.0, 5.0];
+            let c16: [i16; 16] = std::array::from_fn(|i| {
+                let (r, c) = (i / 4, i % 4);
+                (coeffs[i] as f64 * 64.0 / (D[r] * D[c])).round() as i16
+            });
+            let back = idct4x4(&c16);
+            // Re-rounding each weighted coefficient perturbs it by <= 0.5;
+            // through the /64 inverse that bounds the residual error by
+            // sum(0.5)/64 + the final rounding, i.e. two at most.
+            for i in 0..16 {
+                assert!(
+                    (back[i] - residual[i]).abs() <= 2,
+                    "reconstruction at {i}: {} vs {}",
+                    back[i],
+                    residual[i]
+                );
+            }
+        }
+    }
+
+    /// Direct f64 evaluation of Cᵢᵀ Y Cᵢ — an independent oracle for both
+    /// integer implementations.
+    fn idct4x4_float(coeffs: &[i16; 16]) -> [f64; 16] {
+        const CI: [[f64; 4]; 4] = [
+            [1.0, 1.0, 1.0, 0.5],
+            [1.0, 0.5, -1.0, -1.0],
+            [1.0, -0.5, -1.0, 1.0],
+            [1.0, -1.0, 1.0, -0.5],
+        ];
+        let mut tmp = [0.0f64; 16];
+        for r in 0..4 {
+            for c in 0..4 {
+                tmp[4 * r + c] = (0..4)
+                    .map(|k| f64::from(coeffs[4 * r + k]) * CI[c][k])
+                    .sum();
+            }
+        }
+        let mut out = [0.0f64; 16];
+        for c in 0..4 {
+            for r in 0..4 {
+                let v: f64 = (0..4).map(|k| CI[r][k] * tmp[4 * k + c]).sum();
+                out[4 * r + c] = v / 64.0;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn butterfly_matches_float_oracle_within_rounding() {
+        for block in rng_blocks(100, -512, 511, 0x0dd5) {
+            let c: [i16; 16] = std::array::from_fn(|i| block[i] as i16);
+            let exact = idct4x4_float(&c);
+            for (impl_name, got) in [("butterfly", idct4x4(&c)), ("matrix", idct4x4_matrix(&c))] {
+                for i in 0..16 {
+                    assert!(
+                        (got[i] as f64 - exact[i]).abs() <= 1.0,
+                        "{impl_name} lane {i}: {} vs exact {}",
+                        got[i],
+                        exact[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_form_matches_butterfly_within_one_lsb() {
+        for block in rng_blocks(200, -512, 511, 0xc0de) {
+            let c: [i16; 16] = std::array::from_fn(|i| block[i] as i16);
+            let a = idct4x4(&c);
+            let b = idct4x4_matrix(&c);
+            for i in 0..16 {
+                assert!(
+                    (a[i] - b[i]).abs() <= 1,
+                    "divergence beyond rounding at {i}: {} vs {}",
+                    a[i],
+                    b[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_form_exact_when_no_half_terms_round() {
+        // With zero odd-frequency coefficients the >>1 terms vanish in the
+        // row pass and row outputs stay even, so the two forms agree
+        // exactly.
+        for block in rng_blocks(100, -128, 127, 0xfeed) {
+            let mut c = [0i16; 16];
+            for r in 0..4 {
+                c[4 * r] = (block[4 * r] & !3) as i16;
+                c[4 * r + 2] = (block[4 * r + 2] & !3) as i16;
+            }
+            assert_eq!(idct4x4(&c), idct4x4_matrix(&c), "coeffs {c:?}");
+        }
+    }
+
+    #[test]
+    fn idct8x8_linearity_spot_check() {
+        // The transform is linear: T(2c) == 2*T(c) for inputs where the
+        // internal >>1 terms stay exact (even coefficients).
+        let mut c = [0i16; 64];
+        c[9] = 32;
+        c[18] = -64;
+        let r1 = idct8x8(&c);
+        let c2: [i16; 64] = std::array::from_fn(|i| c[i] * 2);
+        let r2 = idct8x8(&c2);
+        for i in 0..64 {
+            // Allow the +32 rounding to perturb by one.
+            assert!(
+                (r2[i] - 2 * r1[i]).abs() <= 1,
+                "lane {i}: {} vs 2*{}",
+                r2[i],
+                r1[i]
+            );
+        }
+    }
+
+    #[test]
+    fn add_residual_clips() {
+        let pred = [250u8, 5, 128, 0];
+        let res = [20i32, -20, 0, -5];
+        let mut out = [0u8; 4];
+        add_residual(&pred, &res, &mut out);
+        assert_eq!(out, [255, 0, 128, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn add_residual_validates_lengths() {
+        let mut out = [0u8; 3];
+        add_residual(&[0u8; 4], &[0i32; 4], &mut out);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests of the H.264 substrate: interpolation bounds,
+//! transform algebra, SAD metric properties, deblocking invariants and
+//! workload-model consistency.
+
+use proptest::prelude::*;
+use valign_h264::deblock::{filter_luma_line, tc0};
+use valign_h264::interp::{chroma_epel, luma_qpel};
+use valign_h264::plane::{Plane, Resolution};
+use valign_h264::sad::{full_search, sad_block, sad_slices};
+use valign_h264::synth::{plan_frame, Sequence};
+use valign_h264::transform::{add_residual, fdct4x4, idct4x4};
+
+fn textured_plane(seed: u32) -> Plane {
+    let mut p = Plane::new(64, 64);
+    p.fill_with(|x, y| {
+        let h = (x as u32)
+            .wrapping_mul(2654435761)
+            .wrapping_add((y as u32).wrapping_mul(104729))
+            .wrapping_add(seed)
+            .wrapping_mul(2246822519);
+        (h >> 24) as u8
+    });
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn luma_interp_constant_plane_is_identity(
+        v in any::<u8>(),
+        dx in 0u8..4,
+        dy in 0u8..4,
+        x in 8isize..40,
+        y in 8isize..40,
+    ) {
+        let mut p = Plane::new(64, 64);
+        p.fill_with(|_, _| v);
+        let b = luma_qpel(&p, x, y, dx, dy, 8, 8);
+        prop_assert!(b.iter().all(|&o| o == v));
+    }
+
+    #[test]
+    fn chroma_interp_is_convex(
+        seed in 0u32..500,
+        dx in 0u8..8,
+        dy in 0u8..8,
+        x in 4isize..50,
+        y in 4isize..50,
+    ) {
+        let p = textured_plane(seed);
+        let b = chroma_epel(&p, x, y, dx, dy, 4, 4);
+        for (i, &out) in b.iter().enumerate() {
+            let (cx, cy) = (x + (i % 4) as isize, y + (i / 4) as isize);
+            let n = [
+                p.get(cx, cy),
+                p.get(cx + 1, cy),
+                p.get(cx, cy + 1),
+                p.get(cx + 1, cy + 1),
+            ];
+            let lo = *n.iter().min().unwrap();
+            let hi = *n.iter().max().unwrap();
+            prop_assert!(out >= lo && out <= hi, "({cx},{cy}): {out} not in [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn sad_is_a_metric(seed in 0u32..500, rx in 8isize..40, ry in 8isize..40) {
+        let a = textured_plane(seed);
+        let b = textured_plane(seed ^ 0x9999);
+        let c = textured_plane(seed ^ 0x4242);
+        // Symmetry.
+        prop_assert_eq!(
+            sad_block(&a, 16, 16, &b, rx, ry, 8, 8),
+            sad_block(&b, rx, ry, &a, 16, 16, 8, 8)
+        );
+        // Identity.
+        prop_assert_eq!(sad_block(&a, 16, 16, &a, 16, 16, 8, 8), 0);
+        // Triangle inequality (L1 over blocks): d(a,c) <= d(a,b) + d(b,c).
+        let ab = sad_slices(&a.block(16, 16, 8, 8), &b.block(16, 16, 8, 8));
+        let bc = sad_slices(&b.block(16, 16, 8, 8), &c.block(16, 16, 8, 8));
+        let ac = sad_slices(&a.block(16, 16, 8, 8), &c.block(16, 16, 8, 8));
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn full_search_is_optimal_over_its_window(seed in 0u32..200) {
+        let cur = textured_plane(seed);
+        let refp = textured_plane(seed ^ 7);
+        let (dx, dy, best) = full_search(&cur, 24, 24, &refp, 8, 8, 4);
+        prop_assert!(dx.abs() <= 4 && dy.abs() <= 4);
+        for ddx in -4isize..=4 {
+            for ddy in -4isize..=4 {
+                let s = sad_block(&cur, 24, 24, &refp, 24 + ddx, 24 + ddy, 8, 8);
+                prop_assert!(best <= s);
+            }
+        }
+    }
+
+    #[test]
+    fn transform_is_linear_in_the_forward_direction(
+        a in proptest::collection::vec(-100i32..100, 16),
+        b in proptest::collection::vec(-100i32..100, 16),
+    ) {
+        let av: [i32; 16] = a.clone().try_into().unwrap();
+        let bv: [i32; 16] = b.clone().try_into().unwrap();
+        let sum: [i32; 16] = std::array::from_fn(|i| av[i] + bv[i]);
+        let fa = fdct4x4(&av);
+        let fb = fdct4x4(&bv);
+        let fs = fdct4x4(&sum);
+        for i in 0..16 {
+            prop_assert_eq!(fs[i], fa[i] + fb[i], "forward transform is exactly linear");
+        }
+    }
+
+    #[test]
+    fn idct_dc_shift_property(dc in -50i16..50, rest in proptest::collection::vec(-60i16..60, 15)) {
+        // Adding 64 to the DC coefficient adds exactly 1 to every output.
+        let mut c: [i16; 16] = [0; 16];
+        c[0] = dc;
+        for (i, &r) in rest.iter().enumerate() {
+            c[i + 1] = r;
+        }
+        let base = idct4x4(&c);
+        c[0] = dc + 64;
+        let shifted = idct4x4(&c);
+        for i in 0..16 {
+            prop_assert_eq!(shifted[i], base[i] + 1);
+        }
+    }
+
+    #[test]
+    fn add_residual_is_clipped_add(pred in any::<u8>(), res in -600i32..600) {
+        let mut out = [0u8; 1];
+        add_residual(&[pred], &[res], &mut out);
+        prop_assert_eq!(i32::from(out[0]), (i32::from(pred) + res).clamp(0, 255));
+    }
+
+    #[test]
+    fn deblock_moves_p0_q0_by_at_most_tc(
+        p in proptest::array::uniform4(any::<u8>()),
+        q in proptest::array::uniform4(any::<u8>()),
+        bs in 1u8..4,
+        ia in 16usize..52,
+        ib in 16usize..52,
+    ) {
+        let (mut pp, mut qq) = (p, q);
+        if filter_luma_line(&mut pp, &mut qq, bs, ia, ib) {
+            // tc = tc0 + ap + aq <= tc0 + 2 bounds the p0/q0 movement.
+            let bound = tc0(bs, ia) + 2;
+            prop_assert!(i32::from(pp[0]).abs_diff(i32::from(p[0])) as i32 <= bound);
+            prop_assert!(i32::from(qq[0]).abs_diff(i32::from(q[0])) as i32 <= bound);
+            // p1/q1 move by at most tc0; p2/p3 never move in the normal filter.
+            prop_assert!(i32::from(pp[1]).abs_diff(i32::from(p[1])) as i32 <= tc0(bs, ia));
+            prop_assert_eq!(pp[2], p[2]);
+            prop_assert_eq!(pp[3], p[3]);
+            prop_assert_eq!(qq[3], q[3]);
+        } else {
+            prop_assert_eq!(pp, p);
+            prop_assert_eq!(qq, q);
+        }
+    }
+
+    #[test]
+    fn frame_plans_are_internally_consistent(seed in 0u64..300) {
+        let plan = plan_frame(Sequence::Pedestrian, Resolution::Sd576, seed);
+        let (mb_w, mb_h) = plan.mb_dims();
+        prop_assert_eq!(plan.mbs.len(), mb_w * mb_h);
+        let frac = plan.inter_fraction();
+        prop_assert!((0.0..=1.0).contains(&frac));
+        // Every inter MB's vectors match its partition count.
+        for (_, _, mb) in plan.iter_mbs() {
+            if let valign_h264::MbPlan::Inter { plan: inter, .. } = mb {
+                prop_assert_eq!(inter.mvs.len(), inter.size.partitions_per_mb());
+            }
+        }
+    }
+}

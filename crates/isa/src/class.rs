@@ -1,0 +1,341 @@
+//! Instruction classes, execution units and instruction-mix accounting.
+//!
+//! [`InstrClass`] is the bucket scheme of the paper's Table III: scalar
+//! integer, scalar loads, scalar stores, branches, and the four Altivec
+//! buckets (load, store, simple, complex, permute). [`Unit`] is the
+//! execution-unit taxonomy of Table II (FX, FP, LS, BR, VI, VPERM, VCMPLX).
+//! [`MixCounts`] accumulates per-class dynamic instruction counts and can
+//! render itself as a Table III row.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Accounting/scheduling class of an instruction — the columns of the
+/// paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InstrClass {
+    /// Scalar integer arithmetic/logic ("Int." column).
+    IntAlu,
+    /// Scalar load ("Loads").
+    IntLoad,
+    /// Scalar store ("Stores").
+    IntStore,
+    /// Branch ("Branches").
+    Branch,
+    /// Altivec load-class (`lvx`, `lvewx`, `lvsl`, `lvsr`, `lvxu`).
+    VecLoad,
+    /// Altivec store-class (`stvx`, `stvewx`, `stvxu`).
+    VecStore,
+    /// Altivec simple integer (VI unit).
+    VecSimple,
+    /// Altivec complex integer — multiply/multiply-add/sum-across
+    /// (VCMPLX unit).
+    VecComplex,
+    /// Altivec permute-class — permute, select, pack/unpack, merge, splat
+    /// (VPERM unit).
+    VecPerm,
+}
+
+impl InstrClass {
+    /// All classes in Table III column order.
+    pub const ALL: &'static [InstrClass] = &[
+        InstrClass::IntAlu,
+        InstrClass::IntLoad,
+        InstrClass::IntStore,
+        InstrClass::Branch,
+        InstrClass::VecLoad,
+        InstrClass::VecStore,
+        InstrClass::VecSimple,
+        InstrClass::VecComplex,
+        InstrClass::VecPerm,
+    ];
+
+    /// The execution unit that services instructions of this class.
+    pub fn unit(self) -> Unit {
+        match self {
+            InstrClass::IntAlu => Unit::Fx,
+            InstrClass::Branch => Unit::Br,
+            InstrClass::IntLoad
+            | InstrClass::IntStore
+            | InstrClass::VecLoad
+            | InstrClass::VecStore => Unit::Ls,
+            InstrClass::VecSimple => Unit::Vi,
+            InstrClass::VecComplex => Unit::Vcmplx,
+            InstrClass::VecPerm => Unit::Vperm,
+        }
+    }
+
+    /// Whether this is an Altivec (vector) class.
+    pub fn is_vector(self) -> bool {
+        matches!(
+            self,
+            InstrClass::VecLoad
+                | InstrClass::VecStore
+                | InstrClass::VecSimple
+                | InstrClass::VecComplex
+                | InstrClass::VecPerm
+        )
+    }
+
+    /// Short column header used in Table III style reports.
+    pub fn header(self) -> &'static str {
+        match self {
+            InstrClass::IntAlu => "Int.",
+            InstrClass::IntLoad => "Loads",
+            InstrClass::IntStore => "Stores",
+            InstrClass::Branch => "Branches",
+            InstrClass::VecLoad => "AV-Load",
+            InstrClass::VecStore => "AV-Store",
+            InstrClass::VecSimple => "AV-Simple",
+            InstrClass::VecComplex => "AV-Compl.",
+            InstrClass::VecPerm => "AV-Perm.",
+        }
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.header())
+    }
+}
+
+/// An execution unit of the modelled superscalar core (Table II taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Unit {
+    /// Scalar fixed-point (integer) unit.
+    Fx,
+    /// Scalar floating-point unit (present in the configs, unused by the
+    /// studied kernels).
+    Fp,
+    /// Load/store unit.
+    Ls,
+    /// Branch unit.
+    Br,
+    /// Vector simple-integer unit.
+    Vi,
+    /// Vector permute unit.
+    Vperm,
+    /// Vector complex-integer unit.
+    Vcmplx,
+}
+
+impl Unit {
+    /// All units, in Table II order.
+    pub const ALL: &'static [Unit] = &[
+        Unit::Fx,
+        Unit::Fp,
+        Unit::Ls,
+        Unit::Br,
+        Unit::Vi,
+        Unit::Vperm,
+        Unit::Vcmplx,
+    ];
+
+    /// Dense index for per-unit bookkeeping arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Unit::Fx => 0,
+            Unit::Fp => 1,
+            Unit::Ls => 2,
+            Unit::Br => 3,
+            Unit::Vi => 4,
+            Unit::Vperm => 5,
+            Unit::Vcmplx => 6,
+        }
+    }
+
+    /// Number of distinct units.
+    pub const COUNT: usize = 7;
+
+    /// Human-readable unit name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Fx => "FX",
+            Unit::Fp => "FP",
+            Unit::Ls => "LS",
+            Unit::Br => "BR",
+            Unit::Vi => "VI",
+            Unit::Vperm => "VPERM",
+            Unit::Vcmplx => "VCMPLX",
+        }
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Dynamic instruction counts per [`InstrClass`] — one Table III row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MixCounts {
+    counts: [u64; InstrClass::ALL.len()],
+}
+
+impl MixCounts {
+    /// An all-zero mix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one instruction of the given class.
+    pub fn record(&mut self, class: InstrClass) {
+        self.counts[Self::slot(class)] += 1;
+    }
+
+    /// The count for one class.
+    pub fn get(&self, class: InstrClass) -> u64 {
+        self.counts[Self::slot(class)]
+    }
+
+    /// Total dynamic instructions across all classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total Altivec (vector) instructions.
+    pub fn vector_total(&self) -> u64 {
+        InstrClass::ALL
+            .iter()
+            .filter(|c| c.is_vector())
+            .map(|&c| self.get(c))
+            .sum()
+    }
+
+    /// Total scalar instructions (everything that is not Altivec).
+    pub fn scalar_total(&self) -> u64 {
+        self.total() - self.vector_total()
+    }
+
+    /// Total memory-class vector instructions (AV loads + AV stores).
+    pub fn vector_mem(&self) -> u64 {
+        self.get(InstrClass::VecLoad) + self.get(InstrClass::VecStore)
+    }
+
+    fn slot(class: InstrClass) -> usize {
+        InstrClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class present in ALL")
+    }
+
+    /// Iterate `(class, count)` pairs in Table III column order.
+    pub fn iter(&self) -> impl Iterator<Item = (InstrClass, u64)> + '_ {
+        InstrClass::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+
+    /// Scale every count by `1/divisor`, rounding to nearest — used to
+    /// report a per-execution mix from an N-execution run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn scaled_down(&self, divisor: u64) -> MixCounts {
+        assert!(divisor != 0, "divisor must be non-zero");
+        let mut out = MixCounts::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            out.counts[i] = (c + divisor / 2) / divisor;
+        }
+        out
+    }
+}
+
+impl Add for MixCounts {
+    type Output = MixCounts;
+    fn add(mut self, rhs: MixCounts) -> MixCounts {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for MixCounts {
+    fn add_assign(&mut self, rhs: MixCounts) {
+        for (a, b) in self.counts.iter_mut().zip(rhs.counts.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for MixCounts {
+    /// Renders as `total int loads stores branches avld avst avsimple
+    /// avcomplex avperm` — one Table III row body.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>10}", self.total())?;
+        for (_, count) in self.iter() {
+            write!(f, " {count:>9}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut m = MixCounts::new();
+        m.record(InstrClass::IntAlu);
+        m.record(InstrClass::IntAlu);
+        m.record(InstrClass::VecPerm);
+        m.record(InstrClass::VecLoad);
+        m.record(InstrClass::Branch);
+        assert_eq!(m.total(), 5);
+        assert_eq!(m.get(InstrClass::IntAlu), 2);
+        assert_eq!(m.vector_total(), 2);
+        assert_eq!(m.scalar_total(), 3);
+        assert_eq!(m.vector_mem(), 1);
+    }
+
+    #[test]
+    fn add_is_elementwise() {
+        let mut a = MixCounts::new();
+        a.record(InstrClass::Branch);
+        let mut b = MixCounts::new();
+        b.record(InstrClass::Branch);
+        b.record(InstrClass::VecSimple);
+        let c = a + b;
+        assert_eq!(c.get(InstrClass::Branch), 2);
+        assert_eq!(c.get(InstrClass::VecSimple), 1);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn scaled_down_rounds_to_nearest() {
+        let mut m = MixCounts::new();
+        for _ in 0..1500 {
+            m.record(InstrClass::IntAlu);
+        }
+        for _ in 0..1499 {
+            m.record(InstrClass::VecPerm);
+        }
+        let s = m.scaled_down(1000);
+        assert_eq!(s.get(InstrClass::IntAlu), 2); // 1.5 rounds up
+        assert_eq!(s.get(InstrClass::VecPerm), 1); // 1.499 rounds down
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn scaled_down_zero_panics() {
+        MixCounts::new().scaled_down(0);
+    }
+
+    #[test]
+    fn unit_indices_dense_and_unique() {
+        let mut seen = [false; Unit::COUNT];
+        for u in Unit::ALL {
+            assert!(!seen[u.index()]);
+            seen[u.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn class_headers_nonempty_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in InstrClass::ALL {
+            assert!(seen.insert(c.header()));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # valign-isa — ISA model for the unaligned-SIMD study
+//!
+//! This crate defines the instruction-set model used throughout the
+//! `valign` workspace: a scalar PowerPC-like integer subset, an
+//! Altivec-like 128-bit SIMD subset, and the two instructions the paper
+//! adds on top of Altivec:
+//!
+//! * [`Opcode::Lvxu`] — *load vector unaligned indexed*
+//! * [`Opcode::Stvxu`] — *store vector unaligned indexed*
+//!
+//! The crate is purely a *model*: it knows opcode identities, their
+//! instruction classes ([`InstrClass`]), which execution unit services them
+//! ([`Unit`]), their default execute latencies, and how to render them as
+//! assembly text. Functional semantics live in `valign-vm`; timing lives in
+//! `valign-pipeline`.
+//!
+//! It also defines the dynamic-trace interchange format ([`trace::DynInstr`])
+//! produced by the VM and consumed by the cycle-accurate simulator, and the
+//! cross-architecture unaligned-support survey of the paper's Table I
+//! ([`support`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use valign_isa::{Opcode, InstrClass, Unit};
+//!
+//! // The new unaligned load is a vector-load-class instruction serviced by
+//! // the load/store unit, exactly like the aligned `lvx`.
+//! assert_eq!(Opcode::Lvxu.class(), InstrClass::VecLoad);
+//! assert_eq!(Opcode::Lvxu.unit(), Unit::Ls);
+//! assert!(Opcode::Lvxu.is_unaligned_capable());
+//! assert!(!Opcode::Lvx.is_unaligned_capable());
+//! ```
+
+pub mod class;
+pub mod op;
+pub mod reg;
+pub mod support;
+pub mod trace;
+
+pub use class::{InstrClass, MixCounts, Unit};
+pub use op::Opcode;
+pub use reg::{Gpr, Reg, RegClass, Vpr, NUM_GPRS, NUM_VPRS};
+pub use trace::{BranchInfo, DynInstr, MemKind, MemRef, SrcRef, StaticId, Trace};

@@ -1,0 +1,385 @@
+//! The instruction opcodes of the modelled ISA.
+//!
+//! Three groups:
+//!
+//! 1. **Scalar PowerPC subset** — integer ALU, integer loads/stores and
+//!    branches. This is what the paper's *scalar* kernel versions compile to.
+//! 2. **Altivec subset** — the 128-bit SIMD operations used by the plain
+//!    Altivec kernel versions, including the software-realignment helpers
+//!    `lvsl`/`lvsr`/`vperm`/`vsel`.
+//! 3. **The paper's extension** — [`Opcode::Lvxu`] and [`Opcode::Stvxu`],
+//!    indexed vector load/store with *no alignment restriction* on the
+//!    effective address.
+//!
+//! Every opcode knows its [`InstrClass`] (the Table III accounting bucket),
+//! the execution [`Unit`] that services it, and a fixed execute latency for
+//! non-memory operations (memory latency is decided by the cache model).
+
+use crate::class::{InstrClass, Unit};
+use std::fmt;
+
+macro_rules! opcodes {
+    ($( $(#[$meta:meta])* $variant:ident => ($mnemonic:literal, $class:ident, $lat:expr); )+) => {
+        /// An instruction opcode.
+        ///
+        /// See the [module documentation](self) for the grouping. The
+        /// variants are named after their PowerPC/Altivec mnemonics.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[allow(missing_docs)] // variant meaning == mnemonic; documented via `mnemonic()`
+        pub enum Opcode {
+            $( $(#[$meta])* $variant, )+
+        }
+
+        impl Opcode {
+            /// All opcodes, in declaration order.
+            pub const ALL: &'static [Opcode] = &[ $( Opcode::$variant, )+ ];
+
+            /// The assembly mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $( Opcode::$variant => $mnemonic, )+
+                }
+            }
+
+            /// The accounting/scheduling class of this opcode.
+            pub fn class(self) -> InstrClass {
+                match self {
+                    $( Opcode::$variant => InstrClass::$class, )+
+                }
+            }
+
+            /// Fixed execute latency in cycles for non-memory instructions.
+            ///
+            /// Returns `None` for instructions whose latency is determined
+            /// by the memory hierarchy (loads and stores).
+            pub fn fixed_latency(self) -> Option<u32> {
+                match self {
+                    $( Opcode::$variant => $lat, )+
+                }
+            }
+        }
+    };
+}
+
+const L1: Option<u32> = Some(1);
+const L2: Option<u32> = Some(2);
+const L3: Option<u32> = Some(3);
+const L4: Option<u32> = Some(4);
+/// Latency resolved by the memory hierarchy model.
+const MEM: Option<u32> = None;
+
+opcodes! {
+    // ---- scalar integer ALU (FX unit) ----
+    Li => ("li", IntAlu, L1);
+    Addi => ("addi", IntAlu, L1);
+    Add => ("add", IntAlu, L1);
+    Subf => ("subf", IntAlu, L1);
+    Neg => ("neg", IntAlu, L1);
+    Mullw => ("mullw", IntAlu, L3);
+    Slwi => ("slwi", IntAlu, L1);
+    Srwi => ("srwi", IntAlu, L1);
+    Srawi => ("srawi", IntAlu, L1);
+    Slw => ("slw", IntAlu, L1);
+    Srw => ("srw", IntAlu, L1);
+    Sraw => ("sraw", IntAlu, L1);
+    And => ("and", IntAlu, L1);
+    Andi => ("andi.", IntAlu, L1);
+    Or => ("or", IntAlu, L1);
+    Ori => ("ori", IntAlu, L1);
+    Xor => ("xor", IntAlu, L1);
+    Extsb => ("extsb", IntAlu, L1);
+    Extsh => ("extsh", IntAlu, L1);
+    Cmpw => ("cmpw", IntAlu, L1);
+    Cmpwi => ("cmpwi", IntAlu, L1);
+    /// Select/conditional move used when the compiler if-converts.
+    Isel => ("isel", IntAlu, L1);
+
+    // ---- scalar memory (LS unit) ----
+    Lbz => ("lbz", IntLoad, MEM);
+    Lhz => ("lhz", IntLoad, MEM);
+    Lha => ("lha", IntLoad, MEM);
+    Lwz => ("lwz", IntLoad, MEM);
+    Stb => ("stb", IntStore, MEM);
+    Sth => ("sth", IntStore, MEM);
+    Stw => ("stw", IntStore, MEM);
+
+    // ---- branches (BR unit) ----
+    B => ("b", Branch, L1);
+    Bc => ("bc", Branch, L1);
+
+    // ---- Altivec memory (LS unit) ----
+    Lvx => ("lvx", VecLoad, MEM);
+    /// Element (32-bit word) vector load; loads one word into its lane.
+    Lvewx => ("lvewx", VecLoad, MEM);
+    /// Load-vector-for-shift-left: builds the realignment permute mask from
+    /// the low four bits of the effective address. Serviced by the LS unit
+    /// but performs no memory access.
+    Lvsl => ("lvsl", VecLoad, L2);
+    /// Load-vector-for-shift-right (store-side realignment token).
+    Lvsr => ("lvsr", VecLoad, L2);
+    Stvx => ("stvx", VecStore, MEM);
+    /// Element (32-bit word) vector store; stores one lane's word.
+    Stvewx => ("stvewx", VecStore, MEM);
+
+    // ---- the paper's unaligned extension (LS unit) ----
+    /// Load Vector Unaligned Indexed — the paper's new instruction: a
+    /// 16-byte load with no alignment restriction on the effective address.
+    Lvxu => ("lvxu", VecLoad, MEM);
+    /// Store Vector Unaligned Indexed — the paper's new instruction: a
+    /// 16-byte store with no alignment restriction, atomic from the
+    /// processor's perspective.
+    Stvxu => ("stvxu", VecStore, MEM);
+
+    // ---- vector permute class (VPERM unit) ----
+    Vperm => ("vperm", VecPerm, L2);
+    Vsel => ("vsel", VecPerm, L2);
+    Vsldoi => ("vsldoi", VecPerm, L2);
+    Vmrghb => ("vmrghb", VecPerm, L2);
+    Vmrglb => ("vmrglb", VecPerm, L2);
+    Vmrghh => ("vmrghh", VecPerm, L2);
+    Vmrglh => ("vmrglh", VecPerm, L2);
+    Vmrghw => ("vmrghw", VecPerm, L2);
+    Vmrglw => ("vmrglw", VecPerm, L2);
+    Vpkuhum => ("vpkuhum", VecPerm, L2);
+    Vpkuwum => ("vpkuwum", VecPerm, L2);
+    Vpkshus => ("vpkshus", VecPerm, L2);
+    Vpkuhus => ("vpkuhus", VecPerm, L2);
+    Vpkswss => ("vpkswss", VecPerm, L2);
+    Vpkswus => ("vpkswus", VecPerm, L2);
+    Vupkhsb => ("vupkhsb", VecPerm, L2);
+    Vupklsb => ("vupklsb", VecPerm, L2);
+    Vupkhsh => ("vupkhsh", VecPerm, L2);
+    Vupklsh => ("vupklsh", VecPerm, L2);
+    Vspltb => ("vspltb", VecPerm, L2);
+    Vsplth => ("vsplth", VecPerm, L2);
+    Vspltw => ("vspltw", VecPerm, L2);
+    Vspltisb => ("vspltisb", VecPerm, L2);
+    Vspltish => ("vspltish", VecPerm, L2);
+    Vspltisw => ("vspltisw", VecPerm, L2);
+
+    // ---- vector simple integer (VI unit) ----
+    Vaddubm => ("vaddubm", VecSimple, L2);
+    Vadduhm => ("vadduhm", VecSimple, L2);
+    Vadduwm => ("vadduwm", VecSimple, L2);
+    Vaddubs => ("vaddubs", VecSimple, L2);
+    Vadduhs => ("vadduhs", VecSimple, L2);
+    Vaddshs => ("vaddshs", VecSimple, L2);
+    Vaddsws => ("vaddsws", VecSimple, L2);
+    Vsububm => ("vsububm", VecSimple, L2);
+    Vsubuhm => ("vsubuhm", VecSimple, L2);
+    Vsubuwm => ("vsubuwm", VecSimple, L2);
+    Vsububs => ("vsububs", VecSimple, L2);
+    Vsubshs => ("vsubshs", VecSimple, L2);
+    Vavgub => ("vavgub", VecSimple, L2);
+    Vavguh => ("vavguh", VecSimple, L2);
+    Vmaxub => ("vmaxub", VecSimple, L2);
+    Vminub => ("vminub", VecSimple, L2);
+    Vmaxsh => ("vmaxsh", VecSimple, L2);
+    Vminsh => ("vminsh", VecSimple, L2);
+    Vand => ("vand", VecSimple, L2);
+    Vandc => ("vandc", VecSimple, L2);
+    Vor => ("vor", VecSimple, L2);
+    Vxor => ("vxor", VecSimple, L2);
+    Vnor => ("vnor", VecSimple, L2);
+    Vslh => ("vslh", VecSimple, L2);
+    Vsrh => ("vsrh", VecSimple, L2);
+    Vsrah => ("vsrah", VecSimple, L2);
+    Vslw => ("vslw", VecSimple, L2);
+    Vsrw => ("vsrw", VecSimple, L2);
+    Vsraw => ("vsraw", VecSimple, L2);
+    Vcmpequb => ("vcmpequb", VecSimple, L2);
+    Vcmpgtub => ("vcmpgtub", VecSimple, L2);
+    Vcmpgtsh => ("vcmpgtsh", VecSimple, L2);
+
+    // ---- vector complex integer (VCMPLX unit) ----
+    Vmladduhm => ("vmladduhm", VecComplex, L4);
+    Vmhraddshs => ("vmhraddshs", VecComplex, L4);
+    Vmsumubm => ("vmsumubm", VecComplex, L4);
+    Vmsumshm => ("vmsumshm", VecComplex, L4);
+    Vsum4ubs => ("vsum4ubs", VecComplex, L4);
+    Vsum4shs => ("vsum4shs", VecComplex, L4);
+    Vsumsws => ("vsumsws", VecComplex, L4);
+    Vmuleub => ("vmuleub", VecComplex, L4);
+    Vmuloub => ("vmuloub", VecComplex, L4);
+    Vmulesh => ("vmulesh", VecComplex, L4);
+    Vmulosh => ("vmulosh", VecComplex, L4);
+}
+
+impl Opcode {
+    /// The execution unit that services this opcode.
+    pub fn unit(self) -> Unit {
+        self.class().unit()
+    }
+
+    /// Whether this instruction is serviced by the load/store pipeline.
+    ///
+    /// Note that `lvsl`/`lvsr` execute in the LS unit but perform no memory
+    /// access; use [`Opcode::touches_memory`] to distinguish.
+    pub fn is_ls_class(self) -> bool {
+        self.unit() == Unit::Ls
+    }
+
+    /// Whether this instruction actually reads or writes memory.
+    pub fn touches_memory(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Whether this instruction reads memory.
+    pub fn is_load(self) -> bool {
+        matches!(
+            self,
+            Opcode::Lbz
+                | Opcode::Lhz
+                | Opcode::Lha
+                | Opcode::Lwz
+                | Opcode::Lvx
+                | Opcode::Lvewx
+                | Opcode::Lvxu
+        )
+    }
+
+    /// Whether this instruction writes memory.
+    pub fn is_store(self) -> bool {
+        matches!(
+            self,
+            Opcode::Stb
+                | Opcode::Sth
+                | Opcode::Stw
+                | Opcode::Stvx
+                | Opcode::Stvewx
+                | Opcode::Stvxu
+        )
+    }
+
+    /// Whether this is a control-flow instruction.
+    pub fn is_branch(self) -> bool {
+        self.class() == InstrClass::Branch
+    }
+
+    /// Whether this is any Altivec (vector) instruction.
+    pub fn is_vector(self) -> bool {
+        self.class().is_vector()
+    }
+
+    /// Whether this opcode may legally take an unaligned effective address
+    /// with single-instruction semantics.
+    ///
+    /// Only the paper's two new instructions qualify; all other vector
+    /// memory operations silently truncate the effective address to a
+    /// 16-byte boundary (Altivec semantics), and scalar accesses in this
+    /// model are naturally aligned by construction.
+    pub fn is_unaligned_capable(self) -> bool {
+        matches!(self, Opcode::Lvxu | Opcode::Stvxu)
+    }
+
+    /// Number of bytes accessed by a memory instruction, `None` otherwise.
+    pub fn access_bytes(self) -> Option<u64> {
+        match self {
+            Opcode::Lbz | Opcode::Stb => Some(1),
+            Opcode::Lhz | Opcode::Lha | Opcode::Sth => Some(2),
+            Opcode::Lwz | Opcode::Stw | Opcode::Lvewx | Opcode::Stvewx => Some(4),
+            Opcode::Lvx | Opcode::Stvx | Opcode::Lvxu | Opcode::Stvxu => Some(16),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_are_unique_and_lowercase() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::ALL {
+            let m = op.mnemonic();
+            assert!(seen.insert(m), "duplicate mnemonic {m}");
+            assert_eq!(m, m.to_lowercase());
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn memory_ops_have_no_fixed_latency() {
+        for op in Opcode::ALL {
+            if op.touches_memory() {
+                assert_eq!(
+                    op.fixed_latency(),
+                    None,
+                    "{op} touches memory but has a fixed latency"
+                );
+                assert!(op.access_bytes().is_some(), "{op} lacks an access size");
+            } else {
+                assert!(
+                    op.fixed_latency().is_some(),
+                    "{op} is not memory but lacks a fixed latency"
+                );
+                assert_eq!(op.access_bytes(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn loads_and_stores_are_disjoint() {
+        for op in Opcode::ALL {
+            assert!(!(op.is_load() && op.is_store()), "{op} is both load and store");
+        }
+    }
+
+    #[test]
+    fn lvsl_is_ls_class_but_not_memory() {
+        assert!(Opcode::Lvsl.is_ls_class());
+        assert!(!Opcode::Lvsl.touches_memory());
+        assert!(Opcode::Lvsr.is_ls_class());
+        assert!(!Opcode::Lvsr.touches_memory());
+        // They do carry a fixed latency since the LSU computes them locally.
+        assert!(Opcode::Lvsl.fixed_latency().is_some());
+    }
+
+    #[test]
+    fn unaligned_extension_ops() {
+        assert!(Opcode::Lvxu.is_unaligned_capable());
+        assert!(Opcode::Stvxu.is_unaligned_capable());
+        assert_eq!(Opcode::Lvxu.access_bytes(), Some(16));
+        assert_eq!(Opcode::Stvxu.access_bytes(), Some(16));
+        let n = Opcode::ALL
+            .iter()
+            .filter(|o| o.is_unaligned_capable())
+            .count();
+        assert_eq!(n, 2, "exactly the two new instructions are unaligned-capable");
+    }
+
+    #[test]
+    fn class_unit_agreement() {
+        use crate::class::Unit;
+        for op in Opcode::ALL {
+            match op.class() {
+                InstrClass::IntAlu => assert_eq!(op.unit(), Unit::Fx),
+                InstrClass::Branch => assert_eq!(op.unit(), Unit::Br),
+                InstrClass::IntLoad
+                | InstrClass::IntStore
+                | InstrClass::VecLoad
+                | InstrClass::VecStore => assert_eq!(op.unit(), Unit::Ls),
+                InstrClass::VecSimple => assert_eq!(op.unit(), Unit::Vi),
+                InstrClass::VecComplex => assert_eq!(op.unit(), Unit::Vcmplx),
+                InstrClass::VecPerm => assert_eq!(op.unit(), Unit::Vperm),
+            }
+        }
+    }
+
+    #[test]
+    fn vector_predicate_matches_class() {
+        assert!(Opcode::Vperm.is_vector());
+        assert!(Opcode::Lvx.is_vector());
+        assert!(Opcode::Stvxu.is_vector());
+        assert!(!Opcode::Add.is_vector());
+        assert!(!Opcode::Lwz.is_vector());
+        assert!(!Opcode::Bc.is_vector());
+    }
+}

@@ -1,0 +1,214 @@
+//! Architectural register identifiers.
+//!
+//! The model exposes two architectural register files, mirroring a PowerPC
+//! core with the Altivec extension:
+//!
+//! * 32 general-purpose 64-bit integer registers ([`Gpr`]), and
+//! * 32 vector 128-bit registers ([`Vpr`]).
+//!
+//! The cycle-accurate simulator renames both files onto larger physical
+//! pools (see `valign-pipeline`), so these identifiers are what dependence
+//! tracking in traces is expressed in.
+
+use std::fmt;
+
+/// Number of architectural general-purpose (integer) registers.
+pub const NUM_GPRS: u8 = 32;
+/// Number of architectural vector registers.
+pub const NUM_VPRS: u8 = 32;
+
+/// A general-purpose (integer) architectural register, `r0`–`r31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gpr(u8);
+
+impl Gpr {
+    /// Creates a GPR identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_GPRS`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < NUM_GPRS, "GPR index {index} out of range");
+        Gpr(index)
+    }
+
+    /// The register index, in `0..32`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A vector architectural register, `v0`–`v31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vpr(u8);
+
+impl Vpr {
+    /// Creates a VPR identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_VPRS`.
+    pub fn new(index: u8) -> Self {
+        assert!(index < NUM_VPRS, "VPR index {index} out of range");
+        Vpr(index)
+    }
+
+    /// The register index, in `0..32`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Vpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The register file a register belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// Integer (general-purpose) register file.
+    Gpr,
+    /// Vector register file.
+    Vpr,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Gpr => f.write_str("gpr"),
+            RegClass::Vpr => f.write_str("vpr"),
+        }
+    }
+}
+
+/// Any architectural register — integer or vector.
+///
+/// Dynamic trace records use this type for source and destination operands
+/// so the out-of-order engine can track true dependences across both files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reg {
+    /// An integer register.
+    Gpr(Gpr),
+    /// A vector register.
+    Vpr(Vpr),
+}
+
+impl Reg {
+    /// The file this register lives in.
+    pub fn class(self) -> RegClass {
+        match self {
+            Reg::Gpr(_) => RegClass::Gpr,
+            Reg::Vpr(_) => RegClass::Vpr,
+        }
+    }
+
+    /// The register index within its file, in `0..32`.
+    pub fn index(self) -> u8 {
+        match self {
+            Reg::Gpr(g) => g.index(),
+            Reg::Vpr(v) => v.index(),
+        }
+    }
+
+    /// A dense identifier unique across both files, in `0..64`.
+    ///
+    /// GPRs occupy `0..32`, VPRs `32..64`. Useful for flat scoreboard
+    /// indexing.
+    pub fn dense_index(self) -> usize {
+        match self {
+            Reg::Gpr(g) => g.index() as usize,
+            Reg::Vpr(v) => NUM_GPRS as usize + v.index() as usize,
+        }
+    }
+
+    /// Total number of dense register slots across both files.
+    pub const DENSE_COUNT: usize = NUM_GPRS as usize + NUM_VPRS as usize;
+}
+
+impl From<Gpr> for Reg {
+    fn from(g: Gpr) -> Self {
+        Reg::Gpr(g)
+    }
+}
+
+impl From<Vpr> for Reg {
+    fn from(v: Vpr) -> Self {
+        Reg::Vpr(v)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Gpr(g) => g.fmt(f),
+            Reg::Vpr(v) => v.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_roundtrip() {
+        for i in 0..NUM_GPRS {
+            let g = Gpr::new(i);
+            assert_eq!(g.index(), i);
+            assert_eq!(g.to_string(), format!("r{i}"));
+        }
+    }
+
+    #[test]
+    fn vpr_roundtrip() {
+        for i in 0..NUM_VPRS {
+            let v = Vpr::new(i);
+            assert_eq!(v.index(), i);
+            assert_eq!(v.to_string(), format!("v{i}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gpr_out_of_range_panics() {
+        let _ = Gpr::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vpr_out_of_range_panics() {
+        let _ = Vpr::new(200);
+    }
+
+    #[test]
+    fn dense_indices_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..NUM_GPRS {
+            assert!(seen.insert(Reg::from(Gpr::new(i)).dense_index()));
+        }
+        for i in 0..NUM_VPRS {
+            assert!(seen.insert(Reg::from(Vpr::new(i)).dense_index()));
+        }
+        assert_eq!(seen.len(), Reg::DENSE_COUNT);
+        assert!(seen.iter().all(|&d| d < Reg::DENSE_COUNT));
+    }
+
+    #[test]
+    fn reg_class_and_display() {
+        let r: Reg = Gpr::new(3).into();
+        assert_eq!(r.class(), RegClass::Gpr);
+        assert_eq!(r.to_string(), "r3");
+        let v: Reg = Vpr::new(17).into();
+        assert_eq!(v.class(), RegClass::Vpr);
+        assert_eq!(v.to_string(), "v17");
+        assert_eq!(v.index(), 17);
+    }
+}

@@ -1,0 +1,292 @@
+//! CABAC bin decoding as a traced scalar kernel.
+//!
+//! The paper: entropy decoding "is a kernel with a strong serial behavior
+//! that is not amenable for SIMD optimization" — so, unlike the other
+//! kernels, this one has *only* a scalar implementation, and exists to be
+//! measured: every bin decode is a chain of dependent table lookups,
+//! compares and data-dependent branches (MPS/LPS path, the
+//! renormalisation loop, bit refills), which is exactly what the
+//! cycle-accurate model needs to see to price the CABAC stage of Fig. 10
+//! with measured cycles-per-bin instead of a guessed constant.
+//!
+//! The traced kernel decodes a real bin stream (produced by the golden
+//! [`valign_h264::cabac::CabacEncoder`]) and is verified bin-for-bin
+//! against the golden decoder.
+
+use valign_h264::cabac::{CabacEncoder, Context};
+use valign_vm::{Scalar, Vm};
+
+/// The in-VM tables and stream layout for the CABAC kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct CabacLayout {
+    /// Base of the 64x4 `rangeTabLPS` byte table.
+    pub lps_table: u64,
+    /// Base of the 64-entry `transIdxLPS` byte table.
+    pub trans_lps: u64,
+    /// Base of the context array (2 bytes per context: state, MPS).
+    pub contexts: u64,
+    /// Number of contexts.
+    pub num_contexts: u64,
+    /// Base of the bit-packed bin stream.
+    pub stream: u64,
+}
+
+/// Copies the CABAC tables, a context array and an encoded stream into VM
+/// memory. `init_states` seeds one context per entry; `stream` is the
+/// output of [`CabacEncoder::finish`].
+pub fn setup_cabac(vm: &mut Vm, init_states: &[u8], stream: &[u8]) -> CabacLayout {
+    let lps_table = vm.mem_mut().alloc(64 * 4, 16);
+    for state in 0..64u64 {
+        for quad in 0..4u64 {
+            let v = spec_range_tab_lps(state as u8, quad as u8);
+            vm.mem_mut().write_u8(lps_table + state * 4 + quad, v);
+        }
+    }
+    let trans_lps = vm.mem_mut().alloc(64, 16);
+    for state in 0..64u64 {
+        vm.mem_mut().write_u8(trans_lps + state, lps_transition(state as u8));
+    }
+    let contexts = vm.mem_mut().alloc(init_states.len() * 2, 16);
+    for (i, &s) in init_states.iter().enumerate() {
+        vm.mem_mut().write_u8(contexts + 2 * i as u64, s);
+        vm.mem_mut().write_u8(contexts + 2 * i as u64 + 1, 0);
+    }
+    let stream_base = vm.mem_mut().alloc(stream.len() + 16, 16);
+    vm.mem_mut().write_bytes(stream_base, stream);
+    CabacLayout {
+        lps_table,
+        trans_lps,
+        contexts,
+        num_contexts: init_states.len() as u64,
+        stream: stream_base,
+    }
+}
+
+fn lps_transition(state: u8) -> u8 {
+    // Observe the state after an LPS through the golden decoder types.
+    let mut enc = CabacEncoder::new();
+    let mut ctx = Context::new(state);
+    // Encoding the non-MPS symbol takes the LPS transition.
+    enc.encode(&mut ctx, 1); // fresh contexts have MPS 0
+    ctx.state
+}
+
+/// The specification's `rangeTabLPS` for the in-VM table — duplicated
+/// from the standard (the golden engine keeps its own private copy); the
+/// exact-roundtrip test below cross-checks the two.
+#[rustfmt::skip]
+fn spec_range_tab_lps(state: u8, quad: u8) -> u8 {
+    const T: [[u8; 4]; 64] = [
+        [128, 176, 208, 240], [128, 167, 197, 227], [128, 158, 187, 216], [123, 150, 178, 205],
+        [116, 142, 169, 195], [111, 135, 160, 185], [105, 128, 152, 175], [100, 122, 144, 166],
+        [ 95, 116, 137, 158], [ 90, 110, 130, 150], [ 85, 104, 123, 142], [ 81,  99, 117, 135],
+        [ 77,  94, 111, 128], [ 73,  89, 105, 122], [ 69,  85, 100, 116], [ 66,  80,  95, 110],
+        [ 62,  76,  90, 104], [ 59,  72,  86,  99], [ 56,  69,  81,  94], [ 53,  65,  77,  89],
+        [ 51,  62,  73,  85], [ 48,  59,  69,  80], [ 46,  56,  66,  76], [ 43,  53,  63,  72],
+        [ 41,  50,  59,  69], [ 39,  48,  56,  65], [ 37,  45,  54,  62], [ 35,  43,  51,  59],
+        [ 33,  41,  48,  56], [ 32,  39,  46,  53], [ 30,  37,  43,  50], [ 28,  35,  41,  48],
+        [ 27,  33,  39,  45], [ 26,  31,  37,  43], [ 24,  30,  35,  41], [ 23,  28,  33,  39],
+        [ 22,  27,  32,  37], [ 21,  26,  30,  35], [ 20,  24,  29,  33], [ 19,  23,  27,  31],
+        [ 18,  22,  26,  30], [ 17,  21,  25,  28], [ 16,  20,  23,  27], [ 15,  19,  22,  25],
+        [ 14,  18,  21,  24], [ 14,  17,  20,  23], [ 13,  16,  19,  22], [ 12,  15,  18,  21],
+        [ 12,  14,  17,  20], [ 11,  14,  16,  19], [ 11,  13,  15,  18], [ 10,  12,  15,  17],
+        [ 10,  12,  14,  16], [  9,  11,  13,  15], [  9,  11,  12,  14], [  8,  10,  12,  14],
+        [  8,   9,  11,  13], [  7,   9,  11,  12], [  7,   9,  10,  12], [  7,   8,  10,  11],
+        [  6,   8,   9,  11], [  6,   7,   9,  10], [  6,   7,   8,   9], [  2,   2,   2,   2],
+    ];
+    T[state as usize][quad as usize]
+}
+
+/// Decodes `n_bins` context-coded bins in the traced VM (round-robin over
+/// the context array), returning the decoded bins.
+///
+/// The emitted code is the faithful branchy decoder loop: table loads,
+/// an MPS/LPS branch, a conditional MPS flip, and the data-dependent
+/// renormalisation loop with bit refills.
+pub fn cabac_decode_bins(vm: &mut Vm, layout: &CabacLayout, n_bins: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n_bins);
+
+    // Engine registers.
+    let mut range = vm.li(510);
+    let mut offset = vm.li(0);
+    let mut bit_pos = vm.li(0);
+    let stream = vm.li(layout.stream as i64);
+    let lps_tab = vm.li(layout.lps_table as i64);
+    let trans_tab = vm.li(layout.trans_lps as i64);
+    let ctx_base = vm.li(layout.contexts as i64);
+    let seven = vm.li(7);
+
+    // Initial 9-bit fill.
+    let fill = vm.label();
+    for k in 0..9 {
+        let (bit, np) = read_bit(vm, stream, bit_pos, seven);
+        bit_pos = np;
+        let o2 = vm.slwi(offset, 1);
+        offset = vm.or(o2, bit);
+        let c = vm.cmpwi(bit_pos, 9);
+        vm.bc(c, k != 8, fill);
+    }
+
+    let mps_join = vm.label();
+    let renorm_top = vm.label();
+    for i in 0..n_bins {
+        let ctx_idx = (i as u64) % layout.num_contexts;
+        let ctx_ptr = vm.addi(ctx_base, (ctx_idx * 2) as i64);
+        let state = vm.lbz(ctx_ptr, 0);
+        let mps = vm.lbz(ctx_ptr, 1);
+
+        // rLPS = lps_tab[state*4 + (range>>6)&3]
+        let quad0 = vm.srwi(range, 6);
+        let quad = vm.andi(quad0, 3);
+        let s4 = vm.slwi(state, 2);
+        let idx = vm.add(s4, quad);
+        let lp = vm.add(lps_tab, idx);
+        let r_lps = vm.lbz(lp, 0);
+        range = vm.subf(r_lps, range);
+
+        // MPS/LPS decision: a genuinely data-dependent branch.
+        let cond = vm.cmpw(offset, range);
+        let take_mps = offset.value() < range.value();
+        vm.bc(cond, !take_mps, mps_join);
+
+        let bin;
+        if take_mps {
+            bin = mps.value() as u8;
+            // state = min(state+1, 62): compare + conditional move.
+            let c62 = vm.cmpwi(state, 62);
+            let sp1 = vm.addi(state, 1);
+            let lt62 = vm.srawi(c62, 31); // -1 when state < 62
+            let ns = vm.isel(lt62, sp1, state);
+            vm.stb(ns, ctx_ptr, 0);
+        } else {
+            offset = vm.subf(range, offset);
+            range = r_lps;
+            bin = 1 - mps.value() as u8;
+            // if state == 0 { mps ^= 1 } — another data-dependent branch.
+            let cz = vm.cmpwi(state, 0);
+            let flip = state.value() == 0;
+            vm.bc(cz, flip, mps_join);
+            if flip {
+                let one = vm.li(1);
+                let nm = vm.xor(mps, one);
+                vm.stb(nm, ctx_ptr, 1);
+            }
+            let tp = vm.add(trans_tab, state);
+            let ns = vm.lbz(tp, 0);
+            vm.stb(ns, ctx_ptr, 0);
+        }
+        out.push(bin);
+
+        // Renormalisation: data-dependent iteration count.
+        loop {
+            let c = vm.cmpwi(range, 256);
+            let continue_loop = range.value() < 256;
+            vm.bc(c, continue_loop, renorm_top);
+            if !continue_loop {
+                break;
+            }
+            range = vm.slwi(range, 1);
+            let (bit, np) = read_bit(vm, stream, bit_pos, seven);
+            bit_pos = np;
+            let o2 = vm.slwi(offset, 1);
+            offset = vm.or(o2, bit);
+        }
+    }
+    out
+}
+
+/// Reads one bit MSB-first from the packed stream; returns `(bit,
+/// new_bit_pos)`.
+fn read_bit(vm: &mut Vm, stream: Scalar, bit_pos: Scalar, seven: Scalar) -> (Scalar, Scalar) {
+    let byte_idx = vm.srwi(bit_pos, 3);
+    let addr = vm.add(stream, byte_idx);
+    let byte = vm.lbz(addr, 0);
+    let within = vm.andi(bit_pos, 7);
+    let sh = vm.subf(within, seven); // 7 - (bit_pos & 7)
+    let shifted = vm.srw(byte, sh);
+    let bit = vm.andi(shifted, 1);
+    let np = vm.addi(bit_pos, 1);
+    (bit, np)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valign_h264::cabac::CabacDecoder;
+    use valign_isa::InstrClass;
+
+    fn encoded_stream(n: usize, contexts: usize, seed: u64) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+        // Returns (init_states, stream, expected_bins).
+        let init_states: Vec<u8> = (0..contexts).map(|i| (i * 7 % 50) as u8).collect();
+        let mut s = seed | 1;
+        let bins: Vec<u8> = (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                u8::from(s % 100 < 35)
+            })
+            .collect();
+        let mut enc = CabacEncoder::new();
+        let mut ctxs: Vec<Context> = init_states.iter().map(|&st| Context::new(st)).collect();
+        for (i, &b) in bins.iter().enumerate() {
+            enc.encode(&mut ctxs[i % contexts], b);
+        }
+        (init_states, enc.finish(), bins)
+    }
+
+    #[test]
+    fn in_vm_tables_match_golden_behaviour() {
+        // Decode through the golden decoder with contexts seeded from the
+        // same states the VM tables encode; a full roundtrip below also
+        // covers this, but check the transition helper directly.
+        for s in 0..64u8 {
+            let t = lps_transition(s);
+            assert!(t < 64);
+            if s > 10 && s < 63 {
+                assert!(t < s, "LPS at confident state {s} must back off, got {t}");
+            }
+            // State 63 is terminal in the LPS table.
+            assert_eq!(lps_transition(63), 63);
+        }
+        assert_eq!(spec_range_tab_lps(63, 0), 2);
+        assert_eq!(spec_range_tab_lps(0, 3), 240);
+    }
+
+    #[test]
+    fn vm_kernel_decodes_bin_exact() {
+        let (states, stream, want) = encoded_stream(600, 3, 0x5eed);
+        // Golden decode for reference.
+        let mut ctxs: Vec<Context> = states.iter().map(|&s| Context::new(s)).collect();
+        let mut dec = CabacDecoder::new(&stream);
+        let golden: Vec<u8> = (0..want.len()).map(|i| dec.decode(&mut ctxs[i % 3])).collect();
+        assert_eq!(golden, want, "golden engine roundtrip");
+
+        // Traced VM decode.
+        let mut vm = Vm::new();
+        let layout = setup_cabac(&mut vm, &states, &stream);
+        vm.clear_trace();
+        let got = cabac_decode_bins(&mut vm, &layout, want.len());
+        assert_eq!(got, want, "VM kernel must reproduce every bin");
+    }
+
+    #[test]
+    fn kernel_is_serial_and_branchy() {
+        let (states, stream, bins) = encoded_stream(400, 4, 0xd00d);
+        let mut vm = Vm::new();
+        let layout = setup_cabac(&mut vm, &states, &stream);
+        vm.clear_trace();
+        let _ = cabac_decode_bins(&mut vm, &layout, bins.len());
+        let mix = vm.trace().mix();
+        let per_bin = mix.total() as f64 / bins.len() as f64;
+        assert!(
+            (15.0..60.0).contains(&per_bin),
+            "plausible decoder cost: {per_bin} instrs/bin"
+        );
+        // At least one data-dependent branch per bin (MPS/LPS) plus
+        // renormalisation branches.
+        assert!(mix.get(InstrClass::Branch) as usize >= bins.len());
+        // Strictly scalar.
+        assert_eq!(mix.vector_total(), 0);
+    }
+}

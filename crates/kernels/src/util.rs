@@ -1,0 +1,609 @@
+//! Shared building blocks for the three kernel implementation variants.
+//!
+//! The heart of the study is the difference between three ways of touching
+//! memory from SIMD code:
+//!
+//! * **Scalar** — byte/halfword integer loads, no alignment issue;
+//! * **Altivec** — `lvx` truncates, so unaligned data needs the
+//!   `lvsl`/`lvx`/`lvx`/`vperm` software-realignment idiom (Fig. 2) and
+//!   stores need the load-merge-store sequence (Fig. 5);
+//! * **Unaligned** — the paper's `lvxu`/`stvxu` do it in one instruction.
+//!
+//! This module centralises those idioms so every kernel emits exactly the
+//! instruction patterns the paper describes.
+
+use valign_vm::{Scalar, Vector, Vm};
+
+/// Which of the paper's three implementations a kernel should emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Plain integer code.
+    Scalar,
+    /// Altivec with software realignment.
+    Altivec,
+    /// Altivec extended with `lvxu`/`stvxu`.
+    Unaligned,
+}
+
+impl Variant {
+    /// All three variants in the paper's presentation order.
+    pub const ALL: &'static [Variant] = &[Variant::Scalar, Variant::Altivec, Variant::Unaligned];
+
+    /// Label used in tables ("scalar", "altivec", "unaligned").
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Scalar => "scalar",
+            Variant::Altivec => "altivec",
+            Variant::Unaligned => "unaligned",
+        }
+    }
+
+    /// Whether this variant uses vector instructions.
+    pub fn is_vector(self) -> bool {
+        !matches!(self, Variant::Scalar)
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A 16-byte load from a possibly-unaligned address, in the idiom of the
+/// given (vector) variant.
+///
+/// * `Unaligned`: one `lvxu`.
+/// * `Altivec`: `lvx(i0) + lvx(i15) + vperm(mask)`. The caller passes a
+///   hoisted realignment `mask` (from [`realign_mask`]) when the loop
+///   allows hoisting (constant `(addr % 16)` across iterations — e.g. a
+///   16-byte-aligned stride); pass `None` to emit the `lvsl` inline.
+///
+/// `i0` and `i15` are index registers holding 0 and 15 (hoisted by the
+/// caller, as a compiler would).
+///
+/// # Panics
+///
+/// Panics when called with [`Variant::Scalar`].
+pub fn vload_unaligned(
+    vm: &mut Vm,
+    variant: Variant,
+    i0: Scalar,
+    i15: Scalar,
+    base: Scalar,
+    mask: Option<Vector>,
+) -> Vector {
+    match variant {
+        Variant::Unaligned => vm.lvxu(i0, base),
+        Variant::Altivec => {
+            let mask = mask.unwrap_or_else(|| vm.lvsl(i0, base));
+            let lo = vm.lvx(i0, base);
+            let hi = vm.lvx(i15, base);
+            vm.vperm(lo, hi, mask)
+        }
+        Variant::Scalar => panic!("vload_unaligned is a vector idiom"),
+    }
+}
+
+/// The hoisted realignment mask for `base + i0` (Altivec `lvsl`).
+pub fn realign_mask(vm: &mut Vm, i0: Scalar, base: Scalar) -> Vector {
+    vm.lvsl(i0, base)
+}
+
+/// Hoisted constants for the partial-store idioms.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreMasks {
+    /// Select mask with the first `len` bytes set (`0xff`), rest clear.
+    pub head_mask: Vector,
+    /// All-zero vector (for mask construction).
+    pub zero: Vector,
+    /// All-ones vector.
+    pub ones: Vector,
+}
+
+/// Builds the hoisted constants for `len`-byte partial stores
+/// (`len` in 1..=15).
+///
+/// # Panics
+///
+/// Panics if `len` is 0 or 16 (use a plain full-width store instead).
+pub fn store_masks(vm: &mut Vm, len: u8) -> StoreMasks {
+    assert!((1..=15).contains(&len), "partial store length must be 1..=15");
+    let ones = vm.vspltisb(-1);
+    let zero = vm.vxor(ones, ones);
+    // vsldoi(ones, zero, 16-len) = bytes (16-len).. of ones‖zero, i.e.
+    // `len` ones followed by zeros — the head mask.
+    let head_mask = vm.vsldoi(ones, zero, 16 - len);
+    StoreMasks {
+        head_mask,
+        zero,
+        ones,
+    }
+}
+
+/// Stores the first `len` bytes of `data` (lanes `0..len`) to a possibly
+/// unaligned address, using the store idiom of the variant:
+///
+/// * `Unaligned`: `lvxu` + `vsel` + `stvxu` (three instructions — the
+///   paper's single unaligned load-store sequence);
+/// * `Altivec`: the Fig. 5 sequence — `lvsr`-rotated data and mask
+///   selected into one or two aligned words. The caller guarantees
+///   `addr % 16 + len <= 16` (true for the MC/IDCT block stores, whose
+///   offsets are multiples of the block width), so one aligned word
+///   suffices.
+///
+/// `rot` is the hoisted `lvsr` rotation mask for the destination (pass
+/// `None` to emit it inline).
+///
+/// # Panics
+///
+/// Panics for [`Variant::Scalar`], and in debug builds if the Altivec
+/// single-word precondition is violated.
+#[allow(clippy::too_many_arguments)]
+pub fn vstore_partial(
+    vm: &mut Vm,
+    variant: Variant,
+    data: Vector,
+    masks: &StoreMasks,
+    i0: Scalar,
+    base: Scalar,
+    len: u8,
+    rot: Option<Vector>,
+) {
+    match variant {
+        Variant::Unaligned => {
+            let old = vm.lvxu(i0, base);
+            let merged = vm.vsel(old, data, masks.head_mask);
+            vm.stvxu(merged, i0, base);
+        }
+        Variant::Altivec => {
+            let addr_off = (base.value().wrapping_add(i0.value()) & 0xf) as u8;
+            debug_assert!(
+                addr_off + len <= 16,
+                "altivec partial store must stay within one aligned word"
+            );
+            let rot = rot.unwrap_or_else(|| vm.lvsr(i0, base));
+            let data_rot = vm.vperm(data, data, rot);
+            let mask_rot = vm.vperm(masks.head_mask, masks.head_mask, rot);
+            let old = vm.lvx(i0, base);
+            let merged = vm.vsel(old, data_rot, mask_rot);
+            vm.stvx(merged, i0, base);
+        }
+        Variant::Scalar => panic!("vstore_partial is a vector idiom"),
+    }
+}
+
+/// Builds a halfword-splatted constant `0..=255` with splat-immediate
+/// arithmetic (values above 15 are composed as `hi*16 + lo` via a shift
+/// and add, the standard Altivec constant idiom).
+pub fn const_u16(vm: &mut Vm, value: u16) -> Vector {
+    assert!(value <= 255, "const_u16 builds small constants");
+    if value <= 15 {
+        return vm.vspltish(value as i8);
+    }
+    let hi = vm.vspltish((value >> 4) as i8);
+    let four = vm.vspltish(4);
+    let shifted = vm.vslh(hi, four);
+    if value & 0xf == 0 {
+        shifted
+    } else {
+        let lo = vm.vspltish((value & 0xf) as i8);
+        vm.vadduhm(shifted, lo)
+    }
+}
+
+/// Builds a byte-splatted constant `0..=255` (halfword splat packed down).
+pub fn const_u8(vm: &mut Vm, value: u8) -> Vector {
+    if value <= 15 {
+        return vm.vspltisb(value as i8);
+    }
+    let h = const_u16(vm, u16::from(value));
+    vm.vpkuhum(h, h)
+}
+
+/// Stores a full 16-byte vector to a possibly unaligned address:
+///
+/// * `Unaligned`: one `stvxu`.
+/// * `Altivec`: the complete Fig. 5 sequence across *two* aligned words —
+///   `lvsr`-rotate the data and an all-ones mask, load both words,
+///   select, store both (the "more than 10 assembly instructions" cost
+///   the paper quotes for unaligned stores).
+///
+/// `i0`/`i16` are index registers holding 0 and 16; `rot` is the hoisted
+/// `lvsr` mask (pass `None` to emit it inline).
+///
+/// # Panics
+///
+/// Panics for [`Variant::Scalar`].
+pub fn vstore16_unaligned(
+    vm: &mut Vm,
+    variant: Variant,
+    data: Vector,
+    i0: Scalar,
+    i16r: Scalar,
+    base: Scalar,
+    rot: Option<Vector>,
+) {
+    match variant {
+        Variant::Unaligned => vm.stvxu(data, i0, base),
+        Variant::Altivec => {
+            let rot = rot.unwrap_or_else(|| vm.lvsr(i0, base));
+            let ones = vm.vspltisb(-1);
+            let zero = vm.vxor(ones, ones);
+            let mask = vm.vperm(zero, ones, rot);
+            let rdata = vm.vperm(data, data, rot);
+            let d1 = vm.lvx(i0, base);
+            let d2 = vm.lvx(i16r, base);
+            let f1 = vm.vsel(d1, rdata, mask);
+            let f2 = vm.vsel(rdata, d2, mask);
+            vm.stvx(f1, i0, base);
+            vm.stvx(f2, i16r, base);
+        }
+        Variant::Scalar => panic!("vstore16_unaligned is a vector idiom"),
+    }
+}
+
+/// Full 16x16 byte transpose via four rounds of the perfect-shuffle
+/// merge network (the machinery a vectorised deblocking filter needs to
+/// turn edge-adjacent *columns* into vectors).
+pub fn transpose16_bytes(vm: &mut Vm, rows: [Vector; 16]) -> [Vector; 16] {
+    let mut cur = rows;
+    for _ in 0..4 {
+        let mut next = [cur[0]; 16];
+        for i in 0..8 {
+            next[2 * i] = vm.vmrghb(cur[i], cur[i + 8]);
+            next[2 * i + 1] = vm.vmrglb(cur[i], cur[i + 8]);
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// 4x4 halfword transpose of vectors whose lanes `0..4` hold the rows.
+/// Returns column vectors (valid in lanes `0..4`).
+pub fn transpose4(vm: &mut Vm, x: [Vector; 4]) -> [Vector; 4] {
+    let t0 = vm.vmrghh(x[0], x[2]);
+    let t1 = vm.vmrghh(x[1], x[3]);
+    let c01 = vm.vmrghh(t0, t1);
+    let c23 = vm.vmrglh(t0, t1);
+    let c1 = vm.vsldoi(c01, c01, 8);
+    let c3 = vm.vsldoi(c23, c23, 8);
+    [c01, c1, c23, c3]
+}
+
+/// Full 8x8 halfword transpose (the classic three-stage merge network).
+pub fn transpose8(vm: &mut Vm, x: [Vector; 8]) -> [Vector; 8] {
+    let a0 = vm.vmrghh(x[0], x[4]);
+    let a1 = vm.vmrglh(x[0], x[4]);
+    let a2 = vm.vmrghh(x[1], x[5]);
+    let a3 = vm.vmrglh(x[1], x[5]);
+    let a4 = vm.vmrghh(x[2], x[6]);
+    let a5 = vm.vmrglh(x[2], x[6]);
+    let a6 = vm.vmrghh(x[3], x[7]);
+    let a7 = vm.vmrglh(x[3], x[7]);
+
+    let b0 = vm.vmrghh(a0, a4);
+    let b1 = vm.vmrglh(a0, a4);
+    let b2 = vm.vmrghh(a1, a5);
+    let b3 = vm.vmrglh(a1, a5);
+    let b4 = vm.vmrghh(a2, a6);
+    let b5 = vm.vmrglh(a2, a6);
+    let b6 = vm.vmrghh(a3, a7);
+    let b7 = vm.vmrglh(a3, a7);
+
+    [
+        vm.vmrghh(b0, b4),
+        vm.vmrglh(b0, b4),
+        vm.vmrghh(b1, b5),
+        vm.vmrglh(b1, b5),
+        vm.vmrghh(b2, b6),
+        vm.vmrglh(b2, b6),
+        vm.vmrghh(b3, b7),
+        vm.vmrglh(b3, b7),
+    ]
+}
+
+/// Branchless scalar clip to `0..=255` (what a compiler emits for the
+/// `av_clip_uint8` of the scalar kernels: no per-pixel branches).
+pub fn scalar_clip8(vm: &mut Vm, v: Scalar) -> Scalar {
+    // max(v, 0): v & ~(v >> 31).
+    let sign = vm.srawi(v, 31);
+    let ones = vm.li(-1);
+    let not_sign = vm.xor(sign, ones);
+    let lo = vm.and(v, not_sign);
+    // min(lo, 255): 255 + ((lo - 255) & ((lo - 255) >> 31)).
+    let d = vm.addi(lo, -255);
+    let dsign = vm.srawi(d, 31);
+    let masked = vm.and(d, dsign);
+    vm.addi(masked, 255)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valign_isa::{InstrClass, Opcode};
+    use valign_vm::Vm;
+
+    fn filled_vm(len: u64) -> (Vm, u64) {
+        let mut vm = Vm::new();
+        let buf = vm.mem_mut().alloc(len as usize, 16);
+        for i in 0..len {
+            vm.mem_mut().write_u8(buf + i, (i * 7 + 3) as u8);
+        }
+        (vm, buf)
+    }
+
+    #[test]
+    fn vload_unaligned_variants_agree() {
+        let (mut vm, buf) = filled_vm(64);
+        for off in 0..16u64 {
+            let base = vm.li((buf + off) as i64);
+            let i0 = vm.li(0);
+            let i15 = vm.li(15);
+            let av = vload_unaligned(&mut vm, Variant::Altivec, i0, i15, base, None);
+            let un = vload_unaligned(&mut vm, Variant::Unaligned, i0, i15, base, None);
+            assert_eq!(av.value(), un.value(), "offset {off}");
+            // Hoisted-mask form matches too.
+            let mask = realign_mask(&mut vm, i0, base);
+            let avh = vload_unaligned(&mut vm, Variant::Altivec, i0, i15, base, Some(mask));
+            assert_eq!(avh.value(), un.value());
+        }
+    }
+
+    #[test]
+    fn vload_instruction_counts() {
+        let (mut vm, buf) = filled_vm(64);
+        let base = vm.li((buf + 5) as i64);
+        let i0 = vm.li(0);
+        let i15 = vm.li(15);
+        vm.clear_trace();
+        let _ = vload_unaligned(&mut vm, Variant::Unaligned, i0, i15, base, None);
+        assert_eq!(vm.instr_count(), 1, "lvxu is one instruction");
+        vm.clear_trace();
+        let _ = vload_unaligned(&mut vm, Variant::Altivec, i0, i15, base, None);
+        assert_eq!(vm.instr_count(), 4, "lvsl + 2 lvx + vperm");
+    }
+
+    #[test]
+    #[should_panic(expected = "vector idiom")]
+    fn vload_scalar_panics() {
+        let (mut vm, buf) = filled_vm(32);
+        let base = vm.li(buf as i64);
+        let i0 = vm.li(0);
+        let _ = vload_unaligned(&mut vm, Variant::Scalar, i0, i0, base, None);
+    }
+
+    #[test]
+    fn store_masks_head_form() {
+        let mut vm = Vm::new();
+        for len in [1u8, 4, 8, 12, 15] {
+            let m = store_masks(&mut vm, len);
+            let bytes = m.head_mask.value().to_bytes();
+            for (i, &b) in bytes.iter().enumerate() {
+                let want = if i < len as usize { 0xff } else { 0 };
+                assert_eq!(b, want, "len {len} byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_store_variants_agree_and_preserve_neighbours() {
+        for len in [4u8, 8] {
+            for off in (0..16).step_by(len as usize) {
+                let (mut vm, buf_av) = filled_vm(48);
+                let buf_un = {
+                    let b = vm.mem_mut().alloc(48, 16);
+                    for i in 0..48 {
+                        let v = vm.mem().read_u8(buf_av + i);
+                        vm.mem_mut().write_u8(b + i, v);
+                    }
+                    b
+                };
+                // Data vector: recognisable bytes.
+                let scratch = vm.mem_mut().alloc(16, 16);
+                for i in 0..16 {
+                    vm.mem_mut().write_u8(scratch + i, 0xe0 + i as u8);
+                }
+                let sp = vm.li(scratch as i64);
+                let iz = vm.li(0);
+                let data = vm.lvx(iz, sp);
+                let masks = store_masks(&mut vm, len);
+
+                let base_av = vm.li((buf_av + off) as i64);
+                vstore_partial(&mut vm, Variant::Altivec, data, &masks, iz, base_av, len, None);
+                let base_un = vm.li((buf_un + off) as i64);
+                vstore_partial(&mut vm, Variant::Unaligned, data, &masks, iz, base_un, len, None);
+
+                let av: Vec<u8> = vm.mem().read_bytes(buf_av, 48).to_vec();
+                let un: Vec<u8> = vm.mem().read_bytes(buf_un, 48).to_vec();
+                assert_eq!(av, un, "len {len} off {off}");
+                for i in 0..48u64 {
+                    let expect = if i >= off && i < off + u64::from(len) {
+                        0xe0 + (i - off) as u8
+                    } else {
+                        (i * 7 + 3) as u8
+                    };
+                    assert_eq!(av[i as usize], expect, "len {len} off {off} byte {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn const_u16_builds_any_small_constant() {
+        let mut vm = Vm::new();
+        for v in [0u16, 1, 5, 15, 16, 20, 32, 64, 100, 255] {
+            let c = const_u16(&mut vm, v);
+            for lane in 0..8 {
+                assert_eq!(c.value().u16(lane), v, "constant {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose4_matches_scalar_transpose() {
+        let mut vm = Vm::new();
+        // Rows [r*10 .. r*10+3] in lanes 0..4 via memory.
+        let buf = vm.mem_mut().alloc(64, 16);
+        for r in 0..4u64 {
+            for c in 0..4u64 {
+                vm.mem_mut()
+                    .write_u16(buf + r * 16 + c * 2, (r * 10 + c) as u16);
+            }
+        }
+        let i0 = vm.li(0);
+        let rows: Vec<_> = (0..4)
+            .map(|r| {
+                let b = vm.li((buf + r * 16) as i64);
+                vm.lvx(i0, b)
+            })
+            .collect();
+        let cols = transpose4(&mut vm, [rows[0], rows[1], rows[2], rows[3]]);
+        for c in 0..4 {
+            for r in 0..4 {
+                assert_eq!(
+                    cols[c].value().u16(r),
+                    (r * 10 + c) as u16,
+                    "col {c} lane {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose8_matches_scalar_transpose() {
+        let mut vm = Vm::new();
+        let buf = vm.mem_mut().alloc(128, 16);
+        for r in 0..8u64 {
+            for c in 0..8u64 {
+                vm.mem_mut()
+                    .write_u16(buf + r * 16 + c * 2, (r * 100 + c) as u16);
+            }
+        }
+        let i0 = vm.li(0);
+        let rows: [Vector; 8] = std::array::from_fn(|r| {
+            let b = vm.li((buf + r as u64 * 16) as i64);
+            vm.lvx(i0, b)
+        });
+        let cols = transpose8(&mut vm, rows);
+        for c in 0..8 {
+            for r in 0..8 {
+                assert_eq!(
+                    cols[c].value().u16(r),
+                    (r * 100 + c) as u16,
+                    "col {c} lane {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn const_u8_builds_any_byte() {
+        let mut vm = Vm::new();
+        for v in [0u8, 7, 15, 16, 20, 51, 128, 255] {
+            let c = const_u8(&mut vm, v);
+            assert!(c.value().to_bytes().iter().all(|&b| b == v), "constant {v}");
+        }
+    }
+
+    #[test]
+    fn vstore16_variants_agree_at_any_offset() {
+        for off in 0..16u64 {
+            let (mut vm, buf_av) = filled_vm(64);
+            let buf_un = {
+                let b = vm.mem_mut().alloc(64, 16);
+                for i in 0..64 {
+                    let v = vm.mem().read_u8(buf_av + i);
+                    vm.mem_mut().write_u8(b + i, v);
+                }
+                b
+            };
+            let scratch = vm.mem_mut().alloc(16, 16);
+            for i in 0..16 {
+                vm.mem_mut().write_u8(scratch + i, 0x90 + i as u8);
+            }
+            let i0 = vm.li(0);
+            let i16r = vm.li(16);
+            let sp = vm.li(scratch as i64);
+            let data = vm.lvx(i0, sp);
+            let av_base = vm.li((buf_av + off) as i64);
+            vstore16_unaligned(&mut vm, Variant::Altivec, data, i0, i16r, av_base, None);
+            let un_base = vm.li((buf_un + off) as i64);
+            vstore16_unaligned(&mut vm, Variant::Unaligned, data, i0, i16r, un_base, None);
+            assert_eq!(
+                vm.mem().read_bytes(buf_av, 64),
+                vm.mem().read_bytes(buf_un, 64),
+                "offset {off}"
+            );
+            for i in 0..16u64 {
+                assert_eq!(vm.mem().read_u8(buf_av + off + i), 0x90 + i as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose16_bytes_is_a_transpose() {
+        let mut vm = Vm::new();
+        let buf = vm.mem_mut().alloc(256, 16);
+        for r in 0..16u64 {
+            for c in 0..16u64 {
+                vm.mem_mut().write_u8(buf + r * 16 + c, (r * 16 + c) as u8);
+            }
+        }
+        let i0 = vm.li(0);
+        let rows: [Vector; 16] = std::array::from_fn(|r| {
+            let b = vm.li((buf + r as u64 * 16) as i64);
+            vm.lvx(i0, b)
+        });
+        let cols = transpose16_bytes(&mut vm, rows);
+        for c in 0..16 {
+            for r in 0..16 {
+                assert_eq!(
+                    cols[c].value().u8(r),
+                    (r * 16 + c) as u8,
+                    "col {c} lane {r}"
+                );
+            }
+        }
+        // Involution: transposing twice restores the input.
+        let back = transpose16_bytes(&mut vm, cols);
+        for r in 0..16 {
+            for c in 0..16 {
+                assert_eq!(back[r].value().u8(c), (r * 16 + c) as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_clip8_is_branchless_and_correct() {
+        let mut vm = Vm::new();
+        for v in [-300i64, -1, 0, 1, 100, 255, 256, 1000] {
+            let s = vm.li(v);
+            vm.clear_trace();
+            let c = scalar_clip8(&mut vm, s);
+            assert_eq!(c.value() as i64, v.clamp(0, 255), "clip({v})");
+            assert!(
+                vm.trace().iter().all(|i| !i.op.is_branch()),
+                "clip must not branch"
+            );
+            assert!(vm
+                .trace()
+                .iter()
+                .all(|i| i.op.class() == InstrClass::IntAlu));
+        }
+    }
+
+    #[test]
+    fn unaligned_store_uses_the_new_opcodes() {
+        let (mut vm, buf) = filled_vm(48);
+        let masks = store_masks(&mut vm, 8);
+        let iz = vm.li(0);
+        let sp = vm.li(buf as i64);
+        let data = vm.lvx(iz, sp);
+        let base = vm.li((buf + 8) as i64);
+        vm.clear_trace();
+        vstore_partial(&mut vm, Variant::Unaligned, data, &masks, iz, base, 8, None);
+        let ops: Vec<Opcode> = vm.trace().iter().map(|i| i.op).collect();
+        assert_eq!(ops, vec![Opcode::Lvxu, Opcode::Vsel, Opcode::Stvxu]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Simulation results and derived metrics.
+
+use crate::predictor::PredictorStats;
+use std::fmt;
+use valign_cache::CacheStats;
+
+/// The outcome of replaying one trace through the cycle-accurate model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimResult {
+    /// Total cycles from first fetch to last retire.
+    pub cycles: u64,
+    /// Dynamic instructions retired.
+    pub instructions: u64,
+    /// Branch predictor statistics.
+    pub predictor: PredictorStats,
+    /// D-L1 statistics.
+    pub l1: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// Vector accesses that were actually unaligned (non-zero 16-byte
+    /// offset through `lvxu`/`stvxu`).
+    pub unaligned_accesses: u64,
+    /// Extra cycles charged by the realignment network across the run.
+    pub realign_penalty_cycles: u64,
+    /// Accesses that spanned two cache lines.
+    pub split_accesses: u64,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speed-up of this run relative to `baseline` (baseline cycles divided
+    /// by this run's cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this run has zero cycles.
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        assert!(self.cycles > 0, "speedup of an empty run is undefined");
+        baseline.cycles as f64 / self.cycles as f64
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} instructions (IPC {:.2}), {:.2}% branch mispredicts, L1 {:.2}% miss, {} unaligned accesses (+{} realign cycles)",
+            self.cycles,
+            self.instructions,
+            self.ipc(),
+            self.predictor.mispredict_ratio() * 100.0,
+            self.l1.miss_ratio() * 100.0,
+            self.unaligned_accesses,
+            self.realign_penalty_cycles,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_speedup() {
+        let a = SimResult {
+            cycles: 100,
+            instructions: 250,
+            ..Default::default()
+        };
+        let b = SimResult {
+            cycles: 50,
+            instructions: 250,
+            ..Default::default()
+        };
+        assert!((a.ipc() - 2.5).abs() < 1e-9);
+        assert!((b.speedup_over(&a) - 2.0).abs() < 1e-9);
+        assert!((a.speedup_over(&a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_ipc_is_zero() {
+        assert_eq!(SimResult::default().ipc(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn speedup_of_empty_run_panics() {
+        let empty = SimResult::default();
+        let full = SimResult {
+            cycles: 10,
+            ..Default::default()
+        };
+        let _ = empty.speedup_over(&full);
+    }
+
+    #[test]
+    fn display_has_key_numbers() {
+        let r = SimResult {
+            cycles: 123,
+            instructions: 456,
+            ..Default::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("123"));
+        assert!(s.contains("456"));
+    }
+}

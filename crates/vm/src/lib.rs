@@ -1,0 +1,54 @@
+//! # valign-vm — functional SIMD virtual machine with trace recording
+//!
+//! This crate is the reproduction's stand-in for the paper's Aria-based
+//! instruction emulator: kernels written against the intrinsics API of
+//! [`Vm`] execute functionally (so results can be checked against golden
+//! reference code) while emitting a dynamic instruction [`Trace`]
+//! (re-exported from `valign-isa`) that the cycle-accurate simulator in
+//! `valign-pipeline` replays.
+//!
+//! * [`v128::V128`] — the 128-bit vector value with PowerPC lane order.
+//! * [`ops`] — pure functional semantics of every Altivec-subset operation.
+//! * [`mem::Memory`] — the byte-addressable memory image with an
+//!   alignment-aware bump allocator.
+//! * [`vm::Vm`] — the tracing machine: one intrinsic per ISA instruction,
+//!   including the paper's unaligned extension `lvxu`/`stvxu`.
+//!
+//! ## Example: the two unaligned-load idioms
+//!
+//! ```
+//! use valign_vm::Vm;
+//!
+//! let mut vm = Vm::new();
+//! let buf = vm.mem_mut().alloc(64, 16);
+//! for i in 0..64 {
+//!     vm.mem_mut().write_u8(buf + i, i as u8);
+//! }
+//! let ptr = vm.li((buf + 3) as i64); // unaligned by 3
+//! let i0 = vm.li(0);
+//! let i15 = vm.li(15);
+//!
+//! // Plain Altivec: two aligned loads + mask + permute (4 instructions).
+//! let mask = vm.lvsl(i0, ptr);
+//! let lo = vm.lvx(i0, ptr);
+//! let hi = vm.lvx(i15, ptr);
+//! let sw = vm.vperm(lo, hi, mask);
+//!
+//! // The paper's extension: one instruction.
+//! let hw = vm.lvxu(i0, ptr);
+//!
+//! assert_eq!(sw.value(), hw.value());
+//! assert_eq!(hw.value().u8(0), 3);
+//! ```
+
+pub mod mem;
+pub mod ops;
+pub mod v128;
+pub mod vm;
+
+pub use mem::Memory;
+pub use v128::V128;
+pub use vm::{Label, Scalar, Vector, Vm};
+
+// Re-export the trace interchange types for convenience.
+pub use valign_isa::{DynInstr, MixCounts, Trace};

@@ -1,0 +1,270 @@
+//! The flat memory image backing the functional VM.
+//!
+//! [`Memory`] is a simple byte-addressable space with a bump allocator so
+//! kernels and workload drivers can lay out buffers with explicit
+//! alignment — alignment is, after all, the entire subject of the study.
+//! Scalar multi-byte accessors are big-endian, consistent with the
+//! PowerPC-style lane numbering of [`crate::v128::V128`].
+
+use crate::v128::V128;
+use std::fmt;
+
+/// Base address of the allocatable region. Address 0 is kept unmapped so a
+/// zero address is always a bug.
+const BASE: u64 = 0x1_0000;
+
+/// A byte-addressable memory image with a bump allocator.
+#[derive(Clone)]
+pub struct Memory {
+    data: Vec<u8>,
+    next: u64,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("base", &BASE)
+            .field("allocated", &(self.next - BASE))
+            .field("capacity", &self.data.len())
+            .finish()
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Memory {
+    /// An empty memory image.
+    pub fn new() -> Self {
+        Memory {
+            data: Vec::new(),
+            next: BASE,
+        }
+    }
+
+    /// Allocates `len` bytes aligned to `align` and returns the address.
+    ///
+    /// The region is zero-initialised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, len: usize, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let addr = (self.next + align - 1) & !(align - 1);
+        self.next = addr + len as u64;
+        self.ensure(self.next);
+        addr
+    }
+
+    /// Allocates `len` bytes at a *deliberately unaligned* address: 16-byte
+    /// aligned base plus `offset` (0..16). Used by tests and workload
+    /// drivers to place data at a controlled `(addr % 16)`.
+    pub fn alloc_with_offset(&mut self, len: usize, offset: u8) -> u64 {
+        let base = self.alloc(len + 16, 16);
+        base + u64::from(offset & 0xf)
+    }
+
+    /// Total bytes allocated so far.
+    pub fn allocated(&self) -> usize {
+        (self.next - BASE) as usize
+    }
+
+    fn ensure(&mut self, end: u64) {
+        let need = (end - BASE) as usize;
+        if self.data.len() < need {
+            self.data.resize(need.next_power_of_two(), 0);
+        }
+    }
+
+    #[inline]
+    fn index(&self, addr: u64) -> usize {
+        debug_assert!(addr >= BASE, "access below memory base: {addr:#x}");
+        (addr - BASE) as usize
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the allocated image.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.data[self.index(addr)]
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        let i = self.index(addr);
+        self.data[i] = v;
+    }
+
+    /// Reads a big-endian halfword.
+    #[inline]
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        let i = self.index(addr);
+        u16::from_be_bytes([self.data[i], self.data[i + 1]])
+    }
+
+    /// Writes a big-endian halfword.
+    #[inline]
+    pub fn write_u16(&mut self, addr: u64, v: u16) {
+        let i = self.index(addr);
+        self.data[i..i + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Reads a big-endian word.
+    #[inline]
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let i = self.index(addr);
+        u32::from_be_bytes(self.data[i..i + 4].try_into().unwrap())
+    }
+
+    /// Writes a big-endian word.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        let i = self.index(addr);
+        self.data[i..i + 4].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Reads 16 bytes as a vector (no alignment requirement — callers model
+    /// alignment policy).
+    #[inline]
+    pub fn read_v128(&self, addr: u64) -> V128 {
+        let i = self.index(addr);
+        V128::from_bytes(self.data[i..i + 16].try_into().unwrap())
+    }
+
+    /// Writes 16 bytes from a vector.
+    #[inline]
+    pub fn write_v128(&mut self, addr: u64, v: V128) {
+        let i = self.index(addr);
+        self.data[i..i + 16].copy_from_slice(&v.to_bytes());
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let i = self.index(addr);
+        assert!(
+            i + bytes.len() <= self.data.len(),
+            "write_bytes beyond allocated image"
+        );
+        self.data[i..i + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> &[u8] {
+        let i = self.index(addr);
+        &self.data[i..i + len]
+    }
+
+    /// Writes a slice of signed halfwords (big-endian) starting at `addr`.
+    pub fn write_i16_slice(&mut self, addr: u64, values: &[i16]) {
+        for (k, &v) in values.iter().enumerate() {
+            self.write_u16(addr + 2 * k as u64, v as u16);
+        }
+    }
+
+    /// Reads `len` signed halfwords starting at `addr`.
+    pub fn read_i16_slice(&self, addr: u64, len: usize) -> Vec<i16> {
+        (0..len)
+            .map(|k| self.read_u16(addr + 2 * k as u64) as i16)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut m = Memory::new();
+        for align in [1u64, 2, 4, 16, 64, 128, 4096] {
+            let a = m.alloc(10, align);
+            assert_eq!(a % align, 0, "align {align}");
+        }
+    }
+
+    #[test]
+    fn alloc_with_offset_controls_low_bits() {
+        let mut m = Memory::new();
+        for off in 0..16u8 {
+            let a = m.alloc_with_offset(32, off);
+            assert_eq!((a % 16) as u8, off);
+            // The region is fully usable.
+            m.write_u8(a + 31, 0xcc);
+            assert_eq!(m.read_u8(a + 31), 0xcc);
+        }
+    }
+
+    #[test]
+    fn scalar_accessors_are_big_endian() {
+        let mut m = Memory::new();
+        let a = m.alloc(16, 16);
+        m.write_u32(a, 0x0102_0304);
+        assert_eq!(m.read_u8(a), 0x01);
+        assert_eq!(m.read_u8(a + 3), 0x04);
+        assert_eq!(m.read_u16(a), 0x0102);
+        assert_eq!(m.read_u16(a + 2), 0x0304);
+        assert_eq!(m.read_u32(a), 0x0102_0304);
+    }
+
+    #[test]
+    fn vector_accessors_roundtrip_and_match_scalar_view() {
+        let mut m = Memory::new();
+        let a = m.alloc(32, 16);
+        let v = V128::from_bytes(std::array::from_fn(|i| i as u8 * 3));
+        m.write_v128(a, v);
+        assert_eq!(m.read_v128(a), v);
+        // Element i is at byte address a+i.
+        for i in 0..16 {
+            assert_eq!(m.read_u8(a + i as u64), v.u8(i));
+        }
+        // Unaligned vector read sees the byte stream.
+        let u = m.read_v128(a + 5);
+        assert_eq!(u.u8(0), v.u8(5));
+    }
+
+    #[test]
+    fn i16_slice_roundtrip() {
+        let mut m = Memory::new();
+        let a = m.alloc(64, 16);
+        let coeffs = [-1i16, 300, -32768, 32767, 0, 7, -9, 42];
+        m.write_i16_slice(a, &coeffs);
+        assert_eq!(m.read_i16_slice(a, 8), coeffs);
+        // Vector view of the same bytes agrees (both big-endian).
+        let v = m.read_v128(a);
+        for (i, &c) in coeffs.iter().enumerate() {
+            assert_eq!(v.i16(i), c);
+        }
+    }
+
+    #[test]
+    fn write_read_bytes() {
+        let mut m = Memory::new();
+        let a = m.alloc(64, 16);
+        m.write_bytes(a + 4, &[9, 8, 7]);
+        assert_eq!(m.read_bytes(a + 4, 3), &[9, 8, 7]);
+        assert_eq!(m.read_u8(a + 3), 0);
+        assert!(m.allocated() >= 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oob_read_panics() {
+        let m = Memory::new();
+        let _ = m.read_u8(BASE + 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        let mut m = Memory::new();
+        let _ = m.alloc(8, 3);
+    }
+}

@@ -1,0 +1,962 @@
+//! Functional semantics of the Altivec-subset vector operations.
+//!
+//! Each function implements one opcode of [`valign_isa::Opcode`] over
+//! [`V128`] values, following the PowerPC Vector/SIMD Multimedia Extension
+//! programming-environments manual. Element numbering is big-endian (see
+//! [`crate::v128`]).
+//!
+//! These are *pure value* semantics; the tracing machine in [`crate::vm`]
+//! wraps them with register/trace bookkeeping, and the memory-access
+//! operations (`lvx`, `stvx`, `lvxu`, …) live there because they touch the
+//! memory image.
+
+use crate::v128::V128;
+
+#[inline]
+fn sat_u8(v: i32) -> u8 {
+    v.clamp(0, 255) as u8
+}
+
+#[inline]
+fn sat_i16(v: i32) -> i16 {
+    v.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16
+}
+
+#[inline]
+fn sat_u32(v: u64) -> u32 {
+    v.min(u64::from(u32::MAX)) as u32
+}
+
+#[inline]
+fn sat_i32(v: i64) -> i32 {
+    v.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32
+}
+
+// ---------------------------------------------------------------------
+// Permute class
+// ---------------------------------------------------------------------
+
+/// `vperm vD,vA,vB,vC` — byte-wise permute of the 32-byte concatenation
+/// `a ‖ b` selected by the low five bits of each byte of `c`.
+pub fn vperm(a: V128, b: V128, c: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..16 {
+        let sel = (c.u8(i) & 0x1f) as usize;
+        let byte = if sel < 16 { a.u8(sel) } else { b.u8(sel - 16) };
+        out.set_u8(i, byte);
+    }
+    out
+}
+
+/// `vsel vD,vA,vB,vC` — bit-wise select: where a mask bit of `c` is set the
+/// result takes `b`'s bit, otherwise `a`'s.
+pub fn vsel(a: V128, b: V128, c: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..16 {
+        out.set_u8(i, (a.u8(i) & !c.u8(i)) | (b.u8(i) & c.u8(i)));
+    }
+    out
+}
+
+/// `vsldoi vD,vA,vB,SH` — shift left double by octet: bytes `SH..SH+16` of
+/// `a ‖ b`.
+///
+/// # Panics
+///
+/// Panics if `sh > 15`.
+pub fn vsldoi(a: V128, b: V128, sh: u8) -> V128 {
+    assert!(sh < 16, "vsldoi shift must be 0..16");
+    let mut out = V128::ZERO;
+    for i in 0..16 {
+        let idx = i + sh as usize;
+        out.set_u8(i, if idx < 16 { a.u8(idx) } else { b.u8(idx - 16) });
+    }
+    out
+}
+
+/// `vmrghb` — merge high (low-address) bytes: `a0 b0 a1 b1 … a7 b7`.
+pub fn vmrghb(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..8 {
+        out.set_u8(2 * i, a.u8(i));
+        out.set_u8(2 * i + 1, b.u8(i));
+    }
+    out
+}
+
+/// `vmrglb` — merge low bytes: `a8 b8 … a15 b15`.
+pub fn vmrglb(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..8 {
+        out.set_u8(2 * i, a.u8(8 + i));
+        out.set_u8(2 * i + 1, b.u8(8 + i));
+    }
+    out
+}
+
+/// `vmrghh` — merge high halfwords.
+pub fn vmrghh(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..4 {
+        out.set_u16(2 * i, a.u16(i));
+        out.set_u16(2 * i + 1, b.u16(i));
+    }
+    out
+}
+
+/// `vmrglh` — merge low halfwords.
+pub fn vmrglh(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..4 {
+        out.set_u16(2 * i, a.u16(4 + i));
+        out.set_u16(2 * i + 1, b.u16(4 + i));
+    }
+    out
+}
+
+/// `vmrghw` — merge high words.
+pub fn vmrghw(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..2 {
+        out.set_u32(2 * i, a.u32(i));
+        out.set_u32(2 * i + 1, b.u32(i));
+    }
+    out
+}
+
+/// `vmrglw` — merge low words.
+pub fn vmrglw(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..2 {
+        out.set_u32(2 * i, a.u32(2 + i));
+        out.set_u32(2 * i + 1, b.u32(2 + i));
+    }
+    out
+}
+
+/// `vpkuhum` — pack 16 halfwords (a then b) to bytes, modulo (low byte).
+pub fn vpkuhum(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..8 {
+        out.set_u8(i, (a.u16(i) & 0xff) as u8);
+        out.set_u8(8 + i, (b.u16(i) & 0xff) as u8);
+    }
+    out
+}
+
+/// `vpkuwum` — pack 8 words (a then b) to halfwords, modulo.
+pub fn vpkuwum(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..4 {
+        out.set_u16(i, (a.u32(i) & 0xffff) as u16);
+        out.set_u16(4 + i, (b.u32(i) & 0xffff) as u16);
+    }
+    out
+}
+
+/// `vpkshus` — pack 16 *signed* halfwords to bytes with *unsigned*
+/// saturation (the H.264 clip-to-pixel idiom).
+pub fn vpkshus(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..8 {
+        out.set_u8(i, sat_u8(i32::from(a.i16(i))));
+        out.set_u8(8 + i, sat_u8(i32::from(b.i16(i))));
+    }
+    out
+}
+
+/// `vpkuhus` — pack 16 unsigned halfwords to bytes with unsigned saturation.
+pub fn vpkuhus(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..8 {
+        out.set_u8(i, a.u16(i).min(255) as u8);
+        out.set_u8(8 + i, b.u16(i).min(255) as u8);
+    }
+    out
+}
+
+/// `vpkswss` — pack 8 signed words (a then b) to signed halfwords with
+/// signed saturation.
+pub fn vpkswss(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..4 {
+        out.set_i16(i, sat_i16_from_i32(a.i32(i)));
+        out.set_i16(4 + i, sat_i16_from_i32(b.i32(i)));
+    }
+    out
+}
+
+/// `vpkswus` — pack 8 signed words to unsigned halfwords with saturation.
+pub fn vpkswus(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..4 {
+        out.set_u16(i, a.i32(i).clamp(0, 0xffff) as u16);
+        out.set_u16(4 + i, b.i32(i).clamp(0, 0xffff) as u16);
+    }
+    out
+}
+
+#[inline]
+fn sat_i16_from_i32(v: i32) -> i16 {
+    v.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16
+}
+
+/// `vupkhsb` — unpack high (first) 8 signed bytes to halfwords.
+pub fn vupkhsb(a: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..8 {
+        out.set_i16(i, i16::from(a.i8(i)));
+    }
+    out
+}
+
+/// `vupklsb` — unpack low (last) 8 signed bytes to halfwords.
+pub fn vupklsb(a: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..8 {
+        out.set_i16(i, i16::from(a.i8(8 + i)));
+    }
+    out
+}
+
+/// `vupkhsh` — unpack high 4 signed halfwords to words.
+pub fn vupkhsh(a: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..4 {
+        out.set_i32(i, i32::from(a.i16(i)));
+    }
+    out
+}
+
+/// `vupklsh` — unpack low 4 signed halfwords to words.
+pub fn vupklsh(a: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..4 {
+        out.set_i32(i, i32::from(a.i16(4 + i)));
+    }
+    out
+}
+
+/// `vspltb vD,vB,UIMM` — splat byte element `idx`.
+///
+/// # Panics
+///
+/// Panics if `idx > 15`.
+pub fn vspltb(a: V128, idx: u8) -> V128 {
+    assert!(idx < 16, "vspltb element index out of range");
+    V128::splat_u8(a.u8(idx as usize))
+}
+
+/// `vsplth` — splat halfword element `idx`.
+///
+/// # Panics
+///
+/// Panics if `idx > 7`.
+pub fn vsplth(a: V128, idx: u8) -> V128 {
+    assert!(idx < 8, "vsplth element index out of range");
+    V128::splat_u16(a.u16(idx as usize))
+}
+
+/// `vspltw` — splat word element `idx`.
+///
+/// # Panics
+///
+/// Panics if `idx > 3`.
+pub fn vspltw(a: V128, idx: u8) -> V128 {
+    assert!(idx < 4, "vspltw element index out of range");
+    V128::splat_u32(a.u32(idx as usize))
+}
+
+/// `vspltisb` — splat a 5-bit sign-extended immediate into bytes.
+///
+/// # Panics
+///
+/// Panics if `imm` is outside `-16..=15`.
+pub fn vspltisb(imm: i8) -> V128 {
+    assert!((-16..=15).contains(&imm), "vspltisb immediate out of range");
+    V128::splat_u8(imm as u8)
+}
+
+/// `vspltish` — splat a 5-bit sign-extended immediate into halfwords.
+///
+/// # Panics
+///
+/// Panics if `imm` is outside `-16..=15`.
+pub fn vspltish(imm: i8) -> V128 {
+    assert!((-16..=15).contains(&imm), "vspltish immediate out of range");
+    V128::splat_i16(i16::from(imm))
+}
+
+/// `vspltisw` — splat a 5-bit sign-extended immediate into words.
+///
+/// # Panics
+///
+/// Panics if `imm` is outside `-16..=15`.
+pub fn vspltisw(imm: i8) -> V128 {
+    assert!((-16..=15).contains(&imm), "vspltisw immediate out of range");
+    let mut out = V128::ZERO;
+    for i in 0..4 {
+        out.set_i32(i, i32::from(imm));
+    }
+    out
+}
+
+/// The realignment permute mask produced by `lvsl` for an effective
+/// address with 16-byte offset `sh`: bytes `sh, sh+1, …, sh+15`.
+pub fn lvsl_mask(sh: u8) -> V128 {
+    let sh = sh & 0xf;
+    let mut out = V128::ZERO;
+    for i in 0..16u8 {
+        out.set_u8(i as usize, sh + i);
+    }
+    out
+}
+
+/// The store-side realignment mask produced by `lvsr`: bytes
+/// `16-sh, …, 31-sh`.
+pub fn lvsr_mask(sh: u8) -> V128 {
+    let sh = sh & 0xf;
+    let mut out = V128::ZERO;
+    for i in 0..16u8 {
+        out.set_u8(i as usize, 16 - sh + i);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Simple integer class
+// ---------------------------------------------------------------------
+
+/// `vaddubm` — byte add, modulo.
+pub fn vaddubm(a: V128, b: V128) -> V128 {
+    a.zip_u8(b, u8::wrapping_add)
+}
+
+/// `vadduhm` — halfword add, modulo.
+pub fn vadduhm(a: V128, b: V128) -> V128 {
+    a.zip_u16(b, u16::wrapping_add)
+}
+
+/// `vadduwm` — word add, modulo.
+pub fn vadduwm(a: V128, b: V128) -> V128 {
+    a.zip_u32(b, u32::wrapping_add)
+}
+
+/// `vaddubs` — unsigned byte add with saturation.
+pub fn vaddubs(a: V128, b: V128) -> V128 {
+    a.zip_u8(b, u8::saturating_add)
+}
+
+/// `vadduhs` — unsigned halfword add with saturation.
+pub fn vadduhs(a: V128, b: V128) -> V128 {
+    a.zip_u16(b, u16::saturating_add)
+}
+
+/// `vaddshs` — signed halfword add with saturation.
+pub fn vaddshs(a: V128, b: V128) -> V128 {
+    a.zip_u16(b, |x, y| (x as i16).saturating_add(y as i16) as u16)
+}
+
+/// `vaddsws` — signed word add with saturation.
+pub fn vaddsws(a: V128, b: V128) -> V128 {
+    a.zip_u32(b, |x, y| (x as i32).saturating_add(y as i32) as u32)
+}
+
+/// `vsububm` — byte subtract, modulo.
+pub fn vsububm(a: V128, b: V128) -> V128 {
+    a.zip_u8(b, u8::wrapping_sub)
+}
+
+/// `vsubuhm` — halfword subtract, modulo.
+pub fn vsubuhm(a: V128, b: V128) -> V128 {
+    a.zip_u16(b, u16::wrapping_sub)
+}
+
+/// `vsubuwm` — word subtract, modulo.
+pub fn vsubuwm(a: V128, b: V128) -> V128 {
+    a.zip_u32(b, u32::wrapping_sub)
+}
+
+/// `vsububs` — unsigned byte subtract with saturation (clamps at zero).
+pub fn vsububs(a: V128, b: V128) -> V128 {
+    a.zip_u8(b, u8::saturating_sub)
+}
+
+/// `vsubshs` — signed halfword subtract with saturation.
+pub fn vsubshs(a: V128, b: V128) -> V128 {
+    a.zip_u16(b, |x, y| (x as i16).saturating_sub(y as i16) as u16)
+}
+
+/// `vavgub` — unsigned byte rounded average: `(a + b + 1) >> 1`.
+pub fn vavgub(a: V128, b: V128) -> V128 {
+    a.zip_u8(b, |x, y| ((u16::from(x) + u16::from(y) + 1) >> 1) as u8)
+}
+
+/// `vavguh` — unsigned halfword rounded average.
+pub fn vavguh(a: V128, b: V128) -> V128 {
+    a.zip_u16(b, |x, y| ((u32::from(x) + u32::from(y) + 1) >> 1) as u16)
+}
+
+/// `vmaxub` — unsigned byte maximum.
+pub fn vmaxub(a: V128, b: V128) -> V128 {
+    a.zip_u8(b, u8::max)
+}
+
+/// `vminub` — unsigned byte minimum.
+pub fn vminub(a: V128, b: V128) -> V128 {
+    a.zip_u8(b, u8::min)
+}
+
+/// `vmaxsh` — signed halfword maximum.
+pub fn vmaxsh(a: V128, b: V128) -> V128 {
+    a.zip_u16(b, |x, y| (x as i16).max(y as i16) as u16)
+}
+
+/// `vminsh` — signed halfword minimum.
+pub fn vminsh(a: V128, b: V128) -> V128 {
+    a.zip_u16(b, |x, y| (x as i16).min(y as i16) as u16)
+}
+
+/// `vand` — bitwise and.
+pub fn vand(a: V128, b: V128) -> V128 {
+    a.zip_u8(b, |x, y| x & y)
+}
+
+/// `vandc` — and with complement: `a & !b`.
+pub fn vandc(a: V128, b: V128) -> V128 {
+    a.zip_u8(b, |x, y| x & !y)
+}
+
+/// `vor` — bitwise or.
+pub fn vor(a: V128, b: V128) -> V128 {
+    a.zip_u8(b, |x, y| x | y)
+}
+
+/// `vxor` — bitwise xor.
+pub fn vxor(a: V128, b: V128) -> V128 {
+    a.zip_u8(b, |x, y| x ^ y)
+}
+
+/// `vnor` — bitwise nor.
+pub fn vnor(a: V128, b: V128) -> V128 {
+    a.zip_u8(b, |x, y| !(x | y))
+}
+
+/// `vslh` — halfword shift left; amount is the low 4 bits of each `b` lane.
+pub fn vslh(a: V128, b: V128) -> V128 {
+    a.zip_u16(b, |x, y| x << (y & 0xf))
+}
+
+/// `vsrh` — halfword logical shift right.
+pub fn vsrh(a: V128, b: V128) -> V128 {
+    a.zip_u16(b, |x, y| x >> (y & 0xf))
+}
+
+/// `vsrah` — halfword arithmetic shift right.
+pub fn vsrah(a: V128, b: V128) -> V128 {
+    a.zip_u16(b, |x, y| ((x as i16) >> (y & 0xf)) as u16)
+}
+
+/// `vslw` — word shift left; amount is the low 5 bits of each `b` lane.
+pub fn vslw(a: V128, b: V128) -> V128 {
+    a.zip_u32(b, |x, y| x << (y & 0x1f))
+}
+
+/// `vsrw` — word logical shift right.
+pub fn vsrw(a: V128, b: V128) -> V128 {
+    a.zip_u32(b, |x, y| x >> (y & 0x1f))
+}
+
+/// `vsraw` — word arithmetic shift right.
+pub fn vsraw(a: V128, b: V128) -> V128 {
+    a.zip_u32(b, |x, y| ((x as i32) >> (y & 0x1f)) as u32)
+}
+
+/// `vcmpequb` — byte equality compare; all-ones where equal.
+pub fn vcmpequb(a: V128, b: V128) -> V128 {
+    a.zip_u8(b, |x, y| if x == y { 0xff } else { 0 })
+}
+
+/// `vcmpgtub` — unsigned byte greater-than compare.
+pub fn vcmpgtub(a: V128, b: V128) -> V128 {
+    a.zip_u8(b, |x, y| if x > y { 0xff } else { 0 })
+}
+
+/// `vcmpgtsh` — signed halfword greater-than compare.
+pub fn vcmpgtsh(a: V128, b: V128) -> V128 {
+    a.zip_u16(b, |x, y| if (x as i16) > (y as i16) { 0xffff } else { 0 })
+}
+
+// ---------------------------------------------------------------------
+// Complex integer class
+// ---------------------------------------------------------------------
+
+/// `vmladduhm vD,vA,vB,vC` — halfword multiply-low then add, modulo:
+/// `(a*b + c) mod 2^16` per lane.
+pub fn vmladduhm(a: V128, b: V128, c: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..8 {
+        let prod = u32::from(a.u16(i)).wrapping_mul(u32::from(b.u16(i)));
+        out.set_u16(i, (prod.wrapping_add(u32::from(c.u16(i))) & 0xffff) as u16);
+    }
+    out
+}
+
+/// `vmhraddshs vD,vA,vB,vC` — signed halfword multiply-high-round, add,
+/// saturate: `sat16(((a*b + 0x4000) >> 15) + c)`.
+pub fn vmhraddshs(a: V128, b: V128, c: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..8 {
+        let prod = i32::from(a.i16(i)) * i32::from(b.i16(i));
+        let rounded = (prod + 0x4000) >> 15;
+        out.set_i16(i, sat_i16(rounded + i32::from(c.i16(i))));
+    }
+    out
+}
+
+/// `vmsumubm vD,vA,vB,vC` — per word lane: sum of the four `u8*u8`
+/// products plus the `c` word, modulo 2^32.
+pub fn vmsumubm(a: V128, b: V128, c: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for w in 0..4 {
+        let mut acc = c.u32(w);
+        for j in 0..4 {
+            acc = acc.wrapping_add(u32::from(a.u8(4 * w + j)) * u32::from(b.u8(4 * w + j)));
+        }
+        out.set_u32(w, acc);
+    }
+    out
+}
+
+/// `vmsumshm vD,vA,vB,vC` — per word lane: the two `i16*i16` products plus
+/// the `c` word, modulo 2^32.
+pub fn vmsumshm(a: V128, b: V128, c: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for w in 0..4 {
+        let p0 = i32::from(a.i16(2 * w)) * i32::from(b.i16(2 * w));
+        let p1 = i32::from(a.i16(2 * w + 1)) * i32::from(b.i16(2 * w + 1));
+        out.set_i32(w, p0.wrapping_add(p1).wrapping_add(c.i32(w)));
+    }
+    out
+}
+
+/// `vsum4ubs vD,vA,vB` — per word lane: sum of four unsigned bytes of `a`
+/// plus the `b` word, with unsigned saturation.
+pub fn vsum4ubs(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for w in 0..4 {
+        let s: u64 = (0..4).map(|j| u64::from(a.u8(4 * w + j))).sum::<u64>() + u64::from(b.u32(w));
+        out.set_u32(w, sat_u32(s));
+    }
+    out
+}
+
+/// `vsum4shs vD,vA,vB` — per word lane: sum of the two signed halfwords of
+/// `a` plus the `b` word, with signed saturation.
+pub fn vsum4shs(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for w in 0..4 {
+        let s = i64::from(a.i16(2 * w)) + i64::from(a.i16(2 * w + 1)) + i64::from(b.i32(w));
+        out.set_i32(w, sat_i32(s));
+    }
+    out
+}
+
+/// `vsumsws vD,vA,vB` — sum across the four signed words of `a` plus word 3
+/// of `b`, saturated, placed in word 3; other words zero.
+pub fn vsumsws(a: V128, b: V128) -> V128 {
+    let s: i64 = (0..4).map(|w| i64::from(a.i32(w))).sum::<i64>() + i64::from(b.i32(3));
+    let mut out = V128::ZERO;
+    out.set_i32(3, sat_i32(s));
+    out
+}
+
+/// `vmuleub` — multiply even (lower-index) unsigned bytes into halfwords.
+pub fn vmuleub(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..8 {
+        out.set_u16(i, u16::from(a.u8(2 * i)) * u16::from(b.u8(2 * i)));
+    }
+    out
+}
+
+/// `vmuloub` — multiply odd unsigned bytes into halfwords.
+pub fn vmuloub(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..8 {
+        out.set_u16(i, u16::from(a.u8(2 * i + 1)) * u16::from(b.u8(2 * i + 1)));
+    }
+    out
+}
+
+/// `vmulesh` — multiply even signed halfwords into words.
+pub fn vmulesh(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..4 {
+        out.set_i32(i, i32::from(a.i16(2 * i)) * i32::from(b.i16(2 * i)));
+    }
+    out
+}
+
+/// `vmulosh` — multiply odd signed halfwords into words.
+pub fn vmulosh(a: V128, b: V128) -> V128 {
+    let mut out = V128::ZERO;
+    for i in 0..4 {
+        out.set_i32(i, i32::from(a.i16(2 * i + 1)) * i32::from(b.i16(2 * i + 1)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq() -> V128 {
+        V128::from_bytes(std::array::from_fn(|i| i as u8))
+    }
+
+    fn seq16() -> V128 {
+        V128::from_bytes(std::array::from_fn(|i| 16 + i as u8))
+    }
+
+    #[test]
+    fn vperm_selects_across_both_operands() {
+        let a = seq();
+        let b = seq16();
+        // Identity on a.
+        assert_eq!(vperm(a, b, lvsl_mask(0)), a);
+        // Offset 5: bytes 5..21 of a‖b.
+        let r = vperm(a, b, lvsl_mask(5));
+        for i in 0..16 {
+            assert_eq!(r.u8(i), (5 + i) as u8);
+        }
+        // Select bits above 5 are ignored.
+        let mask = V128::splat_u8(0xe0 | 3);
+        assert_eq!(vperm(a, b, mask), V128::splat_u8(3));
+    }
+
+    #[test]
+    fn realignment_idiom_load() {
+        // The canonical Altivec unaligned-load idiom: two aligned loads and
+        // a vperm with the lvsl mask must reconstruct the unaligned data.
+        let mem: Vec<u8> = (0..64).map(|i| (i * 7 + 3) as u8).collect();
+        for off in 0..16usize {
+            let lo = V128::from_bytes(mem[0..16].try_into().unwrap());
+            let hi = V128::from_bytes(mem[16..32].try_into().unwrap());
+            let got = vperm(lo, hi, lvsl_mask(off as u8));
+            let want: [u8; 16] = mem[off..off + 16].try_into().unwrap();
+            assert_eq!(got.to_bytes(), want, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn realignment_idiom_store() {
+        // The store sequence of Fig. 5: rotate the data right by the
+        // unalignment (vperm with lvsr), build an insert mask, vsel into
+        // the two aligned words.
+        let data = V128::from_bytes(std::array::from_fn(|i| 0xa0 + i as u8));
+        for off in 0..16usize {
+            let mut mem = [0u8; 32];
+            let dst1 = V128::from_bytes(mem[0..16].try_into().unwrap());
+            let dst2 = V128::from_bytes(mem[16..32].try_into().unwrap());
+            let perm = lvsr_mask(off as u8);
+            let mask = vperm(V128::ZERO, V128::ONES, perm);
+            let rsum = vperm(data, data, perm);
+            let f1 = vsel(dst1, rsum, mask);
+            let f2 = vsel(rsum, dst2, mask);
+            mem[0..16].copy_from_slice(&f1.to_bytes());
+            mem[16..32].copy_from_slice(&f2.to_bytes());
+            for i in 0..16 {
+                assert_eq!(mem[off + i], 0xa0 + i as u8, "offset {off} byte {i}");
+            }
+            // Bytes outside the window untouched.
+            for (i, &b) in mem.iter().enumerate() {
+                if i < off || i >= off + 16 {
+                    assert_eq!(b, 0, "offset {off} byte {i} clobbered");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vsel_is_bitwise() {
+        let a = V128::splat_u8(0b1010_1010);
+        let b = V128::splat_u8(0b0101_0101);
+        let m = V128::splat_u8(0b0000_1111);
+        assert_eq!(vsel(a, b, m), V128::splat_u8(0b1010_0101));
+    }
+
+    #[test]
+    fn vsldoi_concatenates() {
+        let r = vsldoi(seq(), seq16(), 4);
+        for i in 0..16 {
+            assert_eq!(r.u8(i), (4 + i) as u8);
+        }
+        assert_eq!(vsldoi(seq(), seq16(), 0), seq());
+    }
+
+    #[test]
+    #[should_panic(expected = "vsldoi")]
+    fn vsldoi_rejects_large_shift() {
+        let _ = vsldoi(seq(), seq(), 16);
+    }
+
+    #[test]
+    fn merges() {
+        let a = seq();
+        let b = seq16();
+        let h = vmrghb(a, b);
+        assert_eq!(h.u8(0), 0);
+        assert_eq!(h.u8(1), 16);
+        assert_eq!(h.u8(14), 7);
+        assert_eq!(h.u8(15), 23);
+        let l = vmrglb(a, b);
+        assert_eq!(l.u8(0), 8);
+        assert_eq!(l.u8(1), 24);
+        let hh = vmrghh(a, b);
+        assert_eq!(hh.u16(0), a.u16(0));
+        assert_eq!(hh.u16(1), b.u16(0));
+        let lh = vmrglh(a, b);
+        assert_eq!(lh.u16(0), a.u16(4));
+        let hw = vmrghw(a, b);
+        assert_eq!(hw.u32(0), a.u32(0));
+        assert_eq!(hw.u32(1), b.u32(0));
+        let lw = vmrglw(a, b);
+        assert_eq!(lw.u32(0), a.u32(2));
+        assert_eq!(lw.u32(3), b.u32(3));
+    }
+
+    #[test]
+    fn unpack_then_pack_roundtrip_for_small_values() {
+        // Unsigned pixels < 128 survive a sign-extending unpack and a
+        // saturating pack.
+        let px = V128::from_bytes(std::array::from_fn(|i| (i * 8) as u8));
+        let hi = vupkhsb(px);
+        let lo = vupklsb(px);
+        assert_eq!(vpkshus(hi, lo), px);
+    }
+
+    #[test]
+    fn byte_unpack_via_merge_with_zero_is_unsigned() {
+        // The H.264 kernels use vmrghb(zero, x) to zero-extend bytes to
+        // halfwords (works for pixels >= 128 too, unlike vupkhsb).
+        let px = V128::splat_u8(200);
+        let hi = vmrghb(V128::ZERO, px);
+        for i in 0..8 {
+            assert_eq!(hi.u16(i), 200);
+        }
+    }
+
+    #[test]
+    fn pack_saturates() {
+        let big = V128::splat_i16(300);
+        let neg = V128::splat_i16(-5);
+        let p = vpkshus(big, neg);
+        assert_eq!(p.u8(0), 255);
+        assert_eq!(p.u8(8), 0);
+        let pu = vpkuhus(V128::splat_u16(256), V128::splat_u16(255));
+        assert_eq!(pu.u8(0), 255);
+        assert_eq!(pu.u8(8), 255);
+        let pm = vpkuhum(V128::splat_u16(0x1234), V128::splat_u16(0x00ff));
+        assert_eq!(pm.u8(0), 0x34);
+        assert_eq!(pm.u8(8), 0xff);
+        let pw = vpkuwum(V128::splat_u32(0xabcd_1234), V128::splat_u32(5));
+        assert_eq!(pw.u16(0), 0x1234);
+        assert_eq!(pw.u16(4), 5);
+    }
+
+    #[test]
+    fn unpack_sign_extends() {
+        let v = V128::from_bytes(std::array::from_fn(|i| if i < 8 { 0xff } else { 1 }));
+        assert_eq!(vupkhsb(v).i16(0), -1);
+        assert_eq!(vupklsb(v).i16(0), 1);
+        let h = V128::from_i16_lanes([-2, 3, -4, 5, 6, -7, 8, -9]);
+        assert_eq!(vupkhsh(h).i32(0), -2);
+        assert_eq!(vupkhsh(h).i32(3), 5);
+        assert_eq!(vupklsh(h).i32(1), -7);
+    }
+
+    #[test]
+    fn splats_and_immediates() {
+        let v = seq();
+        assert_eq!(vspltb(v, 3), V128::splat_u8(3));
+        assert_eq!(vsplth(v, 1), V128::splat_u16(v.u16(1)));
+        assert_eq!(vspltw(v, 2), V128::splat_u32(v.u32(2)));
+        assert_eq!(vspltish(5).i16(0), 5);
+        assert_eq!(vspltish(-16).i16(7), -16);
+        assert_eq!(vspltisb(-1), V128::ONES);
+        assert_eq!(vspltisw(3).i32(2), 3);
+        // The constant-20 idiom: vec_sl(splat(5), splat(2)).
+        let v20 = vslh(vspltish(5), vspltish(2));
+        assert_eq!(v20.i16(0), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "immediate out of range")]
+    fn vspltish_range_checked() {
+        let _ = vspltish(16);
+    }
+
+    #[test]
+    fn arithmetic_modulo_and_saturating() {
+        let a = V128::splat_u8(250);
+        let b = V128::splat_u8(10);
+        assert_eq!(vaddubm(a, b), V128::splat_u8(4));
+        assert_eq!(vaddubs(a, b), V128::splat_u8(255));
+        assert_eq!(vsububs(b, a), V128::ZERO);
+        assert_eq!(vsububm(b, a), V128::splat_u8(16));
+        let h = V128::splat_i16(32000);
+        assert_eq!(vaddshs(h, h).i16(0), i16::MAX);
+        assert_eq!(vsubshs(V128::splat_i16(-32000), h).i16(0), i16::MIN);
+        assert_eq!(vadduhm(V128::splat_u16(0xffff), V128::splat_u16(2)).u16(0), 1);
+        assert_eq!(vadduhs(V128::splat_u16(0xffff), V128::splat_u16(2)).u16(0), 0xffff);
+        assert_eq!(vadduwm(V128::splat_u32(u32::MAX), V128::splat_u32(2)).u32(0), 1);
+        assert_eq!(vsubuwm(V128::splat_u32(1), V128::splat_u32(2)).u32(0), u32::MAX);
+        assert_eq!(vsubuhm(V128::splat_u16(1), V128::splat_u16(2)).u16(0), u16::MAX);
+        assert_eq!(
+            vaddsws(V128::splat_u32(i32::MAX as u32), V128::splat_u32(1)).i32(0),
+            i32::MAX
+        );
+    }
+
+    #[test]
+    fn averages_round_up() {
+        assert_eq!(vavgub(V128::splat_u8(1), V128::splat_u8(2)), V128::splat_u8(2));
+        assert_eq!(vavgub(V128::splat_u8(255), V128::splat_u8(255)), V128::splat_u8(255));
+        assert_eq!(vavguh(V128::splat_u16(1), V128::splat_u16(2)).u16(0), 2);
+    }
+
+    #[test]
+    fn min_max_and_sad_idiom() {
+        let a = V128::splat_u8(9);
+        let b = V128::splat_u8(12);
+        // |a-b| via max/min/sub — the Altivec absolute-difference idiom.
+        let diff = vsububm(vmaxub(a, b), vminub(a, b));
+        assert_eq!(diff, V128::splat_u8(3));
+        assert_eq!(vmaxsh(V128::splat_i16(-3), V128::splat_i16(2)).i16(0), 2);
+        assert_eq!(vminsh(V128::splat_i16(-3), V128::splat_i16(2)).i16(0), -3);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = V128::splat_u8(0b1100);
+        let b = V128::splat_u8(0b1010);
+        assert_eq!(vand(a, b), V128::splat_u8(0b1000));
+        assert_eq!(vor(a, b), V128::splat_u8(0b1110));
+        assert_eq!(vxor(a, b), V128::splat_u8(0b0110));
+        assert_eq!(vnor(a, b), V128::splat_u8(!0b1110));
+        assert_eq!(vandc(a, b), V128::splat_u8(0b0100));
+        assert_eq!(vxor(a, a), V128::ZERO, "vxor self is the zero idiom");
+    }
+
+    #[test]
+    fn shifts_use_low_bits_of_amount() {
+        let v = V128::splat_u16(0x0100);
+        assert_eq!(vslh(v, vspltish(4)).u16(0), 0x1000);
+        assert_eq!(vsrh(v, vspltish(4)).u16(0), 0x0010);
+        let n = V128::splat_i16(-16);
+        assert_eq!(vsrah(n, vspltish(2)).i16(0), -4);
+        assert_eq!(vsrh(n, vspltish(2)).u16(0), ((-16i16 as u16) >> 2));
+        let w = V128::splat_u32(8);
+        assert_eq!(vslw(w, vspltisw(1)).u32(0), 16);
+        assert_eq!(vsrw(w, vspltisw(2)).u32(0), 2);
+        assert_eq!(vsraw(V128::splat_u32((-8i32) as u32), vspltisw(1)).i32(0), -4);
+    }
+
+    #[test]
+    fn compares_produce_masks() {
+        assert_eq!(vcmpequb(seq(), seq()), V128::ONES);
+        assert_eq!(vcmpgtub(V128::splat_u8(2), V128::splat_u8(1)), V128::ONES);
+        assert_eq!(vcmpgtub(V128::splat_u8(1), V128::splat_u8(2)), V128::ZERO);
+        assert_eq!(
+            vcmpgtsh(V128::splat_i16(-1), V128::splat_i16(-2)),
+            V128::ONES
+        );
+    }
+
+    #[test]
+    fn multiply_add_family() {
+        let a = V128::splat_u16(7);
+        let b = V128::splat_u16(9);
+        let c = V128::splat_u16(100);
+        assert_eq!(vmladduhm(a, b, c).u16(0), 163);
+        // Wraps modulo 2^16.
+        assert_eq!(
+            vmladduhm(V128::splat_u16(0x8000), V128::splat_u16(2), V128::splat_u16(5)).u16(0),
+            5
+        );
+        // vmhraddshs: (a*b + 0x4000) >> 15, plus c, saturated.
+        let r = vmhraddshs(V128::splat_i16(16384), V128::splat_i16(2), V128::splat_i16(1));
+        assert_eq!(r.i16(0), 2); // (32768 + 0x4000) >> 15 = 1, +1 = 2
+        let sat = vmhraddshs(
+            V128::splat_i16(i16::MAX),
+            V128::splat_i16(i16::MAX),
+            V128::splat_i16(i16::MAX),
+        );
+        assert_eq!(sat.i16(0), i16::MAX);
+    }
+
+    #[test]
+    fn dot_product_family() {
+        let a = V128::splat_u8(3);
+        let b = V128::splat_u8(4);
+        let acc = V128::splat_u32(10);
+        // Four 3*4 products per word + 10.
+        assert_eq!(vmsumubm(a, b, acc).u32(0), 58);
+        let sa = V128::splat_i16(-3);
+        let sb = V128::splat_i16(5);
+        let sacc = V128::splat_u32(1);
+        assert_eq!(vmsumshm(sa, sb, sacc).i32(0), -29);
+    }
+
+    #[test]
+    fn sum_across_family() {
+        let a = V128::from_bytes(std::array::from_fn(|i| i as u8));
+        let r = vsum4ubs(a, V128::ZERO);
+        assert_eq!(r.u32(0), 0 + 1 + 2 + 3);
+        assert_eq!(r.u32(3), 12 + 13 + 14 + 15);
+        let sat = vsum4ubs(V128::splat_u8(255), V128::splat_u32(u32::MAX));
+        assert_eq!(sat.u32(0), u32::MAX);
+        let h = V128::from_i16_lanes([1, -2, 3, 4, -5, 6, 7, 8]);
+        let s4 = vsum4shs(h, V128::splat_u32(1));
+        assert_eq!(s4.i32(0), 0);
+        assert_eq!(s4.i32(1), 8);
+        let total = vsumsws(V128::from_u32_lanes([1, 2, 3, 4]), V128::from_u32_lanes([9, 9, 9, 5]));
+        assert_eq!(total.i32(3), 15);
+        assert_eq!(total.i32(0), 0);
+        let sat2 = vsumsws(
+            V128::from_u32_lanes([i32::MAX as u32, i32::MAX as u32, 0, 0]),
+            V128::ZERO,
+        );
+        assert_eq!(sat2.i32(3), i32::MAX);
+    }
+
+    #[test]
+    fn even_odd_multiplies() {
+        let a = V128::from_bytes(std::array::from_fn(|i| (i + 1) as u8));
+        let b = V128::splat_u8(10);
+        assert_eq!(vmuleub(a, b).u16(0), 10);
+        assert_eq!(vmuloub(a, b).u16(0), 20);
+        let sa = V128::from_i16_lanes([-2, 3, -2, 3, -2, 3, -2, 3]);
+        let sb = V128::splat_i16(100);
+        assert_eq!(vmulesh(sa, sb).i32(0), -200);
+        assert_eq!(vmulosh(sa, sb).i32(0), 300);
+    }
+
+    #[test]
+    fn lvsl_lvsr_masks() {
+        assert_eq!(lvsl_mask(0).u8(0), 0);
+        assert_eq!(lvsl_mask(3).u8(0), 3);
+        assert_eq!(lvsl_mask(3).u8(15), 18);
+        assert_eq!(lvsr_mask(3).u8(0), 13);
+        // lvsl(sh) and lvsr(sh) are complementary rotations.
+        for sh in 0..16u8 {
+            let l = lvsl_mask(sh);
+            let r = lvsr_mask(sh);
+            if sh == 0 {
+                assert_eq!(r.u8(0), 16);
+            }
+            assert_eq!((l.u8(0) + r.u8(0)) % 16, 0);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! The 128-bit vector value type.
+//!
+//! [`V128`] is an Altivec-style vector register value: sixteen bytes with
+//! **big-endian element numbering**, matching PowerPC — element 0 is the
+//! byte at the lowest address, a 16-bit element spans two consecutive bytes
+//! interpreted big-endian, and so on. All the operation semantics in
+//! [`crate::ops`] are defined over this type.
+
+use std::fmt;
+
+/// A 128-bit vector register value with PowerPC (big-endian) lane order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct V128 {
+    bytes: [u8; 16],
+}
+
+impl V128 {
+    /// The all-zero vector.
+    pub const ZERO: V128 = V128 { bytes: [0; 16] };
+    /// The all-ones vector.
+    pub const ONES: V128 = V128 { bytes: [0xff; 16] };
+
+    /// Builds a vector from its sixteen bytes (element 0 first).
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        V128 { bytes }
+    }
+
+    /// The sixteen bytes, element 0 first.
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.bytes
+    }
+
+    /// Borrow the bytes.
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.bytes
+    }
+
+    /// Splats a byte into all 16 elements.
+    pub fn splat_u8(v: u8) -> Self {
+        V128 { bytes: [v; 16] }
+    }
+
+    /// Splats a halfword into all 8 elements.
+    pub fn splat_u16(v: u16) -> Self {
+        let mut out = V128::ZERO;
+        for i in 0..8 {
+            out.set_u16(i, v);
+        }
+        out
+    }
+
+    /// Splats a signed halfword into all 8 elements.
+    pub fn splat_i16(v: i16) -> Self {
+        Self::splat_u16(v as u16)
+    }
+
+    /// Splats a word into all 4 elements.
+    pub fn splat_u32(v: u32) -> Self {
+        let mut out = V128::ZERO;
+        for i in 0..4 {
+            out.set_u32(i, v);
+        }
+        out
+    }
+
+    /// Builds a vector from eight big-endian halfword elements.
+    pub fn from_u16_lanes(lanes: [u16; 8]) -> Self {
+        let mut out = V128::ZERO;
+        for (i, l) in lanes.into_iter().enumerate() {
+            out.set_u16(i, l);
+        }
+        out
+    }
+
+    /// Builds a vector from eight signed halfword elements.
+    pub fn from_i16_lanes(lanes: [i16; 8]) -> Self {
+        let mut out = V128::ZERO;
+        for (i, l) in lanes.into_iter().enumerate() {
+            out.set_i16(i, l);
+        }
+        out
+    }
+
+    /// Builds a vector from four big-endian word elements.
+    pub fn from_u32_lanes(lanes: [u32; 4]) -> Self {
+        let mut out = V128::ZERO;
+        for (i, l) in lanes.into_iter().enumerate() {
+            out.set_u32(i, l);
+        }
+        out
+    }
+
+    /// The eight halfword elements.
+    pub fn to_u16_lanes(self) -> [u16; 8] {
+        std::array::from_fn(|i| self.u16(i))
+    }
+
+    /// The eight signed halfword elements.
+    pub fn to_i16_lanes(self) -> [i16; 8] {
+        std::array::from_fn(|i| self.i16(i))
+    }
+
+    /// The four word elements.
+    pub fn to_u32_lanes(self) -> [u32; 4] {
+        std::array::from_fn(|i| self.u32(i))
+    }
+
+    /// Byte element `i` (0..16).
+    #[inline]
+    pub fn u8(self, i: usize) -> u8 {
+        self.bytes[i]
+    }
+
+    /// Signed byte element `i`.
+    #[inline]
+    pub fn i8(self, i: usize) -> i8 {
+        self.bytes[i] as i8
+    }
+
+    /// Sets byte element `i`.
+    #[inline]
+    pub fn set_u8(&mut self, i: usize, v: u8) {
+        self.bytes[i] = v;
+    }
+
+    /// Halfword element `i` (0..8), big-endian.
+    #[inline]
+    pub fn u16(self, i: usize) -> u16 {
+        u16::from_be_bytes([self.bytes[2 * i], self.bytes[2 * i + 1]])
+    }
+
+    /// Signed halfword element `i`.
+    #[inline]
+    pub fn i16(self, i: usize) -> i16 {
+        self.u16(i) as i16
+    }
+
+    /// Sets halfword element `i`.
+    #[inline]
+    pub fn set_u16(&mut self, i: usize, v: u16) {
+        let b = v.to_be_bytes();
+        self.bytes[2 * i] = b[0];
+        self.bytes[2 * i + 1] = b[1];
+    }
+
+    /// Sets signed halfword element `i`.
+    #[inline]
+    pub fn set_i16(&mut self, i: usize, v: i16) {
+        self.set_u16(i, v as u16);
+    }
+
+    /// Word element `i` (0..4), big-endian.
+    #[inline]
+    pub fn u32(self, i: usize) -> u32 {
+        u32::from_be_bytes([
+            self.bytes[4 * i],
+            self.bytes[4 * i + 1],
+            self.bytes[4 * i + 2],
+            self.bytes[4 * i + 3],
+        ])
+    }
+
+    /// Signed word element `i`.
+    #[inline]
+    pub fn i32(self, i: usize) -> i32 {
+        self.u32(i) as i32
+    }
+
+    /// Sets word element `i`.
+    #[inline]
+    pub fn set_u32(&mut self, i: usize, v: u32) {
+        let b = v.to_be_bytes();
+        self.bytes[4 * i..4 * i + 4].copy_from_slice(&b);
+    }
+
+    /// Sets signed word element `i`.
+    #[inline]
+    pub fn set_i32(&mut self, i: usize, v: i32) {
+        self.set_u32(i, v as u32);
+    }
+
+    /// Applies `f` to each byte lane of `self` and `other`.
+    pub fn zip_u8(self, other: V128, mut f: impl FnMut(u8, u8) -> u8) -> V128 {
+        let mut out = V128::ZERO;
+        for i in 0..16 {
+            out.bytes[i] = f(self.bytes[i], other.bytes[i]);
+        }
+        out
+    }
+
+    /// Applies `f` to each halfword lane of `self` and `other`.
+    pub fn zip_u16(self, other: V128, mut f: impl FnMut(u16, u16) -> u16) -> V128 {
+        let mut out = V128::ZERO;
+        for i in 0..8 {
+            out.set_u16(i, f(self.u16(i), other.u16(i)));
+        }
+        out
+    }
+
+    /// Applies `f` to each word lane of `self` and `other`.
+    pub fn zip_u32(self, other: V128, mut f: impl FnMut(u32, u32) -> u32) -> V128 {
+        let mut out = V128::ZERO;
+        for i in 0..4 {
+            out.set_u32(i, f(self.u32(i), other.u32(i)));
+        }
+        out
+    }
+}
+
+impl From<[u8; 16]> for V128 {
+    fn from(bytes: [u8; 16]) -> Self {
+        V128::from_bytes(bytes)
+    }
+}
+
+impl From<V128> for [u8; 16] {
+    fn from(v: V128) -> Self {
+        v.to_bytes()
+    }
+}
+
+impl fmt::Debug for V128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V128[")?;
+        for (i, b) in self.bytes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for V128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_lane_numbering() {
+        let mut v = V128::ZERO;
+        v.set_u16(0, 0x1234);
+        // Element 0 occupies the lowest-addressed bytes, big-endian.
+        assert_eq!(v.u8(0), 0x12);
+        assert_eq!(v.u8(1), 0x34);
+        v.set_u32(3, 0xdead_beef);
+        assert_eq!(v.u8(12), 0xde);
+        assert_eq!(v.u8(15), 0xef);
+        assert_eq!(v.u32(3), 0xdead_beef);
+        assert_eq!(v.i32(3), 0xdead_beefu32 as i32);
+    }
+
+    #[test]
+    fn splats() {
+        assert!(V128::splat_u8(7).to_bytes().iter().all(|&b| b == 7));
+        let h = V128::splat_u16(0x0102);
+        for i in 0..8 {
+            assert_eq!(h.u16(i), 0x0102);
+        }
+        let w = V128::splat_u32(0xa1b2c3d4);
+        for i in 0..4 {
+            assert_eq!(w.u32(i), 0xa1b2c3d4);
+        }
+        let s = V128::splat_i16(-5);
+        for i in 0..8 {
+            assert_eq!(s.i16(i), -5);
+        }
+    }
+
+    #[test]
+    fn lane_roundtrips() {
+        let v = V128::from_i16_lanes([-1, 2, -3, 4, -5, 6, -7, 8]);
+        assert_eq!(v.to_i16_lanes(), [-1, 2, -3, 4, -5, 6, -7, 8]);
+        let w = V128::from_u32_lanes([1, u32::MAX, 3, 4]);
+        assert_eq!(w.to_u32_lanes(), [1, u32::MAX, 3, 4]);
+        let u = V128::from_u16_lanes([1, 2, 3, 4, 5, 6, 7, 0xffff]);
+        assert_eq!(u.to_u16_lanes()[7], 0xffff);
+    }
+
+    #[test]
+    fn zips() {
+        let a = V128::splat_u8(10);
+        let b = V128::splat_u8(3);
+        assert_eq!(a.zip_u8(b, |x, y| x - y), V128::splat_u8(7));
+        let c = V128::splat_u16(1000);
+        let d = V128::splat_u16(24);
+        assert_eq!(c.zip_u16(d, |x, y| x + y), V128::splat_u16(1024));
+        let e = V128::splat_u32(5);
+        assert_eq!(e.zip_u32(e, |x, y| x * y), V128::splat_u32(25));
+    }
+
+    #[test]
+    fn debug_format_shows_all_bytes() {
+        let s = format!("{:?}", V128::splat_u8(0xab));
+        assert_eq!(s.matches("ab").count(), 16);
+        assert_eq!(format!("{}", V128::ZERO), format!("{:?}", V128::ZERO));
+    }
+
+    #[test]
+    fn conversions() {
+        let raw = [1u8; 16];
+        let v: V128 = raw.into();
+        let back: [u8; 16] = v.into();
+        assert_eq!(raw, back);
+        assert_eq!(v.as_bytes(), &raw);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests of the vector operation semantics against
+//! independent scalar lane models.
+
+use proptest::prelude::*;
+use valign_vm::{ops, V128};
+
+fn v128() -> impl Strategy<Value = V128> {
+    proptest::array::uniform16(any::<u8>()).prop_map(V128::from_bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn vperm_models_byte_selection(a in v128(), b in v128(), c in v128()) {
+        let r = ops::vperm(a, b, c);
+        for i in 0..16 {
+            let sel = (c.u8(i) & 0x1f) as usize;
+            let want = if sel < 16 { a.u8(sel) } else { b.u8(sel - 16) };
+            prop_assert_eq!(r.u8(i), want);
+        }
+    }
+
+    #[test]
+    fn vsel_merges_bitwise(a in v128(), b in v128(), m in v128()) {
+        let r = ops::vsel(a, b, m);
+        for i in 0..16 {
+            prop_assert_eq!(r.u8(i), (a.u8(i) & !m.u8(i)) | (b.u8(i) & m.u8(i)));
+        }
+        // Degenerate masks.
+        prop_assert_eq!(ops::vsel(a, b, V128::ZERO), a);
+        prop_assert_eq!(ops::vsel(a, b, V128::ONES), b);
+    }
+
+    #[test]
+    fn vsldoi_window(a in v128(), b in v128(), sh in 0u8..16) {
+        let r = ops::vsldoi(a, b, sh);
+        let concat: Vec<u8> = a.to_bytes().iter().chain(b.to_bytes().iter()).copied().collect();
+        for i in 0..16 {
+            prop_assert_eq!(r.u8(i), concat[i + sh as usize]);
+        }
+    }
+
+    #[test]
+    fn realignment_identity(a in v128(), b in v128(), off in 0u8..16) {
+        // vperm with the lvsl mask == vsldoi by the offset.
+        let mask = ops::lvsl_mask(off);
+        prop_assert_eq!(ops::vperm(a, b, mask), ops::vsldoi(a, b, off));
+    }
+
+    #[test]
+    fn saturating_adds_bound(a in v128(), b in v128()) {
+        let s = ops::vaddubs(a, b);
+        let m = ops::vaddubm(a, b);
+        for i in 0..16 {
+            let exact = u16::from(a.u8(i)) + u16::from(b.u8(i));
+            prop_assert_eq!(u16::from(s.u8(i)), exact.min(255));
+            prop_assert_eq!(m.u8(i), (exact & 0xff) as u8);
+            prop_assert!(s.u8(i) >= m.u8(i) || exact > 255);
+        }
+        let hs = ops::vaddshs(a, b);
+        for i in 0..8 {
+            let exact = i32::from(a.i16(i)) + i32::from(b.i16(i));
+            prop_assert_eq!(i32::from(hs.i16(i)), exact.clamp(-32768, 32767));
+        }
+    }
+
+    #[test]
+    fn avg_rounds_up_and_is_bounded(a in v128(), b in v128()) {
+        let r = ops::vavgub(a, b);
+        for i in 0..16 {
+            let (x, y) = (u16::from(a.u8(i)), u16::from(b.u8(i)));
+            prop_assert_eq!(u16::from(r.u8(i)), (x + y + 1) >> 1);
+            prop_assert!(r.u8(i) >= a.u8(i).min(b.u8(i)));
+            prop_assert!(r.u8(i) <= a.u8(i).max(b.u8(i)));
+        }
+        // Commutative.
+        prop_assert_eq!(ops::vavgub(a, b), ops::vavgub(b, a));
+    }
+
+    #[test]
+    fn max_min_sub_is_absolute_difference(a in v128(), b in v128()) {
+        let d = ops::vsububm(ops::vmaxub(a, b), ops::vminub(a, b));
+        for i in 0..16 {
+            prop_assert_eq!(d.u8(i), a.u8(i).abs_diff(b.u8(i)));
+        }
+        // Also equals the saturating-sub-or trick.
+        let alt = ops::vor(ops::vsububs(a, b), ops::vsububs(b, a));
+        prop_assert_eq!(d, alt);
+    }
+
+    #[test]
+    fn packs_respect_saturation(a in v128(), b in v128()) {
+        let p = ops::vpkshus(a, b);
+        for i in 0..8 {
+            prop_assert_eq!(i32::from(p.u8(i)), i32::from(a.i16(i)).clamp(0, 255));
+            prop_assert_eq!(i32::from(p.u8(8 + i)), i32::from(b.i16(i)).clamp(0, 255));
+        }
+        let w = ops::vpkswss(a, b);
+        for i in 0..4 {
+            prop_assert_eq!(i32::from(w.i16(i)), a.i32(i).clamp(-32768, 32767));
+            prop_assert_eq!(i32::from(w.i16(4 + i)), b.i32(i).clamp(-32768, 32767));
+        }
+    }
+
+    #[test]
+    fn unpack_pack_roundtrip_unsigned_bytes(a in v128()) {
+        // merge-with-zero widening then modulo pack restores the bytes.
+        let hi = ops::vmrghb(V128::ZERO, a);
+        let lo = ops::vmrglb(V128::ZERO, a);
+        prop_assert_eq!(ops::vpkuhum(hi, lo), a);
+        // And the saturating pack agrees (values <= 255).
+        prop_assert_eq!(ops::vpkuhus(hi, lo), a);
+    }
+
+    #[test]
+    fn merge_pairs_partition_the_inputs(a in v128(), b in v128()) {
+        let h = ops::vmrghb(a, b);
+        let l = ops::vmrglb(a, b);
+        // Every input byte appears exactly once across (h, l).
+        let mut count = std::collections::HashMap::new();
+        for v in a.to_bytes().iter().chain(b.to_bytes().iter()) {
+            *count.entry(*v).or_insert(0i32) += 1;
+        }
+        for v in h.to_bytes().iter().chain(l.to_bytes().iter()) {
+            *count.entry(*v).or_insert(0) -= 1;
+        }
+        prop_assert!(count.values().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn vmladduhm_is_mul_add_mod(a in v128(), b in v128(), c in v128()) {
+        let r = ops::vmladduhm(a, b, c);
+        for i in 0..8 {
+            let exact = (u32::from(a.u16(i)) * u32::from(b.u16(i))
+                + u32::from(c.u16(i))) & 0xffff;
+            prop_assert_eq!(u32::from(r.u16(i)), exact);
+        }
+    }
+
+    #[test]
+    fn sum_across_chain_counts_bytes(a in v128()) {
+        // vsum4ubs + vsumsws computes the full byte sum.
+        let partial = ops::vsum4ubs(a, V128::ZERO);
+        let total = ops::vsumsws(partial, V128::ZERO);
+        let want: i32 = a.to_bytes().iter().map(|&b| i32::from(b)).sum();
+        prop_assert_eq!(total.i32(3), want);
+    }
+
+    #[test]
+    fn shifts_match_lane_models(a in v128(), sh in 0u8..16) {
+        let amt = V128::splat_u16(u16::from(sh));
+        let sl = ops::vslh(a, amt);
+        let sr = ops::vsrh(a, amt);
+        let sra = ops::vsrah(a, amt);
+        for i in 0..8 {
+            prop_assert_eq!(sl.u16(i), a.u16(i) << (sh & 15));
+            prop_assert_eq!(sr.u16(i), a.u16(i) >> (sh & 15));
+            prop_assert_eq!(sra.i16(i), a.i16(i) >> (sh & 15));
+        }
+    }
+
+    #[test]
+    fn bitwise_identities(a in v128(), b in v128()) {
+        prop_assert_eq!(ops::vxor(a, a), V128::ZERO);
+        prop_assert_eq!(ops::vand(a, V128::ONES), a);
+        prop_assert_eq!(ops::vor(a, V128::ZERO), a);
+        prop_assert_eq!(ops::vnor(a, b), ops::vxor(ops::vor(a, b), V128::ONES));
+        prop_assert_eq!(ops::vandc(a, b), ops::vand(a, ops::vxor(b, V128::ONES)));
+    }
+
+    #[test]
+    fn splats_are_uniform(a in v128(), idx in 0u8..16) {
+        let s = ops::vspltb(a, idx);
+        prop_assert!(s.to_bytes().iter().all(|&x| x == a.u8(idx as usize)));
+        let h = ops::vsplth(a, idx % 8);
+        prop_assert!((0..8).all(|i| h.u16(i) == a.u16((idx % 8) as usize)));
+    }
+
+    #[test]
+    fn even_odd_multiplies_cover_all_lanes(a in v128(), b in v128()) {
+        let e = ops::vmuleub(a, b);
+        let o = ops::vmuloub(a, b);
+        for i in 0..8 {
+            prop_assert_eq!(e.u16(i), u16::from(a.u8(2 * i)) * u16::from(b.u8(2 * i)));
+            prop_assert_eq!(o.u16(i), u16::from(a.u8(2 * i + 1)) * u16::from(b.u8(2 * i + 1)));
+        }
+        let es = ops::vmulesh(a, b);
+        let os = ops::vmulosh(a, b);
+        for i in 0..4 {
+            prop_assert_eq!(es.i32(i), i32::from(a.i16(2 * i)) * i32::from(b.i16(2 * i)));
+            prop_assert_eq!(os.i32(i), i32::from(a.i16(2 * i + 1)) * i32::from(b.i16(2 * i + 1)));
+        }
+    }
+
+    #[test]
+    fn compares_are_exhaustive_masks(a in v128(), b in v128()) {
+        let eq = ops::vcmpequb(a, b);
+        let gt = ops::vcmpgtub(a, b);
+        let lt = ops::vcmpgtub(b, a);
+        for i in 0..16 {
+            let lanes = [eq.u8(i), gt.u8(i), lt.u8(i)];
+            prop_assert!(lanes.iter().all(|&m| m == 0 || m == 0xff));
+            // Exactly one of ==, >, < holds.
+            prop_assert_eq!(lanes.iter().filter(|&&m| m == 0xff).count(), 1);
+        }
+    }
+}

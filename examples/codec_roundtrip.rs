@@ -1,0 +1,38 @@
+//! Codec round-trip: encode and reconstruct a synthetic frame at several
+//! quantiser settings and watch the rate/distortion trade-off.
+//!
+//! Exercises the whole substrate end to end — motion-compensated and
+//! intra prediction, the 4x4 forward transform, H.264 quantisation
+//! tables, dequantisation and the inverse transform — i.e. the exact
+//! kernel data flow whose SIMD implementations the study measures.
+//!
+//! Run with: `cargo run --release --example codec_roundtrip`
+
+use valign::h264::plane::Resolution;
+use valign::h264::recon::reconstruct_frame;
+use valign::h264::synth::{plan_frame, synth_frame, Sequence};
+
+fn main() {
+    let seq = Sequence::Pedestrian;
+    let res = Resolution::Sd576;
+    let reference = synth_frame(seq, res, 0, 42);
+    let source = synth_frame(seq, res, 1, 42);
+    let plan = plan_frame(seq, res, 42);
+
+    println!(
+        "sequence {seq} at {res}: {} macroblocks, {:.0}% inter\n",
+        plan.mbs.len(),
+        plan.inter_fraction() * 100.0
+    );
+    println!("{:>4} {:>10} {:>14} {:>16}", "QP", "PSNR-Y", "bit proxy", "nonzero levels");
+    println!("{}", "-".repeat(50));
+    for qp in [8u8, 16, 24, 32, 40, 48] {
+        let (_, stats) = reconstruct_frame(&source, &reference, &plan, qp);
+        println!(
+            "{qp:>4} {:>9.2}dB {:>14} {:>16}",
+            stats.psnr_y, stats.bit_proxy, stats.nonzero_levels
+        );
+    }
+    println!("\nLower QP: more bits, higher fidelity — the standard rate/distortion curve,");
+    println!("produced entirely by the golden kernels this study's SIMD variants reproduce.");
+}

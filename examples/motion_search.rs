@@ -1,0 +1,88 @@
+//! Motion estimation over a synthetic pan: full-search with the SAD
+//! kernel in the paper's three implementations.
+//!
+//! The candidate blocks of a motion search land at arbitrary offsets
+//! inside the search window — the canonical source of unpredictable
+//! unaligned accesses. This example plants a known global pan, runs an
+//! exhaustive search entirely through the tracing VM, verifies all three
+//! implementations find the same motion vector as the golden reference,
+//! and compares their costs on the 2-way embedded-style machine.
+//!
+//! Run with: `cargo run --release --example motion_search`
+
+use valign::core::experiments::measure;
+use valign::h264::plane::{Plane, Resolution};
+use valign::h264::sad::full_search;
+use valign::h264::synth::{synth_frame, Sequence};
+use valign::kernels::sad::{sad, SadArgs};
+use valign::kernels::util::Variant;
+use valign::pipeline::PipelineConfig;
+use valign::vm::Vm;
+
+const RANGE: isize = 8;
+
+fn load_plane(vm: &mut Vm, p: &Plane) -> u64 {
+    let base = vm.mem_mut().alloc(p.raw().len(), 16);
+    vm.mem_mut().write_bytes(base, p.raw());
+    base + p.index_of(0, 0) as u64
+}
+
+fn main() {
+    // Two consecutive frames of the blue_sky pan (integer shift ≈ (5,1)).
+    let f0 = synth_frame(Sequence::BlueSky, Resolution::Sd576, 0, 7);
+    let f1 = synth_frame(Sequence::BlueSky, Resolution::Sd576, 1, 7);
+    let (cx, cy) = (160isize, 128isize);
+
+    let golden = full_search(&f1.y, cx, cy, &f0.y, 16, 16, RANGE);
+    println!(
+        "golden full search: best MV ({}, {}) with SAD {}",
+        golden.0, golden.1, golden.2
+    );
+
+    for &variant in Variant::ALL {
+        let mut vm = Vm::new();
+        let cur00 = load_plane(&mut vm, &f1.y);
+        let ref00 = load_plane(&mut vm, &f0.y);
+        let scratch = vm.mem_mut().alloc(16, 16);
+        let stride = f1.y.stride() as i64;
+        vm.clear_trace();
+
+        let mut best = (0isize, 0isize, u32::MAX);
+        for dy in -RANGE..=RANGE {
+            for dx in -RANGE..=RANGE {
+                let args = SadArgs {
+                    cur: (cur00 as i64 + cy as i64 * stride + cx as i64) as u64,
+                    cur_stride: stride,
+                    refp: (ref00 as i64
+                        + (cy + dy) as i64 * stride
+                        + (cx + dx) as i64) as u64,
+                    ref_stride: stride,
+                    scratch,
+                    w: 16,
+                    h: 16,
+                };
+                let s = sad(&mut vm, variant, &args).value() as u32;
+                if s < best.2 {
+                    best = (dx, dy, s);
+                }
+            }
+        }
+        assert_eq!(
+            (best.0, best.1, best.2),
+            golden,
+            "{variant} must find the same motion vector"
+        );
+
+        let trace = vm.take_trace();
+        let result = measure(PipelineConfig::two_way(), &trace);
+        println!(
+            "{:<10} found MV ({:+}, {:+}) — {:>8} instructions, {:>8} cycles on the 2-way core",
+            variant.label(),
+            best.0,
+            best.1,
+            trace.len(),
+            result.cycles
+        );
+    }
+    println!("\nThe pan the encoder recovers matches blue_sky's mean motion (5.2, 1.2) px.");
+}

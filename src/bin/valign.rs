@@ -1,0 +1,77 @@
+//! `valign` — command-line front end for the reproduction experiments.
+//!
+//! ```text
+//! valign table1|table2|table3|fig4|fig8|fig9|fig10|all [--execs N] [--seed S]
+//! ```
+//!
+//! Each subcommand prints the corresponding table/figure of the paper;
+//! `all` runs the full evaluation in order. Equivalent bench targets
+//! exist under `cargo bench -p valign-bench`, this binary just makes the
+//! study runnable as a plain tool.
+
+use valign::core::experiments::{fig10, fig4, fig8, fig9, table1, table2, table3};
+
+#[derive(Debug, Clone, Copy)]
+struct Options {
+    execs: usize,
+    seed: u64,
+}
+
+fn parse_args() -> (String, Options) {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| usage("missing subcommand"));
+    let mut opts = Options {
+        execs: 200,
+        seed: 20070425,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--execs" => {
+                let v = args.next().unwrap_or_else(|| usage("--execs needs a value"));
+                opts.execs = v.parse().unwrap_or_else(|_| usage("--execs must be a number"));
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                opts.seed = v.parse().unwrap_or_else(|_| usage("--seed must be a number"));
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    (cmd, opts)
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: valign <table1|table2|table3|fig4|fig8|fig9|fig10|all> [--execs N] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+fn run_one(cmd: &str, o: Options) {
+    match cmd {
+        "table1" => print!("{}", table1::render()),
+        "table2" => print!("{}", table2::render()),
+        "table3" => print!("{}", table3::run(o.execs.max(1), o.seed).render()),
+        "fig4" => print!("{}", fig4::run((o.execs / 50).max(1) as u32, o.seed).render()),
+        "fig8" => print!("{}", fig8::run(o.execs.max(2), o.seed).render()),
+        "fig9" => print!("{}", fig9::run(o.execs.max(2), o.seed).render()),
+        "fig10" => print!(
+            "{}",
+            fig10::run((o.execs / 2).max(4), 2, o.seed).render()
+        ),
+        other => usage(&format!("unknown subcommand {other}")),
+    }
+}
+
+fn main() {
+    let (cmd, opts) = parse_args();
+    if cmd == "all" {
+        for c in ["table1", "table2", "table3", "fig4", "fig8", "fig9", "fig10"] {
+            run_one(c, opts);
+            println!();
+        }
+    } else {
+        run_one(&cmd, opts);
+    }
+}

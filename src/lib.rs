@@ -1,0 +1,48 @@
+//! # valign — unaligned memory operations in SIMD extensions for video codecs
+//!
+//! A full reproduction of *"Performance Impact of Unaligned Memory
+//! Operations in SIMD Extensions for Video Codec Applications"*
+//! (Alvarez, Salamí, Ramírez, Valero — ISPASS 2007): an Altivec-style SIMD
+//! ISA extended with the paper's `lvxu`/`stvxu` unaligned vector
+//! load/store, a functional tracing VM, a cycle-accurate trace-driven
+//! superscalar simulator with the paper's three machine configurations, the
+//! H.264/AVC kernels in the paper's three implementations, a synthetic
+//! video substrate, and drivers that regenerate every table and figure of
+//! the evaluation.
+//!
+//! This crate is the facade: it re-exports the workspace crates under one
+//! name. See the sub-crate docs for detail:
+//!
+//! * [`isa`] — opcodes, instruction classes, trace format, Table I data
+//! * [`vm`] — the functional emulator and tracing intrinsics
+//! * [`cache`] — memory hierarchy and the realignment-network model
+//! * [`pipeline`] — the cycle-accurate superscalar simulator
+//! * [`h264`] — golden kernels, synthetic sequences, decoder model
+//! * [`kernels`] — the scalar / Altivec / unaligned kernel triples
+//! * [`core`] — workloads and the per-table/figure experiment drivers
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use valign::kernels::util::Variant;
+//! use valign::core::workload::{trace_kernel, KernelId};
+//! use valign::core::experiments::measure;
+//! use valign::h264::BlockSize;
+//! use valign::pipeline::PipelineConfig;
+//!
+//! // Trace 20 executions of the luma kernel in both SIMD variants…
+//! let altivec = trace_kernel(KernelId::Luma(BlockSize::B8x8), Variant::Altivec, 20, 1);
+//! let unaligned = trace_kernel(KernelId::Luma(BlockSize::B8x8), Variant::Unaligned, 20, 1);
+//! // …and replay them on the 4-way out-of-order machine.
+//! let av = measure(PipelineConfig::four_way(), &altivec);
+//! let un = measure(PipelineConfig::four_way(), &unaligned);
+//! assert!(un.cycles < av.cycles);
+//! ```
+
+pub use valign_cache as cache;
+pub use valign_core as core;
+pub use valign_h264 as h264;
+pub use valign_isa as isa;
+pub use valign_kernels as kernels;
+pub use valign_pipeline as pipeline;
+pub use valign_vm as vm;

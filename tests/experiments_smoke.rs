@@ -1,0 +1,79 @@
+//! Smoke tests for every experiment driver: each runs at reduced scale,
+//! renders without panicking, and preserves its key structural invariants.
+
+use valign::core::experiments::{fig10, fig4, fig8, fig9, table1, table2, table3};
+use valign::kernels::util::Variant;
+
+#[test]
+fn table1_smoke() {
+    let s = table1::render();
+    assert!(s.contains("TABLE I"));
+    assert!(s.lines().count() > 10);
+}
+
+#[test]
+fn table2_smoke() {
+    let s = table2::render();
+    assert!(s.contains("TABLE II"));
+    assert!(s.contains("L1-D 32KB/128B/2-way"));
+    assert!(s.contains("Mem 250cyc"));
+}
+
+#[test]
+fn table3_smoke() {
+    let t = table3::run(3, 5);
+    let s = t.render();
+    assert!(s.contains("TABLE III"));
+    // Every kernel group contributes a reduction line.
+    assert_eq!(t.unaligned_reduction_pct().len(), 5);
+}
+
+#[test]
+fn fig4_smoke() {
+    let f = fig4::run(1, 5);
+    let s = f.render();
+    assert!(s.contains("FIG. 4"));
+    // 12 series x 4 panels all rendered.
+    assert_eq!(s.matches("576_blue_sky").count(), 4);
+}
+
+#[test]
+fn fig8_smoke() {
+    let f = fig8::run(6, 5);
+    let s = f.render();
+    assert!(s.contains("FIG. 8"));
+    // 11 kernels x 3 configs x 3 variants.
+    assert_eq!(f.points.len(), 99);
+    // Speed-ups are positive and finite everywhere.
+    for p in &f.points {
+        assert!(p.speedup.is_finite() && p.speedup > 0.0, "{} {}", p.kernel, p.config);
+    }
+}
+
+#[test]
+fn fig9_smoke() {
+    let f = fig9::run(6, 5);
+    assert!(f.render().contains("FIG. 9"));
+    for sweep in &f.sweeps {
+        // Non-decreasing trend (sub-percent greedy-scheduling anomalies
+        // are tolerated).
+        for w in sweep.unaligned_cycles.windows(2) {
+            assert!(w[1] + w[1] / 100 >= w[0], "{}", sweep.kernel);
+        }
+    }
+}
+
+#[test]
+fn fig10_smoke() {
+    let f = fig10::run(4, 1, 5);
+    let s = f.render();
+    assert!(s.contains("FIG. 10"));
+    assert_eq!(f.sequences.len(), 4);
+    // Stage totals strictly ordered scalar > altivec >= unaligned in
+    // the average.
+    let scalar = f.average_seconds(Variant::Scalar);
+    let altivec = f.average_seconds(Variant::Altivec);
+    let unaligned = f.average_seconds(Variant::Unaligned);
+    assert!(scalar > altivec);
+    assert!(altivec >= unaligned);
+}

@@ -1,0 +1,221 @@
+//! Property-based cross-variant equivalence: for randomly drawn block
+//! positions, strides, offsets and fractions, all three implementations of
+//! every kernel must write byte-identical results (and SAD must return
+//! identical sums), matching the golden references in `valign-h264`.
+
+use proptest::prelude::*;
+use valign::h264::interp::{chroma_epel, luma_qpel};
+use valign::h264::plane::Plane;
+use valign::h264::sad::sad_block;
+use valign::h264::transform;
+use valign::kernels::chroma::{chroma_bilin, ChromaArgs};
+use valign::kernels::idct::{idct4x4, idct8x8, IdctArgs};
+use valign::kernels::luma::{luma_hv, McArgs};
+use valign::kernels::sad::{sad, SadArgs};
+use valign::kernels::util::Variant;
+use valign::vm::Vm;
+
+fn plane_from_seed(seed: u32) -> Plane {
+    let mut p = Plane::new(96, 96);
+    p.fill_with(|x, y| {
+        let h = (x as u32)
+            .wrapping_mul(2654435761)
+            .wrapping_add((y as u32).wrapping_mul(40503))
+            .wrapping_add(seed)
+            .wrapping_mul(2246822519);
+        (h >> 24) as u8
+    });
+    p
+}
+
+fn load_plane(vm: &mut Vm, p: &Plane) -> u64 {
+    let base = vm.mem_mut().alloc(p.raw().len(), 16);
+    vm.mem_mut().write_bytes(base, p.raw());
+    base + p.index_of(0, 0) as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn luma_variants_match_golden(
+        seed in 0u32..1000,
+        sx in 8isize..70,
+        sy in 8isize..70,
+        size_idx in 0usize..3,
+        dst_slot in 0u64..2,
+    ) {
+        let edge = [16usize, 8, 4][size_idx];
+        let p = plane_from_seed(seed);
+        let golden = luma_qpel(&p, sx, sy, 2, 2, edge, edge);
+        for variant in Variant::ALL {
+            let mut vm = Vm::new();
+            let src00 = load_plane(&mut vm, &p);
+            let stride = p.stride() as i64;
+            // Legal store offsets: multiples of the edge within 16 bytes.
+            let off = (dst_slot * edge as u64) % 16;
+            let off = if edge == 16 { 0 } else { off };
+            let dst = vm.mem_mut().alloc(64 * edge, 16) + off;
+            let scratch = vm.mem_mut().alloc(32 * (edge + 5), 16);
+            let args = McArgs {
+                src: (src00 as i64 + sy as i64 * stride + sx as i64) as u64,
+                src_stride: stride,
+                dst,
+                dst_stride: 32,
+                scratch,
+                w: edge,
+                h: edge,
+            };
+            luma_hv(&mut vm, *variant, &args);
+            let mut got = Vec::new();
+            for r in 0..edge {
+                got.extend_from_slice(vm.mem().read_bytes(dst + r as u64 * 32, edge));
+            }
+            prop_assert_eq!(&got, &golden, "{} {}x{} at ({},{})", variant, edge, edge, sx, sy);
+        }
+    }
+
+    #[test]
+    fn chroma_variants_match_golden(
+        seed in 0u32..1000,
+        sx in 4isize..80,
+        sy in 4isize..80,
+        dx in 0u8..8,
+        dy in 0u8..8,
+        wide in proptest::bool::ANY,
+    ) {
+        let edge = if wide { 8 } else { 4 };
+        let p = plane_from_seed(seed ^ 0xc0ffee);
+        let golden = chroma_epel(&p, sx, sy, dx, dy, edge, edge);
+        for variant in Variant::ALL {
+            let mut vm = Vm::new();
+            let src00 = load_plane(&mut vm, &p);
+            let stride = p.stride() as i64;
+            let dst = vm.mem_mut().alloc(64 * 16, 16);
+            let args = ChromaArgs {
+                src: (src00 as i64 + sy as i64 * stride + sx as i64) as u64,
+                src_stride: stride,
+                dst,
+                dst_stride: 32,
+                w: edge,
+                h: edge,
+                dx,
+                dy,
+            };
+            chroma_bilin(&mut vm, *variant, &args);
+            let mut got = Vec::new();
+            for r in 0..edge {
+                got.extend_from_slice(vm.mem().read_bytes(dst + r as u64 * 32, edge));
+            }
+            prop_assert_eq!(&got, &golden, "{} dx={} dy={}", variant, dx, dy);
+        }
+    }
+
+    #[test]
+    fn sad_variants_match_golden(
+        seed in 0u32..1000,
+        rx in 4isize..70,
+        ry in 4isize..70,
+        size_idx in 0usize..3,
+    ) {
+        let edge = [16usize, 8, 4][size_idx];
+        let cur = plane_from_seed(seed);
+        let refp = plane_from_seed(seed ^ 0xdead);
+        let (cx, cy) = (32isize, 32isize);
+        let golden = sad_block(&cur, cx, cy, &refp, rx, ry, edge, edge);
+        for variant in Variant::ALL {
+            let mut vm = Vm::new();
+            let cur00 = load_plane(&mut vm, &cur);
+            let ref00 = load_plane(&mut vm, &refp);
+            let scratch = vm.mem_mut().alloc(16, 16);
+            let stride = cur.stride() as i64;
+            let args = SadArgs {
+                cur: (cur00 as i64 + cy as i64 * stride + cx as i64) as u64,
+                cur_stride: stride,
+                refp: (ref00 as i64 + ry as i64 * stride + rx as i64) as u64,
+                ref_stride: stride,
+                scratch,
+                w: edge,
+                h: edge,
+            };
+            let got = sad(&mut vm, *variant, &args).value() as u32;
+            prop_assert_eq!(got, golden, "{} {}x{}", variant, edge, edge);
+        }
+    }
+
+    #[test]
+    fn idct_variants_match_golden(
+        coeffs in proptest::collection::vec(-240i16..240, 16),
+        pred_byte in 0u8..=255,
+        off_slot in 0u64..4,
+    ) {
+        let c: [i16; 16] = coeffs.clone().try_into().unwrap();
+        let res = transform::idct4x4(&c);
+        let pred = vec![pred_byte; 16];
+        let mut want = vec![0u8; 16];
+        transform::add_residual(&pred, &res, &mut want);
+        for variant in Variant::ALL {
+            let mut vm = Vm::new();
+            let cb = vm.mem_mut().alloc(32, 16);
+            vm.mem_mut().write_i16_slice(cb, &c);
+            let pbuf = vm.mem_mut().alloc(32 * 8, 16);
+            let pred_addr = pbuf + off_slot * 4;
+            for r in 0..4u64 {
+                for cc in 0..4u64 {
+                    vm.mem_mut().write_u8(pred_addr + r * 32 + cc, pred_byte);
+                }
+            }
+            let dbuf = vm.mem_mut().alloc(32 * 8, 16);
+            let args = IdctArgs {
+                coeffs: cb,
+                pred: pred_addr,
+                pred_stride: 32,
+                dst: dbuf + off_slot * 4,
+                dst_stride: 32,
+            };
+            idct4x4(&mut vm, *variant, &args);
+            let mut got = Vec::new();
+            for r in 0..4u64 {
+                got.extend_from_slice(vm.mem().read_bytes(dbuf + off_slot * 4 + r * 32, 4));
+            }
+            prop_assert_eq!(&got, &want, "{}", variant);
+        }
+    }
+
+    #[test]
+    fn idct8x8_variants_match_golden(
+        coeffs in proptest::collection::vec(-180i16..180, 64),
+        off in prop_oneof![Just(0u64), Just(8u64)],
+    ) {
+        let c: [i16; 64] = coeffs.clone().try_into().unwrap();
+        let res = transform::idct8x8(&c);
+        let pred: Vec<u8> = (0..64u32).map(|i| (i * 5 % 251) as u8).collect();
+        let mut want = vec![0u8; 64];
+        transform::add_residual(&pred, &res, &mut want);
+        for variant in Variant::ALL {
+            let mut vm = Vm::new();
+            let cb = vm.mem_mut().alloc(128, 16);
+            vm.mem_mut().write_i16_slice(cb, &c);
+            let pbuf = vm.mem_mut().alloc(32 * 16, 16);
+            for r in 0..8u64 {
+                for cc in 0..8u64 {
+                    vm.mem_mut().write_u8(pbuf + off + r * 32 + cc, pred[(r * 8 + cc) as usize]);
+                }
+            }
+            let dbuf = vm.mem_mut().alloc(32 * 16, 16);
+            let args = IdctArgs {
+                coeffs: cb,
+                pred: pbuf + off,
+                pred_stride: 32,
+                dst: dbuf + off,
+                dst_stride: 32,
+            };
+            idct8x8(&mut vm, *variant, &args);
+            let mut got = Vec::new();
+            for r in 0..8u64 {
+                got.extend_from_slice(vm.mem().read_bytes(dbuf + off + r * 32, 8));
+            }
+            prop_assert_eq!(&got, &want, "{} off={}", variant, off);
+        }
+    }
+}
