@@ -9,12 +9,19 @@
 //!    the scalar kernels.
 //! 4. **Store path** — the Fig. 5 load-merge-store software sequence vs
 //!    the hardware `stvxu`.
+//!
+//! All four run against one shared [`SimContext`]; the custom VM traces of
+//! ablations 2 and 3 enter the batch runner as shared (store-bypassing)
+//! jobs, and ablation 3 replays cold on purpose.
 
+use std::sync::Arc;
 use valign_bench::{execs, SEED};
 use valign_cache::{BankScheme, RealignConfig};
-use valign_core::experiments::measure;
-use valign_core::workload::{trace_kernel, KernelId};
+use valign_core::sim::{SimJob, TraceKey};
+use valign_core::workload::KernelId;
+use valign_core::SimContext;
 use valign_h264::BlockSize;
+use valign_isa::Trace;
 use valign_kernels::sad::SadArgs;
 use valign_kernels::util::{vload_unaligned, Variant};
 use valign_pipeline::PipelineConfig;
@@ -22,26 +29,40 @@ use valign_vm::Vm;
 
 fn main() {
     let n = execs(200);
-    banking(n);
-    hoisting(n);
-    mshrs(n);
-    store_path(n);
+    let ctx = SimContext::new(valign_bench::threads());
+    banking(&ctx, n);
+    hoisting(&ctx, n);
+    mshrs(&ctx, n);
+    store_path(&ctx, n);
+    println!("{}", ctx.scorecard());
 }
 
-fn banking(n: usize) {
+fn banking(ctx: &SimContext, n: usize) {
     println!("== Ablation 1: two-bank interleaved vs single-banked L1 ==");
     println!("(unaligned luma kernel; line-crossing accesses serialise on a single bank)\n");
-    let trace = trace_kernel(KernelId::Luma(BlockSize::B16x16), Variant::Unaligned, n, SEED);
-    for (name, banks) in [
+    let key = TraceKey {
+        kernel: KernelId::Luma(BlockSize::B16x16),
+        variant: Variant::Unaligned,
+        execs: n,
+        seed: SEED,
+    };
+    let schemes = [
         ("two-bank interleaved", BankScheme::TwoBankInterleaved),
         ("single bank", BankScheme::SingleBank),
-    ] {
-        let realign = RealignConfig {
-            load_extra: 1,
-            store_extra: 2,
-            banks,
-        };
-        let r = measure(PipelineConfig::four_way().with_realign(realign), &trace);
+    ];
+    let jobs = schemes
+        .iter()
+        .map(|&(_, banks)| {
+            let realign = RealignConfig {
+                load_extra: 1,
+                store_extra: 2,
+                banks,
+            };
+            SimJob::keyed(key, PipelineConfig::four_way().with_realign(realign))
+        })
+        .collect();
+    let results = ctx.run_batch("ablation-banking", jobs);
+    for ((name, _), r) in schemes.iter().zip(&results) {
         println!(
             "  {name:<22} {:>10} cycles ({} split accesses, +{} realign cycles)",
             r.cycles, r.split_accesses, r.realign_penalty_cycles
@@ -82,31 +103,44 @@ fn sad_altivec_hoisting(vm: &mut Vm, args: &SadArgs, hoist: bool) {
     let _ = vm.lwz(sbase, 12);
 }
 
-fn hoisting(n: usize) {
+fn hoisting(ctx: &SimContext, n: usize) {
     println!("== Ablation 2: realignment-token hoisting (Fig. 2b vs Fig. 2a) ==");
     println!("(altivec SAD 16x16; the aligned stride lets lvsl move out of the loop)\n");
-    for (name, hoist) in [("hoisted lvsl (Fig. 2b)", true), ("per-row lvsl (Fig. 2a)", false)] {
-        let mut vm = Vm::new();
-        let buf = vm.mem_mut().alloc(512 * 512, 16);
-        for i in 0..512 * 512 {
-            vm.mem_mut().write_u8(buf + i, (i * 31 % 251) as u8);
-        }
-        let scratch = vm.mem_mut().alloc(16, 16);
-        vm.clear_trace();
-        for e in 0..n as u64 {
-            let args = SadArgs {
-                cur: buf + (e % 64) * 512 + 64,
-                cur_stride: 512,
-                refp: buf + (e % 61) * 512 + 128 + (e * 7 % 16),
-                ref_stride: 512,
-                scratch,
-                w: 16,
-                h: 16,
-            };
-            sad_altivec_hoisting(&mut vm, &args, hoist);
-        }
-        let trace = vm.take_trace();
-        let r = measure(PipelineConfig::four_way(), &trace);
+    let cases = [
+        ("hoisted lvsl (Fig. 2b)", true),
+        ("per-row lvsl (Fig. 2a)", false),
+    ];
+    let traces: Vec<Arc<Trace>> = cases
+        .iter()
+        .map(|&(_, hoist)| {
+            let mut vm = Vm::new();
+            let buf = vm.mem_mut().alloc(512 * 512, 16);
+            for i in 0..512 * 512 {
+                vm.mem_mut().write_u8(buf + i, (i * 31 % 251) as u8);
+            }
+            let scratch = vm.mem_mut().alloc(16, 16);
+            vm.clear_trace();
+            for e in 0..n as u64 {
+                let args = SadArgs {
+                    cur: buf + (e % 64) * 512 + 64,
+                    cur_stride: 512,
+                    refp: buf + (e % 61) * 512 + 128 + (e * 7 % 16),
+                    ref_stride: 512,
+                    scratch,
+                    w: 16,
+                    h: 16,
+                };
+                sad_altivec_hoisting(&mut vm, &args, hoist);
+            }
+            vm.take_shared_trace()
+        })
+        .collect();
+    let jobs = traces
+        .iter()
+        .map(|t| SimJob::shared(Arc::clone(t), PipelineConfig::four_way()))
+        .collect();
+    let results = ctx.run_batch("ablation-hoisting", jobs);
+    for (((name, _), trace), r) in cases.iter().zip(&traces).zip(&results) {
         println!(
             "  {name:<24} {:>8} instructions, {:>9} cycles",
             trace.len(),
@@ -116,7 +150,7 @@ fn hoisting(n: usize) {
     println!();
 }
 
-fn mshrs(n: usize) {
+fn mshrs(ctx: &SimContext, n: usize) {
     println!("== Ablation 3: miss-queue depth (MSHRs) ==");
     println!("(strided scan over a 16 MB region — one miss per line, 8-way machine)\n");
     // The H.264 kernels are largely L1-resident; memory-level parallelism
@@ -132,23 +166,47 @@ fn mshrs(n: usize) {
         let p = vm.addi(base, line * 128);
         let _ = vm.lvx(i0, p);
     }
-    let trace = vm.take_trace();
-    for miss_max in [1u32, 2, 4, 8] {
-        let mut cfg = PipelineConfig::eight_way();
-        cfg.miss_max = miss_max;
-        // Cold caches each time: this ablation is about the misses.
-        let r = valign_pipeline::Simulator::simulate(cfg, None, &trace);
-        println!("  miss_max={miss_max:<2} {:>10} cycles (IPC {:.2})", r.cycles, r.ipc());
+    let trace = vm.take_shared_trace();
+    let depths = [1u32, 2, 4, 8];
+    let jobs = depths
+        .iter()
+        .map(|&miss_max| {
+            let mut cfg = PipelineConfig::eight_way();
+            cfg.miss_max = miss_max;
+            // Cold caches each time: this ablation is about the misses.
+            SimJob::shared(Arc::clone(&trace), cfg).cold()
+        })
+        .collect();
+    let results = ctx.run_batch("ablation-mshrs", jobs);
+    for (miss_max, r) in depths.iter().zip(&results) {
+        println!(
+            "  miss_max={miss_max:<2} {:>10} cycles (IPC {:.2})",
+            r.cycles,
+            r.ipc()
+        );
     }
     println!();
 }
 
-fn store_path(n: usize) {
+fn store_path(ctx: &SimContext, n: usize) {
     println!("== Ablation 4: store path — Fig. 5 software sequence vs stvxu ==");
     println!("(luma 8x8, whose narrow stores need the partial-store idiom)\n");
-    for variant in [Variant::Altivec, Variant::Unaligned] {
-        let trace = trace_kernel(KernelId::Luma(BlockSize::B8x8), variant, n, SEED);
-        let r = measure(PipelineConfig::four_way(), &trace);
+    let variants = [Variant::Altivec, Variant::Unaligned];
+    let jobs = variants
+        .iter()
+        .map(|&variant| {
+            let key = TraceKey {
+                kernel: KernelId::Luma(BlockSize::B8x8),
+                variant,
+                execs: n,
+                seed: SEED,
+            };
+            SimJob::keyed(key, PipelineConfig::four_way())
+        })
+        .collect();
+    let results = ctx.run_batch("ablation-store", jobs);
+    for (&variant, r) in variants.iter().zip(&results) {
+        let trace = ctx.trace(KernelId::Luma(BlockSize::B8x8), variant, n, SEED);
         println!(
             "  {:<10} {:>8} instructions, {:>9} cycles, {} unaligned accesses",
             variant.label(),

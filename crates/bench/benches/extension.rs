@@ -75,6 +75,10 @@ fn main() {
             cycles[1] as f64 / cycles[2] as f64,
         );
     }
-    println!("\nInstruction counts: scalar {}, altivec {}, unaligned {}",
-        traces[0].1.len(), traces[1].1.len(), traces[2].1.len());
+    println!(
+        "\nInstruction counts: scalar {}, altivec {}, unaligned {}",
+        traces[0].1.len(),
+        traces[1].1.len(),
+        traces[2].1.len()
+    );
 }

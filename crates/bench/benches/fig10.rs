@@ -1,8 +1,12 @@
 //! Regenerates the paper's Fig. 10 (whole-decoder per-stage execution-time
 //! profile for the four test sequences, three implementations).
 
+use valign_core::SimContext;
+
 fn main() {
     let execs = valign_bench::execs(100);
-    let f = valign_core::experiments::fig10::run(execs, 2, valign_bench::SEED);
+    let ctx = SimContext::new(valign_bench::threads());
+    let f = valign_core::experiments::fig10::run_with(&ctx, execs, 2, valign_bench::SEED);
     println!("{}", f.render());
+    println!("{}", ctx.scorecard());
 }

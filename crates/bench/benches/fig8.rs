@@ -1,8 +1,12 @@
 //! Regenerates the paper's Fig. 8 (kernel speed-ups across the 2/4/8-way
 //! configurations, normalised to 2-way scalar, equal unaligned latency).
 
+use valign_core::SimContext;
+
 fn main() {
     let execs = valign_bench::execs(200);
-    let f = valign_core::experiments::fig8::run(execs, valign_bench::SEED);
+    let ctx = SimContext::new(valign_bench::threads());
+    let f = valign_core::experiments::fig8::run_with(&ctx, execs, valign_bench::SEED);
     println!("{}", f.render());
+    println!("{}", ctx.scorecard());
 }

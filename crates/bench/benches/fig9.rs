@@ -1,8 +1,12 @@
 //! Regenerates the paper's Fig. 9 (sensitivity of the unaligned kernels to
 //! the realignment-network latency, +0/+1/+2/+4/+6 cycles, 4-way config).
 
+use valign_core::SimContext;
+
 fn main() {
     let execs = valign_bench::execs(200);
-    let f = valign_core::experiments::fig9::run(execs, valign_bench::SEED);
+    let ctx = SimContext::new(valign_bench::threads());
+    let f = valign_core::experiments::fig9::run_with(&ctx, execs, valign_bench::SEED);
     println!("{}", f.render());
+    println!("{}", ctx.scorecard());
 }

@@ -36,7 +36,14 @@ fn vm_tracing(c: &mut Criterion) {
         b.iter(|| trace_kernel(KernelId::Luma(BlockSize::B16x16), Variant::Altivec, 4, SEED))
     });
     c.bench_function("vm/trace_sad16_unaligned_x16", |b| {
-        b.iter(|| trace_kernel(KernelId::Sad(BlockSize::B16x16), Variant::Unaligned, 16, SEED))
+        b.iter(|| {
+            trace_kernel(
+                KernelId::Sad(BlockSize::B16x16),
+                Variant::Unaligned,
+                16,
+                SEED,
+            )
+        })
     });
 }
 

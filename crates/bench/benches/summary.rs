@@ -1,10 +1,16 @@
 //! One-page reproduction scorecard: recomputes the paper's headline
 //! claims live and prints paper-vs-measured side by side.
+//!
+//! Every claim runs against one shared [`SimContext`], so kernel traces
+//! are generated once and reused across claims; the trailing scorecard
+//! section reports the trace-cache hit rate and per-batch wall times.
 
 use valign_bench::{execs, SEED};
 use valign_cache::RealignConfig;
-use valign_core::experiments::{fig10, fig8, fig9, measure, table3};
-use valign_core::workload::{trace_kernel, KernelId};
+use valign_core::experiments::{fig10, fig8, fig9, table3};
+use valign_core::sim::{SimJob, TraceKey};
+use valign_core::workload::KernelId;
+use valign_core::SimContext;
 use valign_h264::BlockSize;
 use valign_isa::InstrClass;
 use valign_kernels::util::Variant;
@@ -12,27 +18,38 @@ use valign_pipeline::PipelineConfig;
 
 fn main() {
     let n = execs(100);
+    let ctx = SimContext::new(valign_bench::threads());
     println!("REPRODUCTION SCORECARD — Alvarez et al., ISPASS 2007");
     println!("(live recomputation, {n} executions per kernel, seed {SEED})\n");
 
     // --- Claim 1: vectorisation shrinks dynamic instruction counts. ---
-    let t3 = table3::run(n, SEED);
-    println!("1. Dynamic-instruction reductions, unaligned vs plain Altivec (paper: 33%/23%/2%/34%");
+    let t3 = table3::run_with(&ctx, n, SEED);
+    println!(
+        "1. Dynamic-instruction reductions, unaligned vs plain Altivec (paper: 33%/23%/2%/34%"
+    );
     println!("   for luma/chroma/idct/sad on average across block sizes):");
     for (kernel, pct) in t3.unaligned_reduction_pct() {
         println!("     {kernel:<14} {pct:>5.1}% fewer instructions");
     }
 
     // --- Claim 2: SAD permute elimination (~95%). ---
-    let av = trace_kernel(KernelId::Sad(BlockSize::B16x16), Variant::Altivec, n, SEED).mix();
-    let un = trace_kernel(KernelId::Sad(BlockSize::B16x16), Variant::Unaligned, n, SEED).mix();
-    let perm_drop = 100.0
-        * (av.get(InstrClass::VecPerm) - un.get(InstrClass::VecPerm)) as f64
+    let av = ctx
+        .trace(KernelId::Sad(BlockSize::B16x16), Variant::Altivec, n, SEED)
+        .mix();
+    let un = ctx
+        .trace(
+            KernelId::Sad(BlockSize::B16x16),
+            Variant::Unaligned,
+            n,
+            SEED,
+        )
+        .mix();
+    let perm_drop = 100.0 * (av.get(InstrClass::VecPerm) - un.get(InstrClass::VecPerm)) as f64
         / av.get(InstrClass::VecPerm) as f64;
     println!("\n2. SAD permute elimination (paper: ~95%): measured {perm_drop:.1}%");
 
     // --- Claim 3: kernel speed-ups from unaligned support. ---
-    let f8 = fig8::run(n, SEED);
+    let f8 = fig8::run_with(&ctx, n, SEED);
     println!("\n3. Kernel speed-up from unaligned support at equal latency, 4-way");
     println!("   (paper: up to 3.8x on luma 4x4; 1.06-1.09x on IDCT):");
     for k in [
@@ -47,7 +64,7 @@ fn main() {
     }
 
     // --- Claim 4: latency tolerance and the SAD16 crossing. ---
-    let f9 = fig9::run(n, SEED);
+    let f9 = fig9::run_with(&ctx, n, SEED);
     println!("\n4. Latency sensitivity (paper: gains survive moderate extra latency;");
     println!("   only SAD 16x16 drops below plain Altivec):");
     for k in [
@@ -60,22 +77,36 @@ fn main() {
             k.label(),
             s.speedup(0),
             s.speedup(4),
-            if s.speedup(4) < 1.0 { "  (crosses below 1.0)" } else { "" }
+            if s.speedup(4) < 1.0 {
+                "  (crosses below 1.0)"
+            } else {
+                ""
+            }
         );
     }
 
     // --- Claim 5: proposed hardware (+1 load / +2 store) still wins. ---
     let proposed = PipelineConfig::four_way().with_realign(RealignConfig::proposed());
-    let luma_av = trace_kernel(KernelId::Luma(BlockSize::B8x8), Variant::Altivec, n, SEED);
-    let luma_un = trace_kernel(KernelId::Luma(BlockSize::B8x8), Variant::Unaligned, n, SEED);
-    let g = measure(proposed.clone(), &luma_av).cycles as f64
-        / measure(proposed, &luma_un).cycles as f64;
+    let key = |variant| TraceKey {
+        kernel: KernelId::Luma(BlockSize::B8x8),
+        variant,
+        execs: n,
+        seed: SEED,
+    };
+    let r = ctx.run_batch(
+        "summary-proposed",
+        vec![
+            SimJob::keyed(key(Variant::Altivec), proposed.clone()),
+            SimJob::keyed(key(Variant::Unaligned), proposed),
+        ],
+    );
+    let g = r[0].cycles as f64 / r[1].cycles as f64;
     println!("\n5. With the proposed realignment hardware (+1 load/+2 store cycles),");
     println!("   luma 8x8 keeps a {g:.2}x win over plain Altivec (paper: \"significant");
     println!("   speed-up with respect to the original Altivec version\").");
 
     // --- Claim 6: application-level impact. ---
-    let f10 = fig10::run((n / 2).max(4), 1, SEED);
+    let f10 = fig10::run_with(&ctx, (n / 2).max(4), 1, SEED);
     println!("\n6. Whole-decoder speed-ups (paper: altivec 1.2x over scalar, unaligned");
     println!("   1.49x over scalar; riverbed benefits least):");
     println!(
@@ -85,7 +116,7 @@ fn main() {
         f10.speedup(Variant::Unaligned, Variant::Altivec),
     );
     let gain = |seq| {
-        let sr = f10.sequences.iter().find(|s| s.seq == seq).unwrap();
+        let sr = f10.sequence(seq).unwrap();
         sr.seconds(Variant::Scalar) / sr.seconds(Variant::Unaligned)
     };
     println!(
@@ -93,4 +124,6 @@ fn main() {
         gain(valign_h264::Sequence::Riverbed),
         gain(valign_h264::Sequence::BlueSky),
     );
+
+    println!("\n{}", ctx.scorecard());
 }

@@ -1,8 +1,11 @@
 //! Regenerates the paper's Table III (dynamic instruction counts for the
 //! H.264 kernels, scalar vs Altivec vs Altivec+unaligned).
 
+use valign_core::SimContext;
+
 fn main() {
     let execs = valign_bench::execs(1000);
-    let t = valign_core::experiments::table3::run(execs, valign_bench::SEED);
+    let ctx = SimContext::new(valign_bench::threads());
+    let t = valign_core::experiments::table3::run_with(&ctx, execs, valign_bench::SEED);
     println!("{}", t.render());
 }

@@ -25,6 +25,17 @@ pub fn execs(default: usize) -> usize {
     valign_core::experiments::execs_from_env(default)
 }
 
+/// Worker threads for the simulation batch runner: `VALIGN_THREADS` when
+/// set, otherwise every available core. Results are bit-identical at any
+/// thread count; only wall time changes.
+pub fn threads() -> usize {
+    std::env::var("VALIGN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// The deterministic seed shared by all bench targets, so printed numbers
 /// are reproducible run-to-run.
 pub const SEED: u64 = 20070425; // ISPASS 2007, San José

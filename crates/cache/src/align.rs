@@ -74,11 +74,21 @@ impl RealignConfig {
     /// * `crosses_line` — the 16 bytes span two cache lines.
     /// * `l1_latency` — the base D-L1 hit latency, used as the cost of the
     ///   serialized second access in the [`BankScheme::SingleBank`] model.
-    pub fn penalty(&self, unaligned: bool, is_store: bool, crosses_line: bool, l1_latency: u32) -> u32 {
+    pub fn penalty(
+        &self,
+        unaligned: bool,
+        is_store: bool,
+        crosses_line: bool,
+        l1_latency: u32,
+    ) -> u32 {
         if !unaligned {
             return 0;
         }
-        let network = if is_store { self.store_extra } else { self.load_extra };
+        let network = if is_store {
+            self.store_extra
+        } else {
+            self.load_extra
+        };
         let banking = match self.banks {
             BankScheme::TwoBankInterleaved => 0,
             BankScheme::SingleBank => {
@@ -106,7 +116,11 @@ mod tests {
 
     #[test]
     fn aligned_accesses_are_free() {
-        for cfg in [RealignConfig::equal_latency(), RealignConfig::proposed(), RealignConfig::extra(6)] {
+        for cfg in [
+            RealignConfig::equal_latency(),
+            RealignConfig::proposed(),
+            RealignConfig::extra(6),
+        ] {
             assert_eq!(cfg.penalty(false, false, true, 4), 0);
             assert_eq!(cfg.penalty(false, true, false, 4), 0);
         }
@@ -139,7 +153,11 @@ mod tests {
             banks: BankScheme::SingleBank,
         };
         assert_eq!(cfg.penalty(true, false, false, 4), 1);
-        assert_eq!(cfg.penalty(true, false, true, 4), 5, "second sequential access");
+        assert_eq!(
+            cfg.penalty(true, false, true, 4),
+            5,
+            "second sequential access"
+        );
         assert_eq!(cfg.penalty(true, true, true, 4), 6);
     }
 

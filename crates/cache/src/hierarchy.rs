@@ -112,7 +112,11 @@ impl Hierarchy {
         }
         let l2_hit = self.l2.access(addr, write);
         if l2_hit {
-            (self.config.l1_latency + self.config.l2_latency, false, false)
+            (
+                self.config.l1_latency + self.config.l2_latency,
+                false,
+                false,
+            )
         } else {
             (
                 self.config.l1_latency + self.config.l2_latency + self.config.mem_latency,
@@ -128,7 +132,13 @@ impl Hierarchy {
     /// [`BankScheme::TwoBankInterleaved`] the two lookups proceed in
     /// parallel (latency is their maximum), with [`BankScheme::SingleBank`]
     /// they serialise (latency is their sum).
-    pub fn access(&mut self, addr: u64, bytes: u32, write: bool, banks: BankScheme) -> AccessOutcome {
+    pub fn access(
+        &mut self,
+        addr: u64,
+        bytes: u32,
+        write: bool,
+        banks: BankScheme,
+    ) -> AccessOutcome {
         let line = self.config.l1d.line_bytes as u64;
         let first = addr;
         let last = addr + u64::from(bytes.max(1)) - 1;

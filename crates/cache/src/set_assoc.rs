@@ -25,8 +25,14 @@ impl CacheConfig {
     ///
     /// Panics if sizes are not powers of two or do not divide evenly.
     pub fn new(size_bytes: usize, line_bytes: usize, assoc: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(size_bytes % (line_bytes * assoc) == 0, "size must be sets*ways*line");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            size_bytes.is_multiple_of(line_bytes * assoc),
+            "size must be sets*ways*line"
+        );
         let sets = size_bytes / (line_bytes * assoc);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         CacheConfig {

@@ -13,11 +13,14 @@
 //!    (MotionComp, Inv.Transform, Deb.Filter, CABAC, VideoOut, OS,
 //!    Others) and the application-level speed-ups.
 
-use crate::experiments::measure;
-use crate::workload::{trace_kernel, KernelId};
+use crate::sim::{SimContext, SimJob, TraceKey};
+use crate::workload::KernelId;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use valign_cache::RealignConfig;
-use valign_h264::decoder::{compose, decoder_work, DecoderWork, KernelCycleCosts, ScalarStageCosts, StageBreakdown};
+use valign_h264::decoder::{
+    compose, decoder_work, DecoderWork, KernelCycleCosts, ScalarStageCosts, StageBreakdown,
+};
 use valign_h264::plane::Resolution;
 use valign_h264::synth::{plan_frame, Sequence};
 use valign_h264::BlockSize;
@@ -38,30 +41,54 @@ pub struct VariantCosts {
     pub kernels: KernelCycleCosts,
 }
 
+/// Kernels whose per-call costs feed the decoder composition, in the
+/// [`KernelCycleCosts`] field order.
+const COST_KERNELS: [KernelId; 7] = [
+    KernelId::Luma(BlockSize::B16x16),
+    KernelId::Luma(BlockSize::B8x8),
+    KernelId::Luma(BlockSize::B4x4),
+    KernelId::Chroma(BlockSize::B8x8),
+    KernelId::Chroma(BlockSize::B4x4),
+    KernelId::Idct4x4,
+    KernelId::Idct8x8,
+];
+
 /// Measures per-call kernel cycle costs for every variant.
 pub fn measure_kernel_costs(execs: usize, seed: u64) -> Vec<VariantCosts> {
-    let cfg = || PipelineConfig::four_way().with_realign(RealignConfig::proposed());
-    let cost = |kernel, variant| {
-        let trace = trace_kernel(kernel, variant, execs, seed);
-        measure(cfg(), &trace).cycles as f64 / execs as f64
-    };
+    measure_kernel_costs_with(&SimContext::new(1), execs, seed)
+}
+
+/// Measures per-call kernel cycle costs for every variant as one batch
+/// (variant-major, [`COST_KERNELS`] order) on a shared context.
+pub fn measure_kernel_costs_with(ctx: &SimContext, execs: usize, seed: u64) -> Vec<VariantCosts> {
+    let cfg = PipelineConfig::four_way().with_realign(RealignConfig::proposed());
+    let jobs: Vec<SimJob> = Variant::ALL
+        .iter()
+        .flat_map(|&variant| {
+            COST_KERNELS.iter().map(move |&kernel| TraceKey {
+                kernel,
+                variant,
+                execs,
+                seed,
+            })
+        })
+        .map(|key| SimJob::keyed(key, cfg.clone()))
+        .collect();
+    let results = ctx.run_batch("fig10-kernels", jobs);
     Variant::ALL
         .iter()
-        .map(|&variant| VariantCosts {
-            variant,
-            kernels: KernelCycleCosts {
-                luma: [
-                    cost(KernelId::Luma(BlockSize::B16x16), variant),
-                    cost(KernelId::Luma(BlockSize::B8x8), variant),
-                    cost(KernelId::Luma(BlockSize::B4x4), variant),
-                ],
-                chroma: [
-                    cost(KernelId::Chroma(BlockSize::B8x8), variant),
-                    cost(KernelId::Chroma(BlockSize::B4x4), variant),
-                ],
-                idct4: cost(KernelId::Idct4x4, variant),
-                idct8: cost(KernelId::Idct8x8, variant),
-            },
+        .zip(results.chunks_exact(COST_KERNELS.len()))
+        .map(|(&variant, chunk)| {
+            let c = |i: usize| chunk[i].cycles as f64 / execs as f64;
+            VariantCosts {
+                variant,
+                kernels: KernelCycleCosts {
+                    luma: [c(0), c(1), c(2)],
+                    chroma: [c(3), c(4)],
+                    idct4: c(5),
+                    idct8: c(6),
+                },
+            }
         })
         .collect()
 }
@@ -93,12 +120,21 @@ pub struct Fig10 {
     pub sequences: Vec<SequenceResult>,
     /// The measured kernel costs used for the composition.
     pub costs: Vec<VariantCosts>,
+    /// Sequence → position in `sequences`.
+    index: HashMap<Sequence, usize>,
 }
 
 /// Measures CABAC cycles per bin by tracing the real (scalar, serial)
 /// arithmetic-decoder kernel over an encoded bin stream and replaying it
 /// on the 4-way machine.
 pub fn measure_cabac_cost(bins: usize, seed: u64) -> f64 {
+    measure_cabac_cost_with(&SimContext::new(1), bins, seed)
+}
+
+/// [`measure_cabac_cost`] against a shared context: the custom VM trace
+/// bypasses the store (it is not a keyed kernel workload) but the replay
+/// still runs — and is timed — as a batch job.
+pub fn measure_cabac_cost_with(ctx: &SimContext, bins: usize, seed: u64) -> f64 {
     use valign_h264::cabac::{CabacEncoder, Context};
     use valign_kernels::cabac::{cabac_decode_bins, setup_cabac};
     use valign_vm::Vm;
@@ -124,20 +160,29 @@ pub fn measure_cabac_cost(bins: usize, seed: u64) -> f64 {
     let layout = setup_cabac(&mut vm, &states, &stream);
     vm.clear_trace();
     let _ = cabac_decode_bins(&mut vm, &layout, bins);
-    let trace = vm.take_trace();
-    let r = measure(PipelineConfig::four_way(), &trace);
-    r.cycles as f64 / bins as f64
+    let trace = vm.take_shared_trace();
+    let results = ctx.run_batch(
+        "fig10-cabac",
+        vec![SimJob::shared(trace, PipelineConfig::four_way())],
+    );
+    results[0].cycles as f64 / bins as f64
 }
 
 /// Runs the Fig. 10 experiment: kernel costs measured with `execs`
 /// executions, decoder work accumulated over `frames` planned frames and
 /// scaled to [`REPORT_FRAMES`].
 pub fn run(execs: usize, frames: u32, seed: u64) -> Fig10 {
-    let costs = measure_kernel_costs(execs, seed);
+    run_with(&SimContext::new(1), execs, frames, seed)
+}
+
+/// [`run`] against a shared context: kernel costs and the CABAC pricing
+/// replay come from the context's store and batch runner.
+pub fn run_with(ctx: &SimContext, execs: usize, frames: u32, seed: u64) -> Fig10 {
+    let costs = measure_kernel_costs_with(ctx, execs, seed);
     // The CABAC stage is priced from the measured serial decoder kernel
     // rather than a guessed constant (it is scalar in every variant).
     let scalar_costs = ScalarStageCosts {
-        cabac_per_bin: measure_cabac_cost((execs * 30).clamp(500, 20_000), seed),
+        cabac_per_bin: measure_cabac_cost_with(ctx, (execs * 30).clamp(500, 20_000), seed),
         ..ScalarStageCosts::default()
     };
     let mut sequences = Vec::new();
@@ -154,7 +199,16 @@ pub fn run(execs: usize, frames: u32, seed: u64) -> Fig10 {
             .collect();
         sequences.push(SequenceResult { seq, breakdowns });
     }
-    Fig10 { sequences, costs }
+    let index = sequences
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.seq, i))
+        .collect();
+    Fig10 {
+        sequences,
+        costs,
+        index,
+    }
 }
 
 fn scale_work(w: &DecoderWork, factor: f64) -> DecoderWork {
@@ -163,7 +217,11 @@ fn scale_work(w: &DecoderWork, factor: f64) -> DecoderWork {
         mbs: s(w.mbs),
         intra_mbs: s(w.intra_mbs),
         inter_mbs: s(w.inter_mbs),
-        luma_blocks: [s(w.luma_blocks[0]), s(w.luma_blocks[1]), s(w.luma_blocks[2])],
+        luma_blocks: [
+            s(w.luma_blocks[0]),
+            s(w.luma_blocks[1]),
+            s(w.luma_blocks[2]),
+        ],
         chroma8_blocks: s(w.chroma8_blocks),
         chroma4_blocks: s(w.chroma4_blocks),
         chroma2_blocks: s(w.chroma2_blocks),
@@ -176,6 +234,11 @@ fn scale_work(w: &DecoderWork, factor: f64) -> DecoderWork {
 }
 
 impl Fig10 {
+    /// Finds a sequence's result via the index.
+    pub fn sequence(&self, seq: Sequence) -> Option<&SequenceResult> {
+        self.sequences.get(*self.index.get(&seq)?)
+    }
+
     /// Average total seconds across sequences for a variant.
     pub fn average_seconds(&self, variant: Variant) -> f64 {
         self.sequences
@@ -202,7 +265,16 @@ impl Fig10 {
         let _ = writeln!(
             out,
             "{:<12} {:<10} {:>9} {:>10} {:>9} {:>8} {:>9} {:>6} {:>8} {:>8}",
-            "sequence", "impl", "MotionCmp", "InvTrans", "DebFilt", "CABAC", "VideoOut", "OS", "Others", "TOTAL"
+            "sequence",
+            "impl",
+            "MotionCmp",
+            "InvTrans",
+            "DebFilt",
+            "CABAC",
+            "VideoOut",
+            "OS",
+            "Others",
+            "TOTAL"
         );
         let _ = writeln!(out, "{}", "-".repeat(98));
         for sr in &self.sequences {
@@ -226,7 +298,12 @@ impl Fig10 {
         }
         let _ = writeln!(out, "{}", "-".repeat(98));
         for &v in Variant::ALL {
-            let _ = writeln!(out, "AVG {:<10} {:>8.2} s", v.label(), self.average_seconds(v));
+            let _ = writeln!(
+                out,
+                "AVG {:<10} {:>8.2} s",
+                v.label(),
+                self.average_seconds(v)
+            );
         }
         let _ = writeln!(
             out,
@@ -247,19 +324,17 @@ mod tests {
     fn kernel_costs_are_ordered() {
         let costs = measure_kernel_costs(8, 42);
         assert_eq!(costs.len(), 3);
-        let by = |v: Variant| {
-            costs
-                .iter()
-                .find(|c| c.variant == v)
-                .unwrap()
-                .kernels
-                .clone()
-        };
+        let by = |v: Variant| costs.iter().find(|c| c.variant == v).unwrap().kernels;
         let s = by(Variant::Scalar);
         let a = by(Variant::Altivec);
         let u = by(Variant::Unaligned);
         // Vectorisation accelerates the big kernels.
-        assert!(a.luma[0] < s.luma[0], "altivec {} vs scalar {}", a.luma[0], s.luma[0]);
+        assert!(
+            a.luma[0] < s.luma[0],
+            "altivec {} vs scalar {}",
+            a.luma[0],
+            s.luma[0]
+        );
         // Unaligned accelerates MC further.
         assert!(u.luma[0] < a.luma[0]);
         assert!(u.chroma[0] <= a.chroma[0] * 1.05);
@@ -282,7 +357,7 @@ mod tests {
         }
         // Riverbed benefits least from MC optimisation (few inter MBs).
         let gain = |seq: Sequence| {
-            let sr = f.sequences.iter().find(|s| s.seq == seq).unwrap();
+            let sr = f.sequence(seq).unwrap();
             sr.seconds(Variant::Scalar) / sr.seconds(Variant::Unaligned)
         };
         assert!(
@@ -300,7 +375,14 @@ mod tests {
     fn render_has_all_stages_and_sequences() {
         let f = run(4, 1, 3);
         let s = f.render();
-        for label in ["MotionCmp", "CABAC", "riverbed", "rush_hour", "AVG", "speed-ups"] {
+        for label in [
+            "MotionCmp",
+            "CABAC",
+            "riverbed",
+            "rush_hour",
+            "AVG",
+            "speed-ups",
+        ] {
             assert!(s.contains(label), "missing {label}");
         }
     }

@@ -57,11 +57,14 @@ impl Fig4 {
         let mut out = String::from(
             "FIG. 4: ALIGNMENT OFFSETS IN H.264/AVC LUMA AND CHROMA INTERPOLATION KERNELS\n",
         );
-        let panels: [(&str, fn(&AlignmentStats) -> [f64; 16]); 4] = [
+        type Extract = fn(&AlignmentStats) -> [f64; 16];
+        let panels: [(&str, Extract); 4] = [
             ("(a) luma load pointers", |s| s.luma_load.percentages()),
             ("(b) chroma load pointers", |s| s.chroma_load.percentages()),
             ("(c) luma store pointers", |s| s.luma_store.percentages()),
-            ("(d) chroma store pointers", |s| s.chroma_store.percentages()),
+            ("(d) chroma store pointers", |s| {
+                s.chroma_store.percentages()
+            }),
         ];
         for (title, extract) in panels {
             let _ = writeln!(out, "\n{title} — % of block addresses per (src % 16)\n");
@@ -91,8 +94,7 @@ mod tests {
     fn twelve_series() {
         let f = run(1, 3);
         assert_eq!(f.series.len(), 12);
-        let labels: std::collections::HashSet<_> =
-            f.series.iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<_> = f.series.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), 12);
         assert!(labels.contains("1088_riverbed"));
         assert!(labels.contains("576_rush_hour"));

@@ -6,8 +6,9 @@
 //! experiment of section V-B). All speed-ups are normalised to the 2-way
 //! scalar version, exactly as in the figure.
 
-use crate::experiments::measure;
-use crate::workload::{trace_kernel, KernelId};
+use crate::sim::{SimContext, SimJob, TraceKey};
+use crate::workload::KernelId;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use valign_cache::RealignConfig;
 use valign_kernels::util::Variant;
@@ -35,45 +36,87 @@ pub struct Fig8 {
     pub execs: usize,
     /// All points, kernel-major then config then variant.
     pub points: Vec<Point>,
+    /// Distinct config names in first-seen order; positions key `index`.
+    configs: Vec<&'static str>,
+    /// (kernel, config position, variant) → position in `points`.
+    index: HashMap<(KernelId, usize, Variant), usize>,
 }
 
-/// Runs the Fig. 8 experiment.
+/// Runs the Fig. 8 experiment on a private single-threaded context.
 pub fn run(execs: usize, seed: u64) -> Fig8 {
-    let mut points = Vec::new();
+    run_with(&SimContext::new(1), execs, seed)
+}
+
+/// Runs the Fig. 8 experiment as one batch on a shared context.
+///
+/// Every {kernel × variant} trace comes from the context's store, so a
+/// later driver replaying the same workloads reuses them. The batch is
+/// kernel-major then config then variant; the 2-way scalar job of each
+/// kernel doubles as its normalisation baseline.
+pub fn run_with(ctx: &SimContext, execs: usize, seed: u64) -> Fig8 {
+    let configs: Vec<PipelineConfig> = PipelineConfig::table_ii()
+        .into_iter()
+        .map(|cfg| cfg.with_realign(RealignConfig::equal_latency()))
+        .collect();
+    let mut jobs = Vec::with_capacity(KernelId::ALL.len() * configs.len() * Variant::ALL.len());
     for &kernel in KernelId::ALL {
-        // Trace once per variant; replay across configs.
-        let traces: Vec<_> = Variant::ALL
-            .iter()
-            .map(|&v| (v, trace_kernel(kernel, v, execs, seed)))
-            .collect();
-
-        // Baseline: 2-way scalar.
-        let base_cfg = PipelineConfig::two_way().with_realign(RealignConfig::equal_latency());
-        let base = measure(base_cfg, &traces[0].1).cycles;
-
-        for cfg in PipelineConfig::table_ii() {
-            let cfg = cfg.with_realign(RealignConfig::equal_latency());
-            for (variant, trace) in &traces {
-                let cycles = measure(cfg.clone(), trace).cycles;
-                points.push(Point {
+        for cfg in &configs {
+            for &variant in Variant::ALL {
+                let key = TraceKey {
                     kernel,
-                    config: cfg.name,
-                    variant: *variant,
-                    cycles,
-                    speedup: base as f64 / cycles as f64,
-                });
+                    variant,
+                    execs,
+                    seed,
+                };
+                jobs.push(SimJob::keyed(key, cfg.clone()));
             }
         }
     }
-    Fig8 { execs, points }
+    let results = ctx.run_batch("fig8", jobs);
+
+    let per_kernel = configs.len() * Variant::ALL.len();
+    let mut points = Vec::with_capacity(results.len());
+    for (i, r) in results.iter().enumerate() {
+        // Baseline: the kernel's first job is its 2-way scalar replay.
+        let base = results[i / per_kernel * per_kernel].cycles;
+        points.push(Point {
+            kernel: KernelId::ALL[i / per_kernel],
+            config: configs[(i % per_kernel) / Variant::ALL.len()].name,
+            variant: Variant::ALL[i % Variant::ALL.len()],
+            cycles: r.cycles,
+            speedup: base as f64 / r.cycles as f64,
+        });
+    }
+    Fig8::from_points(execs, points)
 }
 
 impl Fig8 {
-    /// Finds a point.
+    fn from_points(execs: usize, points: Vec<Point>) -> Fig8 {
+        let mut configs: Vec<&'static str> = Vec::new();
+        let mut index = HashMap::with_capacity(points.len());
+        for (i, p) in points.iter().enumerate() {
+            let ci = configs
+                .iter()
+                .position(|&c| c == p.config)
+                .unwrap_or_else(|| {
+                    configs.push(p.config);
+                    configs.len() - 1
+                });
+            index.insert((p.kernel, ci, p.variant), i);
+        }
+        Fig8 {
+            execs,
+            points,
+            configs,
+            index,
+        }
+    }
+
+    /// Finds a point by (kernel, config name, variant) via the index.
     pub fn point(&self, kernel: KernelId, config: &str, variant: Variant) -> Option<&Point> {
-        self.points
-            .iter()
-            .find(|p| p.kernel == kernel && p.config == config && p.variant == variant)
+        let ci = self.configs.iter().position(|&c| c == config)?;
+        let &i = self.index.get(&(kernel, ci, variant))?;
+        self.points.get(i)
     }
 
     /// The speed-up of the unaligned variant over plain Altivec for a
@@ -106,7 +149,11 @@ impl Fig8 {
             ),
             (
                 "(b) IDCT",
-                &[KernelId::Idct8x8, KernelId::Idct4x4, KernelId::Idct4x4Matrix],
+                &[
+                    KernelId::Idct8x8,
+                    KernelId::Idct4x4,
+                    KernelId::Idct4x4Matrix,
+                ],
             ),
             (
                 "(c) SAD",
@@ -165,7 +212,10 @@ mod tests {
         }
 
         // Vectorisation wins on the big MC kernels.
-        for k in [KernelId::Luma(BlockSize::B16x16), KernelId::Sad(BlockSize::B16x16)] {
+        for k in [
+            KernelId::Luma(BlockSize::B16x16),
+            KernelId::Sad(BlockSize::B16x16),
+        ] {
             for cfg in ["2-way", "4-way", "8-way"] {
                 let s = f.point(k, cfg, Variant::Scalar).unwrap().speedup;
                 let a = f.point(k, cfg, Variant::Altivec).unwrap().speedup;
@@ -192,7 +242,13 @@ mod tests {
     fn render_lists_all_panels() {
         let f = run(4, 1);
         let s = f.render();
-        for label in ["(a) Luma and chroma", "(b) IDCT", "(c) SAD", "luma4x4", "idct4x4_matrix"] {
+        for label in [
+            "(a) Luma and chroma",
+            "(b) IDCT",
+            "(c) SAD",
+            "luma4x4",
+            "idct4x4_matrix",
+        ] {
             assert!(s.contains(label), "missing {label}");
         }
     }

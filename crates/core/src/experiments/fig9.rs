@@ -5,8 +5,9 @@
 //! aligned latency; speed-ups are reported relative to the *plain Altivec*
 //! implementation, as in the paper's figure.
 
-use crate::experiments::measure;
-use crate::workload::{trace_kernel, KernelId};
+use crate::sim::{SimContext, SimJob, TraceKey};
+use crate::workload::KernelId;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use valign_cache::RealignConfig;
 use valign_h264::BlockSize;
@@ -41,6 +42,8 @@ pub struct Fig9 {
     pub execs: usize,
     /// One sweep per kernel point.
     pub sweeps: Vec<Sweep>,
+    /// Kernel → position in `sweeps`.
+    index: HashMap<KernelId, usize>,
 }
 
 /// The kernel points of the figure's four panels.
@@ -63,7 +66,11 @@ pub fn fig9_kernels() -> Vec<(&'static str, Vec<KernelId>)> {
         ),
         (
             "(c) idct kernel",
-            vec![KernelId::Idct8x8, KernelId::Idct4x4, KernelId::Idct4x4Matrix],
+            vec![
+                KernelId::Idct8x8,
+                KernelId::Idct4x4,
+                KernelId::Idct4x4Matrix,
+            ],
         ),
         (
             "(d) sad kernel",
@@ -76,37 +83,74 @@ pub fn fig9_kernels() -> Vec<(&'static str, Vec<KernelId>)> {
     ]
 }
 
-/// Runs the Fig. 9 experiment.
+/// Runs the Fig. 9 experiment on a private single-threaded context.
 pub fn run(execs: usize, seed: u64) -> Fig9 {
-    let mut sweeps = Vec::new();
-    for (_, kernels) in fig9_kernels() {
-        for kernel in kernels {
-            let av_trace = trace_kernel(kernel, Variant::Altivec, execs, seed);
-            let un_trace = trace_kernel(kernel, Variant::Unaligned, execs, seed);
-            let altivec_cycles = measure(
-                PipelineConfig::four_way().with_realign(RealignConfig::equal_latency()),
-                &av_trace,
-            )
-            .cycles;
-            let mut unaligned_cycles = [0u64; EXTRA_CYCLES.len()];
-            for (i, &extra) in EXTRA_CYCLES.iter().enumerate() {
-                let cfg = PipelineConfig::four_way().with_realign(RealignConfig::extra(extra));
-                unaligned_cycles[i] = measure(cfg, &un_trace).cycles;
-            }
-            sweeps.push(Sweep {
-                kernel,
-                altivec_cycles,
-                unaligned_cycles,
-            });
+    run_with(&SimContext::new(1), execs, seed)
+}
+
+/// Runs the Fig. 9 experiment as one batch on a shared context.
+///
+/// Per kernel the batch holds the Altivec baseline replay followed by the
+/// unaligned replay at each extra-latency step — six jobs in a row.
+pub fn run_with(ctx: &SimContext, execs: usize, seed: u64) -> Fig9 {
+    let kernels: Vec<KernelId> = fig9_kernels().into_iter().flat_map(|(_, ks)| ks).collect();
+    let per_kernel = 1 + EXTRA_CYCLES.len();
+    let mut jobs = Vec::with_capacity(kernels.len() * per_kernel);
+    for &kernel in &kernels {
+        let key = |variant| TraceKey {
+            kernel,
+            variant,
+            execs,
+            seed,
+        };
+        jobs.push(SimJob::keyed(
+            key(Variant::Altivec),
+            PipelineConfig::four_way().with_realign(RealignConfig::equal_latency()),
+        ));
+        for &extra in &EXTRA_CYCLES {
+            jobs.push(SimJob::keyed(
+                key(Variant::Unaligned),
+                PipelineConfig::four_way().with_realign(RealignConfig::extra(extra)),
+            ));
         }
     }
-    Fig9 { execs, sweeps }
+    let results = ctx.run_batch("fig9", jobs);
+
+    let sweeps = kernels
+        .iter()
+        .zip(results.chunks_exact(per_kernel))
+        .map(|(&kernel, chunk)| {
+            let mut unaligned_cycles = [0u64; EXTRA_CYCLES.len()];
+            for (slot, r) in unaligned_cycles.iter_mut().zip(&chunk[1..]) {
+                *slot = r.cycles;
+            }
+            Sweep {
+                kernel,
+                altivec_cycles: chunk[0].cycles,
+                unaligned_cycles,
+            }
+        })
+        .collect();
+    Fig9::from_sweeps(execs, sweeps)
 }
 
 impl Fig9 {
-    /// Finds a kernel's sweep.
+    fn from_sweeps(execs: usize, sweeps: Vec<Sweep>) -> Fig9 {
+        let index = sweeps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.kernel, i))
+            .collect();
+        Fig9 {
+            execs,
+            sweeps,
+            index,
+        }
+    }
+
+    /// Finds a kernel's sweep via the index.
     pub fn sweep(&self, kernel: KernelId) -> Option<&Sweep> {
-        self.sweeps.iter().find(|s| s.kernel == kernel)
+        self.sweeps.get(*self.index.get(&kernel)?)
     }
 
     /// Renders the four panels.

@@ -4,9 +4,7 @@ use valign_isa::support;
 
 /// Renders Table I.
 pub fn render() -> String {
-    let mut out = String::from(
-        "TABLE I: SUPPORT FOR UNALIGNED LOADS IN DIFFERENT PLATFORMS\n\n",
-    );
+    let mut out = String::from("TABLE I: SUPPORT FOR UNALIGNED LOADS IN DIFFERENT PLATFORMS\n\n");
     out.push_str(&support::render_support_table());
     out
 }

@@ -4,9 +4,8 @@ use valign_pipeline::PipelineConfig;
 
 /// Renders Table II from the configuration presets.
 pub fn render() -> String {
-    let mut out = String::from(
-        "TABLE II: PROCESSOR CONFIGURATIONS USED IN SIMULATION ANALYSIS\n\n",
-    );
+    let mut out =
+        String::from("TABLE II: PROCESSOR CONFIGURATIONS USED IN SIMULATION ANALYSIS\n\n");
     for cfg in PipelineConfig::table_ii() {
         out.push_str(&cfg.describe());
         out.push('\n');

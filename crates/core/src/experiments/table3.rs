@@ -7,7 +7,8 @@
 //! executions of each kernel; counts here are per `execs` executions of
 //! one block-level kernel call.
 
-use crate::workload::{trace_kernel, KernelId};
+use crate::sim::SimContext;
+use crate::workload::KernelId;
 use std::fmt::Write as _;
 use valign_isa::{InstrClass, MixCounts};
 use valign_kernels::util::Variant;
@@ -32,12 +33,21 @@ pub struct Table3 {
     pub rows: Vec<Row>,
 }
 
-/// Runs the Table III experiment.
+/// Runs the Table III experiment on a private single-threaded context.
 pub fn run(execs: usize, seed: u64) -> Table3 {
+    run_with(&SimContext::new(1), execs, seed)
+}
+
+/// Runs the Table III experiment against a shared context.
+///
+/// Pure trace analysis — no replays, so no batch: the rows read their
+/// instruction mixes straight off the store's shared traces, which the
+/// figure drivers then replay without re-tracing.
+pub fn run_with(ctx: &SimContext, execs: usize, seed: u64) -> Table3 {
     let mut rows = Vec::new();
     for &(kernel, label) in KernelId::TABLE_III {
         for &variant in Variant::ALL {
-            let mix = trace_kernel(kernel, variant, execs, seed).mix();
+            let mix = ctx.trace(kernel, variant, execs, seed).mix();
             rows.push(Row {
                 kernel: label.to_string(),
                 variant,
@@ -62,8 +72,7 @@ impl Table3 {
                 .iter()
                 .find(|r| r.variant == Variant::Unaligned)
                 .expect("unaligned row present");
-            let reduction = 100.0
-                * (altivec.mix.total() as f64 - unaligned.mix.total() as f64)
+            let reduction = 100.0 * (altivec.mix.total() as f64 - unaligned.mix.total() as f64)
                 / altivec.mix.total() as f64;
             out.push((group[0].kernel.clone(), reduction));
         }
@@ -154,7 +163,11 @@ mod tests {
                 scalar.mix.total()
             );
             // Unaligned never increases the count.
-            assert!(unaligned.mix.total() <= altivec.mix.total(), "{}", scalar.kernel);
+            assert!(
+                unaligned.mix.total() <= altivec.mix.total(),
+                "{}",
+                scalar.kernel
+            );
             // Scalar rows have no vector instructions.
             assert_eq!(scalar.mix.vector_total(), 0);
         }
@@ -164,7 +177,10 @@ mod tests {
     fn reductions_positive_for_mc_kernels() {
         let t = run(5, 7);
         for (kernel, pct) in t.unaligned_reduction_pct() {
-            if kernel.starts_with("LUMA") || kernel.starts_with("SAD") || kernel.starts_with("CHROMA") {
+            if kernel.starts_with("LUMA")
+                || kernel.starts_with("SAD")
+                || kernel.starts_with("CHROMA")
+            {
                 assert!(pct > 0.0, "{kernel}: {pct}");
             }
         }
@@ -174,7 +190,14 @@ mod tests {
     fn render_contains_all_rows() {
         let t = run(2, 1);
         let s = t.render();
-        for label in ["LUMA 16x16", "CHROMA 8x8", "IDCT 4x4", "SAD 16x16", "scalar", "unaligned"] {
+        for label in [
+            "LUMA 16x16",
+            "CHROMA 8x8",
+            "IDCT 4x4",
+            "SAD 16x16",
+            "scalar",
+            "unaligned",
+        ] {
             assert!(s.contains(label), "missing {label}");
         }
     }

@@ -8,6 +8,9 @@
 //!
 //! * [`workload`] — turns kernels plus synthetic content into dynamic
 //!   instruction traces ("1000 executions of each kernel").
+//! * [`sim`] — the simulation-job layer: a content-addressed trace store,
+//!   a deterministic parallel batch executor, and the [`SimContext`] all
+//!   drivers share so each kernel/variant is traced exactly once.
 //! * [`experiments`] — one driver per table/figure; see its module docs
 //!   for the mapping and the bench targets that regenerate each artefact.
 //!
@@ -28,6 +31,8 @@
 //! ```
 
 pub mod experiments;
+pub mod sim;
 pub mod workload;
 
+pub use sim::{BatchRunner, SimContext, SimJob, TraceKey, TraceSource, TraceStore};
 pub use workload::{trace_kernel, KernelId, Workload};

@@ -1,0 +1,413 @@
+//! The simulation-job layer: a content-addressed trace store, a
+//! deterministic batch executor, and the shared context every experiment
+//! driver, bench and the CLI run through.
+//!
+//! The paper's evaluation is *generate once, replay many*: each
+//! {kernel × variant} pair is traced a single time, then replayed across
+//! {machine configs × realignment latencies}. This module makes that
+//! structure explicit:
+//!
+//! * [`TraceStore`] — content-addressed cache keyed by
+//!   [`TraceKey`]`(kernel, variant, execs, seed)` holding `Arc<Trace>`-shared
+//!   immutable traces. Distinct keys trace in parallel; each key is traced
+//!   exactly once no matter how many jobs or threads request it.
+//! * [`SimJob`] / [`BatchRunner`] — a replay expressed as
+//!   `(trace source, PipelineConfig)` and executed on a scoped-thread
+//!   worker pool (std only). Results come back in submission order, so
+//!   batch output is bit-identical at any thread count.
+//! * [`SimContext`] — bundles a store and a runner, and records per-batch
+//!   wall time for the summary scorecard.
+//!
+//! Determinism argument: every job is an independent pure function of its
+//! `(trace, config)` inputs — a fresh [`Simulator`] per job, no state
+//! shared between jobs except the immutable traces — so the result vector
+//! depends only on the submitted job list, never on scheduling.
+
+use crate::workload::{trace_kernel, KernelId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+use std::time::Instant;
+use valign_isa::Trace;
+use valign_kernels::util::Variant;
+use valign_pipeline::{PipelineConfig, SimResult, Simulator};
+
+/// Content address of a workload trace: everything `trace_kernel` takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Which kernel to trace.
+    pub kernel: KernelId,
+    /// Which implementation variant.
+    pub variant: Variant,
+    /// How many kernel executions the trace covers.
+    pub execs: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+/// Counters describing how a [`TraceStore`] was used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStoreStats {
+    /// Lookups served from an already-generated trace.
+    pub hits: u64,
+    /// Lookups that generated the trace (first request for the key).
+    pub misses: u64,
+    /// Distinct keys resident in the store.
+    pub entries: usize,
+    /// Total dynamic instructions across all cached traces.
+    pub instructions: u64,
+}
+
+impl TraceStoreStats {
+    /// True when every resident trace was generated exactly once — the
+    /// invariant the full evaluation asserts: misses happen only on first
+    /// contact, one per distinct key.
+    pub fn traced_exactly_once(&self) -> bool {
+        self.misses == self.entries as u64
+    }
+}
+
+/// Content-addressed store of immutable, `Arc`-shared workload traces.
+///
+/// Thread-safe: the map lock is held only to find or create a key's cell,
+/// never while tracing, so distinct keys generate concurrently while a
+/// second requester of the same key blocks on that key's `OnceLock` and
+/// then shares the existing `Arc`.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    entries: Mutex<HashMap<TraceKey, Arc<OnceLock<Arc<Trace>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The trace for `key`, generating it on first request. Repeated calls
+    /// return clones of the same `Arc`.
+    pub fn get(&self, key: TraceKey) -> Arc<Trace> {
+        let cell = {
+            let mut map = self.entries.lock().expect("trace store poisoned");
+            map.entry(key).or_default().clone()
+        };
+        let mut generated = false;
+        let trace = cell
+            .get_or_init(|| {
+                generated = true;
+                trace_kernel(key.kernel, key.variant, key.execs, key.seed).into_shared()
+            })
+            .clone();
+        if generated {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        trace
+    }
+
+    /// Usage counters (hits, misses, residency).
+    pub fn stats(&self) -> TraceStoreStats {
+        let map = self.entries.lock().expect("trace store poisoned");
+        let instructions = map
+            .values()
+            .filter_map(|cell| cell.get())
+            .map(|t| t.len() as u64)
+            .sum();
+        TraceStoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: map.len(),
+            instructions,
+        }
+    }
+}
+
+/// Where a job's trace comes from.
+#[derive(Debug, Clone)]
+pub enum TraceSource {
+    /// Fetched from (or generated into) the shared [`TraceStore`].
+    Key(TraceKey),
+    /// An already-shared trace (custom programs: CABAC models, ablation
+    /// micro-traces) that bypasses the store.
+    Shared(Arc<Trace>),
+}
+
+/// One replay: a trace plus the machine to replay it on. The realignment
+/// configuration rides inside [`PipelineConfig::realign`].
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// The trace to replay.
+    pub source: TraceSource,
+    /// The machine configuration (including realignment latencies).
+    pub cfg: PipelineConfig,
+    /// Precede the measured replay with a warm-up replay (steady state).
+    pub warm: bool,
+}
+
+impl SimJob {
+    /// A steady-state replay of a store-resident trace.
+    pub fn keyed(key: TraceKey, cfg: PipelineConfig) -> Self {
+        SimJob {
+            source: TraceSource::Key(key),
+            cfg,
+            warm: true,
+        }
+    }
+
+    /// A steady-state replay of an already-shared trace.
+    pub fn shared(trace: Arc<Trace>, cfg: PipelineConfig) -> Self {
+        SimJob {
+            source: TraceSource::Shared(trace),
+            cfg,
+            warm: true,
+        }
+    }
+
+    /// Same job, but replayed cold (no warm-up pass).
+    pub fn cold(mut self) -> Self {
+        self.warm = false;
+        self
+    }
+
+    fn execute(&self, store: &TraceStore) -> SimResult {
+        let trace = match &self.source {
+            TraceSource::Key(key) => store.get(*key),
+            TraceSource::Shared(trace) => Arc::clone(trace),
+        };
+        let warmup = self.warm.then_some(&*trace);
+        Simulator::simulate(self.cfg.clone(), warmup, &trace)
+    }
+}
+
+/// Executes job batches on a scoped worker pool, returning results in
+/// submission order regardless of thread count or scheduling.
+#[derive(Debug, Clone)]
+pub struct BatchRunner {
+    threads: usize,
+}
+
+impl BatchRunner {
+    /// A runner with `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        BatchRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job; `results[i]` corresponds to `jobs[i]`.
+    pub fn run(&self, store: &TraceStore, jobs: &[SimJob]) -> Vec<SimResult> {
+        if self.threads == 1 || jobs.len() <= 1 {
+            return jobs.iter().map(|j| j.execute(store)).collect();
+        }
+        let slots: Vec<OnceLock<SimResult>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(jobs.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    slots[i]
+                        .set(job.execute(store))
+                        .expect("each slot is filled once");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("worker filled every slot"))
+            .collect()
+    }
+}
+
+/// Wall time of one executed batch, for the scorecard.
+#[derive(Debug, Clone)]
+pub struct BatchRecord {
+    /// Which driver submitted the batch.
+    pub label: String,
+    /// Number of jobs in the batch.
+    pub jobs: usize,
+    /// Wall time of the whole batch.
+    pub wall: Duration,
+}
+
+/// Shared driver context: one trace store plus one batch runner, with
+/// per-batch timing records.
+///
+/// All experiment drivers accept a `&SimContext`; running several drivers
+/// against the same context is what lets the full evaluation trace each
+/// kernel/variant exactly once.
+#[derive(Debug)]
+pub struct SimContext {
+    store: TraceStore,
+    runner: BatchRunner,
+    batches: Mutex<Vec<BatchRecord>>,
+}
+
+impl SimContext {
+    /// A fresh context executing batches on `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        SimContext {
+            store: TraceStore::new(),
+            runner: BatchRunner::new(threads),
+            batches: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Worker count of the underlying runner.
+    pub fn threads(&self) -> usize {
+        self.runner.threads()
+    }
+
+    /// The shared trace store.
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+
+    /// Shorthand for a store lookup.
+    pub fn trace(&self, kernel: KernelId, variant: Variant, execs: usize, seed: u64) -> Arc<Trace> {
+        self.store.get(TraceKey {
+            kernel,
+            variant,
+            execs,
+            seed,
+        })
+    }
+
+    /// Runs one batch, recording its wall time under `label`.
+    pub fn run_batch(&self, label: &str, jobs: Vec<SimJob>) -> Vec<SimResult> {
+        let started = Instant::now();
+        let results = self.runner.run(&self.store, &jobs);
+        let wall = started.elapsed();
+        self.batches
+            .lock()
+            .expect("batch log poisoned")
+            .push(BatchRecord {
+                label: label.to_string(),
+                jobs: jobs.len(),
+                wall,
+            });
+        results
+    }
+
+    /// Executed batches so far, in submission order.
+    pub fn batches(&self) -> Vec<BatchRecord> {
+        self.batches.lock().expect("batch log poisoned").clone()
+    }
+
+    /// Renders the trace-cache and batch-timing scorecard section.
+    ///
+    /// Wall times vary run to run; everything else is deterministic.
+    pub fn scorecard(&self) -> String {
+        let stats = self.store.stats();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace store: {} traces ({} instructions), {} hits / {} misses — {}\n",
+            stats.entries,
+            stats.instructions,
+            stats.hits,
+            stats.misses,
+            if stats.traced_exactly_once() {
+                "each kernel/variant traced exactly once"
+            } else {
+                "RETRACE DETECTED (misses != resident traces)"
+            },
+        ));
+        out.push_str(&format!("batches ({} threads):\n", self.threads()));
+        for b in self.batches() {
+            out.push_str(&format!(
+                "  {:<18} {:>4} jobs  {:>9.2?}\n",
+                b.label, b.jobs, b.wall
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valign_h264::BlockSize;
+
+    fn key(execs: usize) -> TraceKey {
+        TraceKey {
+            kernel: KernelId::Sad(BlockSize::B8x8),
+            variant: Variant::Unaligned,
+            execs,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn repeated_keys_share_one_arc() {
+        let store = TraceStore::new();
+        let a = store.get(key(3));
+        let b = store.get(key(3));
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.traced_exactly_once());
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_traces() {
+        let store = TraceStore::new();
+        let a = store.get(key(2));
+        let b = store.get(key(4));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(b.len() > a.len());
+        assert_eq!(store.stats().misses, 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_trace_once() {
+        let store = TraceStore::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| store.get(key(3)));
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.hits, 7, "{stats:?}");
+    }
+
+    #[test]
+    fn batch_results_come_back_in_submission_order() {
+        let store = TraceStore::new();
+        // Jobs with visibly different sizes so misordering would show.
+        let jobs: Vec<SimJob> = (1..=6)
+            .map(|e| SimJob::keyed(key(e), PipelineConfig::four_way()))
+            .collect();
+        let serial = BatchRunner::new(1).run(&store, &jobs);
+        let parallel = BatchRunner::new(4).run(&store, &jobs);
+        assert_eq!(serial, parallel);
+        let instr: Vec<u64> = serial.iter().map(|r| r.instructions).collect();
+        let mut sorted = instr.clone();
+        sorted.sort_unstable();
+        assert_eq!(instr, sorted, "bigger execs must yield bigger traces");
+    }
+
+    #[test]
+    fn context_records_batches() {
+        let ctx = SimContext::new(2);
+        let jobs = vec![SimJob::keyed(key(2), PipelineConfig::two_way())];
+        let _ = ctx.run_batch("unit", jobs);
+        let batches = ctx.batches();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].label, "unit");
+        assert_eq!(batches[0].jobs, 1);
+        assert!(ctx.scorecard().contains("traced exactly once"));
+    }
+}

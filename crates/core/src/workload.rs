@@ -174,8 +174,8 @@ impl Workload {
                 // spread over 0..16 as in Fig. 4(a).
                 let mvx = self.rng.gen_range(-12i64..=12);
                 let mvy = self.rng.gen_range(-12i64..=12);
-                let src = (self.src_base as i64 + (by as i64 + mvy) * stride + bx as i64 + mvx)
-                    as u64;
+                let src =
+                    (self.src_base as i64 + (by as i64 + mvy) * stride + bx as i64 + mvx) as u64;
                 // The grid-aligned bx keeps the store offset legal: it is
                 // a multiple of the block edge within a 16-byte word.
                 let dst = self.dst_base + (by % 128) * STRIDE as u64 + bx;
@@ -197,8 +197,8 @@ impl Workload {
                 let (bx, by) = self.block_pos(edge);
                 let mvx = self.rng.gen_range(-10i64..=10);
                 let mvy = self.rng.gen_range(-10i64..=10);
-                let src = (self.src_base as i64 + (by as i64 + mvy) * stride + bx as i64 + mvx)
-                    as u64;
+                let src =
+                    (self.src_base as i64 + (by as i64 + mvy) * stride + bx as i64 + mvx) as u64;
                 let dst = self.dst_base + (by % 128) * STRIDE as u64 + bx;
                 let args = ChromaArgs {
                     src,

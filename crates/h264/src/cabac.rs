@@ -369,7 +369,10 @@ mod tests {
         };
         let skewed = measure(3);
         let even = measure(50);
-        assert!(skewed < 0.35, "3% bias should cost well under 1 bit/bin: {skewed}");
+        assert!(
+            skewed < 0.35,
+            "3% bias should cost well under 1 bit/bin: {skewed}"
+        );
         assert!(even > 0.9, "50/50 bins cost about 1 bit/bin: {even}");
     }
 
@@ -378,6 +381,7 @@ mod tests {
         for s in 0..64usize {
             // LPS ranges shrink as the state gets more confident.
             if s > 0 && s < 63 {
+                #[allow(clippy::needless_range_loop)]
                 for q in 0..4 {
                     assert!(RANGE_TAB_LPS[s][q] <= RANGE_TAB_LPS[s - 1][q]);
                 }

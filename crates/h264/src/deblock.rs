@@ -19,8 +19,8 @@ const ALPHA: [i32; 52] = [
 
 /// Beta threshold, indexed by `indexB` (0..52).
 const BETA: [i32; 52] = [
-    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 6, 6, 7, 7, 8,
-    8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13, 14, 14, 15, 15, 16, 16, 17, 17, 18, 18,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 6, 6, 7, 7, 8, 8,
+    9, 9, 10, 10, 11, 11, 12, 12, 13, 13, 14, 14, 15, 15, 16, 16, 17, 17, 18, 18,
 ];
 
 /// `tC0` clipping values for boundary strengths 1..=3, indexed by `indexA`.
@@ -86,15 +86,31 @@ fn clip3(lo: i32, hi: i32, v: i32) -> i32 {
 /// # Panics
 ///
 /// Panics if `bs > 4` or the threshold indices exceed 51.
-pub fn filter_luma_line(p: &mut [u8; 4], q: &mut [u8; 4], bs: u8, index_a: usize, index_b: usize) -> bool {
+pub fn filter_luma_line(
+    p: &mut [u8; 4],
+    q: &mut [u8; 4],
+    bs: u8,
+    index_a: usize,
+    index_b: usize,
+) -> bool {
     assert!(bs <= 4, "boundary strength is 0..=4");
     if bs == 0 {
         return false;
     }
     let a = alpha(index_a);
     let b = beta(index_b);
-    let (p0, p1, p2, p3) = (i32::from(p[0]), i32::from(p[1]), i32::from(p[2]), i32::from(p[3]));
-    let (q0, q1, q2, _q3) = (i32::from(q[0]), i32::from(q[1]), i32::from(q[2]), i32::from(q[3]));
+    let (p0, p1, p2, p3) = (
+        i32::from(p[0]),
+        i32::from(p[1]),
+        i32::from(p[2]),
+        i32::from(p[3]),
+    );
+    let (q0, q1, q2, _q3) = (
+        i32::from(q[0]),
+        i32::from(q[1]),
+        i32::from(q[2]),
+        i32::from(q[3]),
+    );
 
     // Edge-activity gate.
     if (p0 - q0).abs() >= a || (p1 - p0).abs() >= b || (q1 - q0).abs() >= b {
@@ -151,6 +167,7 @@ pub enum EdgeDir {
 /// and quantiser-derived indices. Returns the number of lines that were
 /// actually modified — the data-dependent behaviour that frustrates SIMD
 /// vectorisation of this stage.
+#[allow(clippy::too_many_arguments)]
 pub fn filter_edge(
     plane: &mut Plane,
     dir: EdgeDir,
@@ -167,8 +184,18 @@ pub fn filter_edge(
             EdgeDir::Vertical => plane.get(x + side, y + i),
             EdgeDir::Horizontal => plane.get(x + i, y + side),
         };
-        let mut p = [read(plane, -1), read(plane, -2), read(plane, -3), read(plane, -4)];
-        let mut q = [read(plane, 0), read(plane, 1), read(plane, 2), read(plane, 3)];
+        let mut p = [
+            read(plane, -1),
+            read(plane, -2),
+            read(plane, -3),
+            read(plane, -4),
+        ];
+        let mut q = [
+            read(plane, 0),
+            read(plane, 1),
+            read(plane, 2),
+            read(plane, 3),
+        ];
         if filter_luma_line(&mut p, &mut q, bs, index_a, index_b) {
             for (k, (&pv, &qv)) in p.iter().zip(q.iter()).enumerate() {
                 let k = k as isize;
@@ -201,6 +228,7 @@ mod tests {
             assert!(row.windows(2).all(|w| w[0] <= w[1]));
         }
         // Stronger boundaries clip harder.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..52 {
             assert!(TC0[0][i] <= TC0[1][i] && TC0[1][i] <= TC0[2][i]);
         }

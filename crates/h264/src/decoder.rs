@@ -87,7 +87,12 @@ pub fn decoder_work(plan: &FramePlan) -> DecoderWork {
                 coded_chroma_blocks,
             } => {
                 w.intra_mbs += 1;
-                count_transforms(&mut w, *transform8x8, *coded_luma_blocks, *coded_chroma_blocks);
+                count_transforms(
+                    &mut w,
+                    *transform8x8,
+                    *coded_luma_blocks,
+                    *coded_chroma_blocks,
+                );
                 // Intra MBs carry denser residual entropy.
                 w.cabac_bins += (model.cabac_bins_per_mb
                     * (0.9 + 0.8 * f64::from(*coded_luma_blocks) / 16.0))
@@ -107,7 +112,12 @@ pub fn decoder_work(plan: &FramePlan) -> DecoderWork {
                     4 => w.chroma4_blocks += n,
                     _ => w.chroma2_blocks += n,
                 }
-                count_transforms(&mut w, *transform8x8, *coded_luma_blocks, *coded_chroma_blocks);
+                count_transforms(
+                    &mut w,
+                    *transform8x8,
+                    *coded_luma_blocks,
+                    *coded_chroma_blocks,
+                );
                 w.cabac_bins += (model.cabac_bins_per_mb
                     * (0.6 + 0.8 * f64::from(*coded_luma_blocks) / 16.0))
                     as u64;
@@ -241,13 +251,12 @@ pub fn compose(
         + work.chroma8_blocks as f64 * kernels.chroma[0]
         + work.chroma4_blocks as f64 * kernels.chroma[1]
         + work.chroma2_blocks as f64 * scalar.chroma2_per_block;
-    let idct =
-        work.idct4_blocks as f64 * kernels.idct4 + work.idct8_blocks as f64 * kernels.idct8;
+    let idct = work.idct4_blocks as f64 * kernels.idct4 + work.idct8_blocks as f64 * kernels.idct8;
     let deblock = work.deblock_edges as f64 * scalar.deblock_per_edge;
     let cabac = work.cabac_bins as f64 * scalar.cabac_per_bin;
     let video_out = work.pixels as f64 * scalar.videout_per_pixel;
-    let others = work.intra_mbs as f64 * scalar.intra_per_mb
-        + work.mbs as f64 * scalar.other_per_mb;
+    let others =
+        work.intra_mbs as f64 * scalar.intra_per_mb + work.mbs as f64 * scalar.other_per_mb;
     let cpu_total = mc + idct + deblock + cabac + video_out + others;
     let os = cpu_total * scalar.os_fraction / (1.0 - scalar.os_fraction);
     StageBreakdown {

@@ -82,7 +82,10 @@ fn half_hv(src: &Plane, x: isize, y: isize) -> u8 {
 ///
 /// Panics if `dx` or `dy` exceeds 3.
 pub fn luma_qpel(src: &Plane, x: isize, y: isize, dx: u8, dy: u8, w: usize, h: usize) -> Vec<u8> {
-    assert!(dx < 4 && dy < 4, "fractional offsets are quarter-pel (0..4)");
+    assert!(
+        dx < 4 && dy < 4,
+        "fractional offsets are quarter-pel (0..4)"
+    );
     let mut out = Vec::with_capacity(w * h);
     for r in 0..h as isize {
         for c in 0..w as isize {
@@ -211,14 +214,8 @@ mod tests {
         assert_eq!(luma_qpel(&p, x, y, 3, 3, 1, 1)[0], avg(h_right, b_below));
         assert_eq!(luma_qpel(&p, x, y, 2, 3, 1, 1)[0], avg(j, b_below));
         assert_eq!(luma_qpel(&p, x, y, 3, 2, 1, 1)[0], avg(j, h_right));
-        assert_eq!(
-            luma_qpel(&p, x, y, 3, 0, 1, 1)[0],
-            avg(b, p.get(x + 1, y))
-        );
-        assert_eq!(
-            luma_qpel(&p, x, y, 0, 3, 1, 1)[0],
-            avg(hh, p.get(x, y + 1))
-        );
+        assert_eq!(luma_qpel(&p, x, y, 3, 0, 1, 1)[0], avg(b, p.get(x + 1, y)));
+        assert_eq!(luma_qpel(&p, x, y, 0, 3, 1, 1)[0], avg(hh, p.get(x, y + 1)));
     }
 
     #[test]
@@ -239,7 +236,7 @@ mod tests {
         assert_eq!(chroma_epel(&p, 3, 3, 0, 0, 1, 1)[0], 10);
         // dx=7 is dominated by the right sample.
         let v7 = chroma_epel(&p, 3, 3, 7, 0, 1, 1)[0];
-        assert_eq!(v7, ((1 * 8 * 10 + 7 * 8 * 50 + 32) >> 6) as u8);
+        assert_eq!(v7, ((8 * 10 + 7 * 8 * 50 + 32) >> 6) as u8);
     }
 
     #[test]

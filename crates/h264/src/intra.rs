@@ -102,8 +102,7 @@ pub fn predict16x16(
             let aa = 16 * (i32::from(a[15]) + i32::from(l[15]));
             for y in 0..16i32 {
                 for x in 0..16i32 {
-                    out[(16 * y + x) as usize] =
-                        clip8((aa + b * (x - 7) + c * (y - 7) + 16) >> 5);
+                    out[(16 * y + x) as usize] = clip8((aa + b * (x - 7) + c * (y - 7) + 16) >> 5);
                 }
             }
         }
@@ -239,7 +238,11 @@ mod tests {
     #[test]
     fn dc_averages_with_standard_rounding() {
         let d = predict16x16(Intra16Mode::Dc, Some(&ABOVE16), Some(&LEFT16), None);
-        let sum: u32 = ABOVE16.iter().chain(LEFT16.iter()).map(|&v| u32::from(v)).sum();
+        let sum: u32 = ABOVE16
+            .iter()
+            .chain(LEFT16.iter())
+            .map(|&v| u32::from(v))
+            .sum();
         assert!(d.iter().all(|&p| u32::from(p) == (sum + 16) >> 5));
         // Edge cases.
         let a_only = predict16x16(Intra16Mode::Dc, Some(&ABOVE16), None, None);

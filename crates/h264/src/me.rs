@@ -24,6 +24,7 @@ pub struct SearchResult {
     pub evaluations: u32,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn probe(
     cur: &Plane,
     cx: isize,
@@ -169,9 +170,7 @@ mod tests {
         // Smooth texture so fast searches have a well-behaved surface.
         let mut refp = Plane::new(96, 96);
         refp.fill_with(|x, y| {
-            (128.0
-                + 60.0 * ((x as f64) * 0.10).sin()
-                + 50.0 * ((y as f64) * 0.085).cos()) as u8
+            (128.0 + 60.0 * ((x as f64) * 0.10).sin() + 50.0 * ((y as f64) * 0.085).cos()) as u8
         });
         let mut cur = Plane::new(96, 96);
         cur.fill_with(|x, y| refp.get(x as isize + shift_x, y as isize + shift_y));

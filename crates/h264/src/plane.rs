@@ -129,7 +129,11 @@ impl Plane {
 
     /// Replicates border pixels into the guard margins.
     pub fn extend_edges(&mut self) {
-        let (w, h, m) = (self.width as isize, self.height as isize, PLANE_MARGIN as isize);
+        let (w, h, m) = (
+            self.width as isize,
+            self.height as isize,
+            PLANE_MARGIN as isize,
+        );
         for y in 0..h {
             let left = self.get(0, y);
             let right = self.get(w - 1, y);
@@ -266,7 +270,7 @@ mod tests {
         assert_eq!(p.index_of(5, 3), base + 3 * p.stride() + 5);
         // An x-offset determines (addr % 16) because base and stride are
         // 16-byte aligned — the crux of the paper's Fig. 4.
-        assert_eq!(p.index_of(13, 7) % 16, 13 % 16);
+        assert_eq!(p.index_of(13, 7) % 16, 13);
     }
 
     #[test]

@@ -154,12 +154,10 @@ pub fn reconstruct_frame(
             MbPlan::Intra { .. } => {
                 // DC prediction from reconstructed neighbours (the real
                 // decoder dependency order: left and above MBs are done).
-                let above: Option<[u8; 16]> = (mb_y > 0).then(|| {
-                    std::array::from_fn(|i| recon.y.get(ox + i as isize, oy - 1))
-                });
-                let left: Option<[u8; 16]> = (mb_x > 0).then(|| {
-                    std::array::from_fn(|i| recon.y.get(ox - 1, oy + i as isize))
-                });
+                let above: Option<[u8; 16]> = (mb_y > 0)
+                    .then(|| std::array::from_fn(|i| recon.y.get(ox + i as isize, oy - 1)));
+                let left: Option<[u8; 16]> = (mb_x > 0)
+                    .then(|| std::array::from_fn(|i| recon.y.get(ox - 1, oy + i as isize)));
                 predict16x16(Intra16Mode::Dc, above.as_ref(), left.as_ref(), None).to_vec()
             }
         };
@@ -188,7 +186,9 @@ pub fn reconstruct_frame(
                         let sx = ox + (bx * 4 + c) as isize;
                         let sy = oy + (by * 4 + r) as isize;
                         let p = i32::from(pred[(by * 4 + r) * 16 + bx * 4 + c]);
-                        recon.y.set(sx, sy, (p + res[r * 4 + c]).clamp(0, 255) as u8);
+                        recon
+                            .y
+                            .set(sx, sy, (p + res[r * 4 + c]).clamp(0, 255) as u8);
                     }
                 }
             }

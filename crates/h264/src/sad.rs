@@ -10,6 +10,7 @@ use crate::plane::Plane;
 
 /// Sum of absolute differences between a `w` x `h` block of `cur` at
 /// `(cx, cy)` and a block of `refp` at `(rx, ry)`.
+#[allow(clippy::too_many_arguments)]
 pub fn sad_block(
     cur: &Plane,
     cx: isize,

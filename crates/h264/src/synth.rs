@@ -265,7 +265,10 @@ pub fn plan_frame(seq: Sequence, res: Resolution, seed: u64) -> FramePlan {
             let mvx_pels = mb_mx + jitter * normal(&mut rng);
             let mvy_pels = mb_my + jitter * normal(&mut rng);
             let mv = clamp_mv(
-                MotionVector::new((mvx_pels * 4.0).round() as i32, (mvy_pels * 4.0).round() as i32),
+                MotionVector::new(
+                    (mvx_pels * 4.0).round() as i32,
+                    (mvy_pels * 4.0).round() as i32,
+                ),
                 (mb_x + px) as i32,
                 (mb_y + py) as i32,
                 edge as i32,
@@ -310,7 +313,10 @@ fn clamp_mv(mv: MotionVector, x: i32, y: i32, edge: i32, width: i32, height: i32
     let max_x = (width - x - edge - MC_APRON_POS + 16).min(64) * 4;
     let min_y = (-y + MC_APRON_NEG - 16).max(-64) * 4;
     let max_y = (height - y - edge - MC_APRON_POS + 16).min(64) * 4;
-    MotionVector::new(mv.x.clamp(min_x, max_x.max(min_x)), mv.y.clamp(min_y, max_y.max(min_y)))
+    MotionVector::new(
+        mv.x.clamp(min_x, max_x.max(min_x)),
+        mv.y.clamp(min_y, max_y.max(min_y)),
+    )
 }
 
 /// Histogram of `(addr % 16)` offsets — one curve of the paper's Fig. 4.
@@ -398,11 +404,15 @@ pub fn mc_alignment_stats(plan: &FramePlan) -> AlignmentStats {
         };
         for (px, _py, mv) in inter.partitions() {
             let luma_x = (mb_x * 16 + px) as i32;
-            stats.luma_load.record((luma_x + mv.int_x()).rem_euclid(16) as u8);
+            stats
+                .luma_load
+                .record((luma_x + mv.int_x()).rem_euclid(16) as u8);
             stats.luma_store.record(luma_x.rem_euclid(16) as u8);
             let chroma_x = (mb_x * 8 + px / 2) as i32;
             let (cmx, _) = mv.chroma_int();
-            stats.chroma_load.record((chroma_x + cmx).rem_euclid(16) as u8);
+            stats
+                .chroma_load
+                .record((chroma_x + cmx).rem_euclid(16) as u8);
             stats.chroma_store.record(chroma_x.rem_euclid(16) as u8);
         }
     }
@@ -426,7 +436,10 @@ mod tests {
             Sequence::Riverbed.model().inter_ratio < 0.5,
             "riverbed is mostly intra, per the paper"
         );
-        assert!(Sequence::BlueSky.model().mv_mean.0.abs() > 2.0, "blue_sky pans");
+        assert!(
+            Sequence::BlueSky.model().mv_mean.0.abs() > 2.0,
+            "blue_sky pans"
+        );
     }
 
     #[test]
@@ -444,10 +457,7 @@ mod tests {
             let plan = plan_frame(*seq, Resolution::Hd720, 1);
             let expected = seq.model().inter_ratio;
             let got = plan.inter_fraction();
-            assert!(
-                (got - expected).abs() < 0.05,
-                "{seq}: {got} vs {expected}"
-            );
+            assert!((got - expected).abs() < 0.05, "{seq}: {got} vs {expected}");
         }
     }
 
@@ -463,9 +473,15 @@ mod tests {
                         let x0 = (mb_x * 16 + px) as i32 + mv.int_x();
                         let y0 = (mb_y * 16 + py) as i32 + mv.int_y();
                         assert!(x0 - MC_APRON_NEG >= -(crate::plane::PLANE_MARGIN as i32));
-                        assert!(x0 + edge + MC_APRON_POS <= w as i32 + crate::plane::PLANE_MARGIN as i32);
+                        assert!(
+                            x0 + edge + MC_APRON_POS
+                                <= w as i32 + crate::plane::PLANE_MARGIN as i32
+                        );
                         assert!(y0 - MC_APRON_NEG >= -(crate::plane::PLANE_MARGIN as i32));
-                        assert!(y0 + edge + MC_APRON_POS <= h as i32 + crate::plane::PLANE_MARGIN as i32);
+                        assert!(
+                            y0 + edge + MC_APRON_POS
+                                <= h as i32 + crate::plane::PLANE_MARGIN as i32
+                        );
                     }
                 }
             }
@@ -478,7 +494,10 @@ mod tests {
         let stats = mc_alignment_stats(&plan);
         // Loads spread across the full 0..16 range.
         let nonzero = stats.luma_load.counts().iter().filter(|&&c| c > 0).count();
-        assert!(nonzero >= 12, "luma load offsets should cover the range, got {nonzero}");
+        assert!(
+            nonzero >= 12,
+            "luma load offsets should cover the range, got {nonzero}"
+        );
         // Stores land only on multiples of 4 (partition x-offsets).
         for (off, &c) in stats.luma_store.counts().iter().enumerate() {
             if off % 4 != 0 {

@@ -94,12 +94,7 @@ pub fn idct4x4(coeffs: &[i16; 16]) -> [i32; 16] {
 pub fn idct4x4_matrix(coeffs: &[i16; 16]) -> [i32; 16] {
     // Doubled inverse matrix rows (Cᵢ scaled by 2 to keep halves exact):
     // Cᵢ = [[1, 1, 1, 1/2], [1, 1/2, -1, -1], [1, -1/2, -1, 1], [1, -1, 1, -1/2]]
-    const CI2: [[i32; 4]; 4] = [
-        [2, 2, 2, 1],
-        [2, 1, -2, -2],
-        [2, -1, -2, 2],
-        [2, -2, 2, -1],
-    ];
+    const CI2: [[i32; 4]; 4] = [[2, 2, 2, 1], [2, 1, -2, -2], [2, -1, -2, 2], [2, -2, 2, -1]];
     // We evaluate out = Cᵢ2ᵀ Y Cᵢ2 / 16, folding the two doublings into
     // the final rounding shift: (x + 32*4) >> 8.
     let mut tmp = [0i32; 16];
@@ -205,9 +200,7 @@ mod tests {
             s ^= s << 17;
             lo + (s % (hi - lo + 1) as u64) as i32
         };
-        (0..n)
-            .map(|_| std::array::from_fn(|_| next()))
-            .collect()
+        (0..n).map(|_| std::array::from_fn(|_| next())).collect()
     }
 
     #[test]

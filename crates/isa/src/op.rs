@@ -242,12 +242,7 @@ impl Opcode {
     pub fn is_store(self) -> bool {
         matches!(
             self,
-            Opcode::Stb
-                | Opcode::Sth
-                | Opcode::Stw
-                | Opcode::Stvx
-                | Opcode::Stvewx
-                | Opcode::Stvxu
+            Opcode::Stb | Opcode::Sth | Opcode::Stw | Opcode::Stvx | Opcode::Stvewx | Opcode::Stvxu
         )
     }
 
@@ -328,7 +323,10 @@ mod tests {
     #[test]
     fn loads_and_stores_are_disjoint() {
         for op in Opcode::ALL {
-            assert!(!(op.is_load() && op.is_store()), "{op} is both load and store");
+            assert!(
+                !(op.is_load() && op.is_store()),
+                "{op} is both load and store"
+            );
         }
     }
 
@@ -352,7 +350,10 @@ mod tests {
             .iter()
             .filter(|o| o.is_unaligned_capable())
             .count();
-        assert_eq!(n, 2, "exactly the two new instructions are unaligned-capable");
+        assert_eq!(
+            n, 2,
+            "exactly the two new instructions are unaligned-capable"
+        );
     }
 
     #[test]

@@ -72,7 +72,7 @@ impl MemRef {
 
     /// Whether the access is unaligned with respect to its own width.
     pub fn is_unaligned(&self) -> bool {
-        self.addr % u64::from(self.bytes.max(1)) != 0
+        !self.addr.is_multiple_of(u64::from(self.bytes.max(1)))
     }
 
     /// Whether the access crosses a cache-line boundary of the given size.
@@ -225,8 +225,7 @@ impl DynInstr {
     /// not 16-byte aligned. Only meaningful for `lvxu`/`stvxu`; aligned
     /// Altivec ops always present truncated addresses.
     pub fn is_unaligned_vector_access(&self) -> bool {
-        self.op.is_unaligned_capable()
-            && self.mem.map(|m| m.quad_offset() != 0).unwrap_or(false)
+        self.op.is_unaligned_capable() && self.mem.map(|m| m.quad_offset() != 0).unwrap_or(false)
     }
 }
 
@@ -312,6 +311,19 @@ impl Trace {
     /// Iterate over the instructions.
     pub fn iter(&self) -> std::slice::Iter<'_, DynInstr> {
         self.instrs.iter()
+    }
+
+    /// Freezes the trace behind an [`std::sync::Arc`] for shared,
+    /// immutable replay — the ownership form the simulation-job layer
+    /// passes between worker threads.
+    pub fn into_shared(self) -> std::sync::Arc<Trace> {
+        std::sync::Arc::new(self)
+    }
+
+    /// Approximate heap footprint of the recorded stream, for cache
+    /// accounting in reports.
+    pub fn approx_bytes(&self) -> usize {
+        self.instrs.capacity() * std::mem::size_of::<DynInstr>()
     }
 }
 
@@ -426,11 +438,7 @@ mod tests {
             Opcode::Vperm,
             sid(2),
             Some(Vpr::new(3).into()),
-            &[
-                Vpr::new(0).into(),
-                Vpr::new(1).into(),
-                Vpr::new(2).into(),
-            ],
+            &[Vpr::new(0).into(), Vpr::new(1).into(), Vpr::new(2).into()],
         ));
         t.push(DynInstr::branch(
             Opcode::Bc,

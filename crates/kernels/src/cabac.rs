@@ -44,7 +44,8 @@ pub fn setup_cabac(vm: &mut Vm, init_states: &[u8], stream: &[u8]) -> CabacLayou
     }
     let trans_lps = vm.mem_mut().alloc(64, 16);
     for state in 0..64u64 {
-        vm.mem_mut().write_u8(trans_lps + state, lps_transition(state as u8));
+        vm.mem_mut()
+            .write_u8(trans_lps + state, lps_transition(state as u8));
     }
     let contexts = vm.mem_mut().alloc(init_states.len() * 2, 16);
     for (i, &s) in init_states.iter().enumerate() {
@@ -259,7 +260,9 @@ mod tests {
         // Golden decode for reference.
         let mut ctxs: Vec<Context> = states.iter().map(|&s| Context::new(s)).collect();
         let mut dec = CabacDecoder::new(&stream);
-        let golden: Vec<u8> = (0..want.len()).map(|i| dec.decode(&mut ctxs[i % 3])).collect();
+        let golden: Vec<u8> = (0..want.len())
+            .map(|i| dec.decode(&mut ctxs[i % 3]))
+            .collect();
         assert_eq!(golden, want, "golden engine roundtrip");
 
         // Traced VM decode.

@@ -304,7 +304,12 @@ mod tests {
             av_branches > un_branches,
             "altivec {av_branches} vs unaligned {un_branches} branches"
         );
-        assert!(un.len() < av.len(), "unaligned {} vs altivec {}", un.len(), av.len());
+        assert!(
+            un.len() < av.len(),
+            "unaligned {} vs altivec {}",
+            un.len(),
+            av.len()
+        );
         assert!(un.iter().any(|i| i.op == Opcode::Lvxu));
         assert!(un.iter().any(|i| i.op == Opcode::Stvxu));
         // The branch direction flips with the offset (9-byte window fits

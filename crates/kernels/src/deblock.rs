@@ -300,9 +300,8 @@ fn deblock_vector(vm: &mut Vm, variant: Variant, args: &DeblockArgs) {
         let q1n = adj(vm, q2h, q1h);
         halves.push([p0n, q0n, p1n, q1n]);
     }
-    let pack = |vm: &mut Vm, k: usize, halves: &[[Vector; 4]]| {
-        vm.vpkshus(halves[0][k], halves[1][k])
-    };
+    let pack =
+        |vm: &mut Vm, k: usize, halves: &[[Vector; 4]]| vm.vpkshus(halves[0][k], halves[1][k]);
     let p0n = pack(vm, 0, &halves);
     let q0n = pack(vm, 1, &halves);
     let p1n = pack(vm, 2, &halves);
@@ -367,10 +366,7 @@ mod tests {
         // Read back the 16 lines x 16 bytes around the edge.
         let mut out = Vec::new();
         for r in 0..16 {
-            out.extend_from_slice(
-                vm.mem()
-                    .read_bytes(edge - 4 + r * p.stride() as u64, 16),
-            );
+            out.extend_from_slice(vm.mem().read_bytes(edge - 4 + r * p.stride() as u64, 16));
         }
         out
     }
@@ -443,7 +439,12 @@ mod tests {
         assert_eq!(a.get(InstrClass::Branch), 0);
         assert_eq!(u.get(InstrClass::Branch), 0);
         // And the unaligned variant strips the realignment overhead.
-        assert!(u.total() < a.total(), "unaligned {} vs altivec {}", u.total(), a.total());
+        assert!(
+            u.total() < a.total(),
+            "unaligned {} vs altivec {}",
+            u.total(),
+            a.total()
+        );
         assert!(u.get(InstrClass::VecLoad) < a.get(InstrClass::VecLoad));
     }
 

@@ -14,9 +14,7 @@
 //! matrix kept in memory — trading simple-integer work for complex-integer
 //! and load work, exactly the mix shift visible in Table III.
 
-use crate::util::{
-    scalar_clip8, store_masks, transpose4, transpose8, vstore_partial, Variant,
-};
+use crate::util::{scalar_clip8, store_masks, transpose4, transpose8, vstore_partial, Variant};
 use valign_vm::{Scalar, Vector, Vm};
 
 /// Arguments for the inverse-transform kernels.
@@ -117,12 +115,7 @@ fn idct4x4_matrix_scalar(vm: &mut Vm, args: &IdctArgs) {
 
 /// Shared scalar tail: column pass (butterfly for shift 6, matrix for
 /// shift 8), rounding, prediction add, clip and store.
-fn finish_scalar_4(
-    vm: &mut Vm,
-    args: &IdctArgs,
-    tmp: impl Fn(usize, usize) -> Scalar,
-    shift: u8,
-) {
+fn finish_scalar_4(vm: &mut Vm, args: &IdctArgs, tmp: impl Fn(usize, usize) -> Scalar, shift: u8) {
     let pred = vm.li(args.pred as i64);
     let dst = vm.li(args.dst as i64);
     let consts: Option<Vec<Scalar>> = (shift == 8).then(|| {
@@ -198,9 +191,9 @@ fn idct4_1d_vec(vm: &mut Vm, ctx: &IdctCtx, x: [Vector; 4]) -> [Vector; 4] {
 fn mat_pass_vec(vm: &mut Vm, ctx: &IdctCtx, rows: &[Vector; 4], v: [Vector; 4]) -> [Vector; 4] {
     std::array::from_fn(|j| {
         let mut acc = ctx.vzero;
-        for k in 0..4 {
+        for (k, &vk) in v.iter().enumerate() {
             let w = vm.vsplth(rows[j], k as u8);
-            acc = vm.vmladduhm(v[k], w, acc);
+            acc = vm.vmladduhm(vk, w, acc);
         }
         acc
     })
@@ -393,6 +386,7 @@ fn idct8x8_scalar(vm: &mut Vm, args: &IdctArgs) {
     }
     let pred = vm.li(args.pred as i64);
     let dst = vm.li(args.dst as i64);
+    #[allow(clippy::needless_range_loop)]
     for c in 0..8usize {
         let col: [Scalar; 8] = std::array::from_fn(|r| tmp[r][c]);
         let out = idct8_1d_scalar(vm, col);
@@ -668,10 +662,7 @@ mod tests {
         // But the effect is modest — the transform data is aligned, as the
         // paper observes (1.06-1.09x speedups only); the benefit is
         // confined to the final load-add-store sequence.
-        assert!(
-            (a - u) * 5 < a,
-            "IDCT gain should be modest: {a} -> {u}"
-        );
+        assert!((a - u) * 5 < a, "IDCT gain should be modest: {a} -> {u}");
     }
 
     #[test]

@@ -255,7 +255,9 @@ fn luma_v_vector(vm: &mut Vm, variant: Variant, args: &McArgs) {
     let mut srow = src0;
     let mut win: Vec<Vector> = Vec::with_capacity(6);
     for _ in 0..5 {
-        win.push(vload_unaligned(vm, variant, ctx.i0, ctx.i15, srow, row_mask));
+        win.push(vload_unaligned(
+            vm, variant, ctx.i0, ctx.i15, srow, row_mask,
+        ));
         srow = vm.addi(srow, args.src_stride);
     }
 
@@ -285,7 +287,9 @@ fn luma_v_vector(vm: &mut Vm, variant: Variant, args: &McArgs) {
     let mut drow = dst0;
     let lp = vm.label();
     for y in 0..h {
-        win.push(vload_unaligned(vm, variant, ctx.i0, ctx.i15, srow, row_mask));
+        win.push(vload_unaligned(
+            vm, variant, ctx.i0, ctx.i15, srow, row_mask,
+        ));
         srow = vm.addi(srow, args.src_stride);
 
         let finish = |vm: &mut Vm, raw: Vector| {
@@ -664,7 +668,13 @@ mod tests {
         (got, golden)
     }
 
-    fn run_h_case(variant: Variant, w: usize, h: usize, sx: isize, sy: isize) -> (Vec<u8>, Vec<u8>) {
+    fn run_h_case(
+        variant: Variant,
+        w: usize,
+        h: usize,
+        sx: isize,
+        sy: isize,
+    ) -> (Vec<u8>, Vec<u8>) {
         let plane = textured_plane();
         let mut vm = Vm::new();
         let src00 = load_plane(&mut vm, &plane);

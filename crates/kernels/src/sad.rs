@@ -72,7 +72,7 @@ fn sad_scalar(vm: &mut Vm, args: &SadArgs) -> Scalar {
             let a = vm.lbz(crow, x as i64);
             let b = vm.lbz(rrow, x as i64);
             let d = vm.subf(b, a); // a - b
-            // Branchless |d|: (d ^ (d >> 31)) - (d >> 31).
+                                   // Branchless |d|: (d ^ (d >> 31)) - (d >> 31).
             let s = vm.srawi(d, 31);
             let x1 = vm.xor(d, s);
             let abs = vm.subf(s, x1);
@@ -104,7 +104,7 @@ fn sad_vector(vm: &mut Vm, variant: Variant, args: &SadArgs) -> Scalar {
     // down the rows (strides are 16-byte aligned).
     let (cur_mask, ref_mask) = if variant == Variant::Altivec {
         (
-            (args.cur % 16 != 0).then(|| vm.lvsl(i0, cur0)),
+            (!args.cur.is_multiple_of(16)).then(|| vm.lvsl(i0, cur0)),
             Some(vm.lvsl(i0, ref0)),
         )
     } else {
@@ -118,7 +118,7 @@ fn sad_vector(vm: &mut Vm, variant: Variant, args: &SadArgs) -> Scalar {
     for y in 0..args.h {
         // Current block: aligned when the partition offset is 0 (16-wide
         // blocks), otherwise realigned like any unaligned pointer.
-        let a = if args.cur % 16 == 0 {
+        let a = if args.cur.is_multiple_of(16) {
             vm.lvx(i0, crow)
         } else {
             vload_unaligned(vm, variant, i0, i15, crow, cur_mask)

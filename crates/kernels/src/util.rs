@@ -108,7 +108,10 @@ pub struct StoreMasks {
 ///
 /// Panics if `len` is 0 or 16 (use a plain full-width store instead).
 pub fn store_masks(vm: &mut Vm, len: u8) -> StoreMasks {
-    assert!((1..=15).contains(&len), "partial store length must be 1..=15");
+    assert!(
+        (1..=15).contains(&len),
+        "partial store length must be 1..=15"
+    );
     let ones = vm.vspltisb(-1);
     let zero = vm.vxor(ones, ones);
     // vsldoi(ones, zero, 16-len) = bytes (16-len).. of ones‖zero, i.e.
@@ -410,9 +413,27 @@ mod tests {
                 let masks = store_masks(&mut vm, len);
 
                 let base_av = vm.li((buf_av + off) as i64);
-                vstore_partial(&mut vm, Variant::Altivec, data, &masks, iz, base_av, len, None);
+                vstore_partial(
+                    &mut vm,
+                    Variant::Altivec,
+                    data,
+                    &masks,
+                    iz,
+                    base_av,
+                    len,
+                    None,
+                );
                 let base_un = vm.li((buf_un + off) as i64);
-                vstore_partial(&mut vm, Variant::Unaligned, data, &masks, iz, base_un, len, None);
+                vstore_partial(
+                    &mut vm,
+                    Variant::Unaligned,
+                    data,
+                    &masks,
+                    iz,
+                    base_un,
+                    len,
+                    None,
+                );
 
                 let av: Vec<u8> = vm.mem().read_bytes(buf_av, 48).to_vec();
                 let un: Vec<u8> = vm.mem().read_bytes(buf_un, 48).to_vec();
@@ -459,6 +480,7 @@ mod tests {
             })
             .collect();
         let cols = transpose4(&mut vm, [rows[0], rows[1], rows[2], rows[3]]);
+        #[allow(clippy::needless_range_loop)]
         for c in 0..4 {
             for r in 0..4 {
                 assert_eq!(
@@ -486,6 +508,7 @@ mod tests {
             vm.lvx(i0, b)
         });
         let cols = transpose8(&mut vm, rows);
+        #[allow(clippy::needless_range_loop)]
         for c in 0..8 {
             for r in 0..8 {
                 assert_eq!(
@@ -556,6 +579,7 @@ mod tests {
             vm.lvx(i0, b)
         });
         let cols = transpose16_bytes(&mut vm, rows);
+        #[allow(clippy::needless_range_loop)]
         for c in 0..16 {
             for r in 0..16 {
                 assert_eq!(
@@ -567,6 +591,7 @@ mod tests {
         }
         // Involution: transposing twice restores the input.
         let back = transpose16_bytes(&mut vm, cols);
+        #[allow(clippy::needless_range_loop)]
         for r in 0..16 {
             for c in 0..16 {
                 assert_eq!(back[r].value().u8(c), (r * 16 + c) as u8);

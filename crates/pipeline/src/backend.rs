@@ -1,0 +1,179 @@
+//! Back-end stage of the engine: issue-queue back-pressure, operand
+//! readiness through the register scoreboard, execution-unit instance
+//! arbitration, and in-order retirement.
+//!
+//! All state is per-replay and owned, so the stage is trivially `Send`.
+
+use crate::config::{IssuePolicy, PipelineConfig};
+use crate::frontend::CyclePacker;
+use std::collections::VecDeque;
+use valign_isa::DynInstr;
+
+/// Pool of identical fully-pipelined unit instances.
+#[derive(Debug, Clone)]
+pub(crate) struct UnitPool {
+    next_free: Vec<u64>,
+}
+
+impl UnitPool {
+    pub(crate) fn new(n: u32) -> Self {
+        UnitPool {
+            next_free: vec![0; n.max(1) as usize],
+        }
+    }
+
+    /// Earliest cycle `>= min` at which an instance can accept one op;
+    /// books the chosen instance for one cycle.
+    pub(crate) fn acquire(&mut self, min: u64) -> u64 {
+        let (idx, &free) = self
+            .next_free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &f)| f)
+            .expect("pool non-empty");
+        let at = min.max(free);
+        self.next_free[idx] = at + 1;
+        at
+    }
+}
+
+/// Per-replay back-end state: queues, scoreboard rings and unit pools.
+#[derive(Debug)]
+pub(crate) struct Backend {
+    units: Vec<UnitPool>,
+    // Issue-queue occupancy rings (dispatch blocks until the entry
+    // `queue_size` older has issued).
+    iq_ring: VecDeque<u64>,
+    iq_cap: usize,
+    brq_ring: VecDeque<u64>,
+    brq_cap: usize,
+    retire: CyclePacker,
+    // Rings of retire/completion cycles for the in-flight window. An
+    // instruction can only fetch once the one `window` older retired, so
+    // any producer older than `window` has completed by now and imposes no
+    // constraint — the completion ring therefore only needs `window`
+    // entries.
+    retire_ring: Vec<u64>,
+    complete_ring: Vec<u64>,
+    window: usize,
+    in_order: bool,
+    last_issue: u64,
+    last_retire: u64,
+}
+
+impl Backend {
+    pub(crate) fn new(cfg: &PipelineConfig) -> Self {
+        let window = cfg.inflight.max(1) as usize;
+        Backend {
+            units: cfg.units.iter().map(|&c| UnitPool::new(c)).collect(),
+            iq_ring: VecDeque::with_capacity(cfg.issue_queue as usize),
+            iq_cap: cfg.issue_queue as usize,
+            brq_ring: VecDeque::with_capacity(cfg.br_issue_queue as usize),
+            brq_cap: cfg.br_issue_queue as usize,
+            retire: CyclePacker::new(cfg.retire_width),
+            retire_ring: vec![0; window],
+            complete_ring: vec![0; window],
+            window,
+            in_order: cfg.policy == IssuePolicy::InOrder,
+            last_issue: 0,
+            last_retire: 0,
+        }
+    }
+
+    /// In-flight-window constraint on fetching instruction `idx`: it may
+    /// not fetch before the instruction `window` older has retired.
+    pub(crate) fn window_floor(&self, idx: usize) -> Option<u64> {
+        if idx >= self.window {
+            Some(self.retire_ring[idx % self.window])
+        } else {
+            None
+        }
+    }
+
+    /// Earliest cycle `idx` can issue given dispatch time, issue-queue
+    /// back-pressure, operand readiness and (for in-order machines)
+    /// program order.
+    pub(crate) fn ready_at(&mut self, idx: usize, instr: &DynInstr, dispatch: u64) -> u64 {
+        let mut earliest = dispatch;
+
+        // Issue-queue back-pressure.
+        let (queue, cap) = self.queue_mut(instr.op.is_branch());
+        if queue.len() == cap {
+            let oldest_issue = queue.pop_front().expect("queue non-empty");
+            earliest = earliest.max(oldest_issue);
+        }
+
+        // Operand readiness: true dataflow via producer indices (what the
+        // renamed machine recovers); producers outside the in-flight window
+        // completed long ago.
+        for def in instr.source_defs() {
+            let def = def as usize;
+            if idx - def <= self.window {
+                earliest = earliest.max(self.complete_ring[def % self.window]);
+            }
+        }
+
+        if self.in_order {
+            earliest = earliest.max(self.last_issue);
+        }
+        earliest
+    }
+
+    /// Books an instance of the instruction's execution unit.
+    pub(crate) fn acquire_unit(&mut self, instr: &DynInstr, earliest: u64) -> u64 {
+        self.units[instr.op.unit().index()].acquire(earliest)
+    }
+
+    /// Records the final issue cycle (after D-cache port arbitration) in
+    /// the issue queue and the in-order tracker.
+    pub(crate) fn note_issue(&mut self, instr: &DynInstr, issue_cycle: u64) {
+        if self.in_order {
+            self.last_issue = issue_cycle;
+        }
+        let (queue, cap) = self.queue_mut(instr.op.is_branch());
+        if cap == 0 {
+            return;
+        }
+        if queue.len() == cap {
+            queue.pop_front();
+        }
+        queue.push_back(issue_cycle);
+    }
+
+    /// Retires instruction `idx` in order and updates the scoreboard rings.
+    /// Returns the retire cycle.
+    pub(crate) fn retire(&mut self, idx: usize, complete: u64) -> u64 {
+        let retire_cycle = self.retire.reserve(complete.max(self.last_retire));
+        self.last_retire = retire_cycle;
+        self.retire_ring[idx % self.window] = retire_cycle;
+        self.complete_ring[idx % self.window] = complete;
+        retire_cycle
+    }
+
+    /// Retire cycle of the youngest retired instruction (total cycles).
+    pub(crate) fn last_retire(&self) -> u64 {
+        self.last_retire
+    }
+
+    fn queue_mut(&mut self, is_branch: bool) -> (&mut VecDeque<u64>, usize) {
+        if is_branch {
+            (&mut self.brq_ring, self.brq_cap)
+        } else {
+            (&mut self.iq_ring, self.iq_cap)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_pool_round_robins() {
+        let mut u = UnitPool::new(2);
+        assert_eq!(u.acquire(0), 0);
+        assert_eq!(u.acquire(0), 0);
+        assert_eq!(u.acquire(0), 1);
+        assert_eq!(u.acquire(5), 5);
+    }
+}

@@ -59,7 +59,15 @@ pub struct PipelineConfig {
     pub realign: RealignConfig,
 }
 
-fn units(fx: u32, fp: u32, ls: u32, br: u32, vi: u32, vperm: u32, vcmplx: u32) -> [u32; Unit::COUNT] {
+fn units(
+    fx: u32,
+    fp: u32,
+    ls: u32,
+    br: u32,
+    vi: u32,
+    vperm: u32,
+    vcmplx: u32,
+) -> [u32; Unit::COUNT] {
     let mut u = [0; Unit::COUNT];
     u[Unit::Fx.index()] = fx;
     u[Unit::Fp.index()] = fp;
@@ -213,19 +221,28 @@ mod tests {
     fn table_ii_widths_match_paper() {
         let two = PipelineConfig::two_way();
         assert_eq!(two.policy, IssuePolicy::InOrder);
-        assert_eq!((two.fetch_width, two.retire_width, two.inflight), (2, 4, 80));
+        assert_eq!(
+            (two.fetch_width, two.retire_width, two.inflight),
+            (2, 4, 80)
+        );
         assert_eq!(two.unit_count(Unit::Fx), 2);
         assert_eq!(two.miss_max, 2);
 
         let four = PipelineConfig::four_way();
         assert_eq!(four.policy, IssuePolicy::OutOfOrder);
-        assert_eq!((four.fetch_width, four.retire_width, four.inflight), (4, 6, 160));
+        assert_eq!(
+            (four.fetch_width, four.retire_width, four.inflight),
+            (4, 6, 160)
+        );
         assert_eq!(four.unit_count(Unit::Fx), 3);
         assert_eq!(four.unit_count(Unit::Vperm), 1);
         assert_eq!(four.dcache_read_ports, 2);
 
         let eight = PipelineConfig::eight_way();
-        assert_eq!((eight.fetch_width, eight.retire_width, eight.inflight), (8, 12, 255));
+        assert_eq!(
+            (eight.fetch_width, eight.retire_width, eight.inflight),
+            (8, 12, 255)
+        );
         assert_eq!(eight.unit_count(Unit::Ls), 4);
         assert_eq!(eight.unit_count(Unit::Vcmplx), 2);
         assert_eq!(eight.miss_max, 8);

@@ -1,108 +1,41 @@
 //! The trace-driven cycle-accurate scheduling engine.
 //!
 //! The engine replays a dynamic instruction [`Trace`] through a
-//! Turandot-style superscalar model in a single forward pass: for every
-//! instruction it computes fetch, issue, completion and retire cycles under
-//! the structural and data constraints of the configured machine:
+//! Turandot-style superscalar model in a single forward pass, staged into
+//! three modules:
 //!
-//! * **fetch** — `fetch_width` per cycle, fetch-group break after taken
+//! * `frontend` — `fetch_width` per cycle, fetch-group break after taken
 //!   branches, redirect after mispredictions, bounded by the in-flight
 //!   window and free physical registers;
-//! * **issue** — operand readiness (register scoreboard), issue-queue
+//! * `backend` — operand readiness (register scoreboard), issue-queue
 //!   capacity (separate branch queue), execution-unit instance
-//!   availability, D-cache port availability, and program order when the
-//!   configuration is in-order;
-//! * **execute** — fixed latencies for ALU work; for memory, the
-//!   [`Hierarchy`] latency plus the realignment-network penalty for
-//!   unaligned vector accesses, store-to-load dependences through a store
-//!   queue, and a bounded miss queue (`miss_max`);
-//! * **retire** — in order, `retire_width` per cycle.
+//!   availability, program order when the configuration is in-order, and
+//!   in-order retirement `retire_width` per cycle;
+//! * `lsu` — D-cache port availability, the [`Hierarchy`] latency plus
+//!   the realignment-network penalty for unaligned vector accesses,
+//!   store-to-load dependences through a store queue, and a bounded miss
+//!   queue (`miss_max`).
+//!
+//! This file only orchestrates the per-instruction walk across the three
+//! stages; the cycle math lives with the stage that owns the resource.
 //!
 //! This is the same modelling level as the paper's trace-driven
 //! methodology: timing is derived entirely from the dynamic stream, while
 //! functional values were already resolved by the emulator.
+//!
+//! A [`Simulator`] owns all of its microarchitectural state (caches and
+//! predictor) and replays through `&Trace`, so it is `Send + Sync` and a
+//! single shared trace can be replayed concurrently by many simulators —
+//! the property the batch executor in `valign-core` relies on.
 
-use crate::config::{IssuePolicy, PipelineConfig};
+use crate::backend::Backend;
+use crate::config::PipelineConfig;
+use crate::frontend::Frontend;
+use crate::lsu::Lsu;
 use crate::predictor::BranchPredictor;
 use crate::result::SimResult;
-use std::collections::VecDeque;
 use valign_cache::{CacheConfig, Hierarchy, SetAssocCache};
-use valign_isa::{DynInstr, MemKind, Reg, Trace, Unit};
-
-/// Packs at most `width` events per cycle, advancing monotonically.
-#[derive(Debug, Clone)]
-struct CyclePacker {
-    cycle: u64,
-    count: u32,
-    width: u32,
-}
-
-impl CyclePacker {
-    fn new(width: u32) -> Self {
-        assert!(width > 0, "width must be positive");
-        CyclePacker {
-            cycle: 0,
-            count: 0,
-            width,
-        }
-    }
-
-    /// Reserves one slot at the earliest cycle `>= min_cycle`; returns it.
-    fn reserve(&mut self, min_cycle: u64) -> u64 {
-        if min_cycle > self.cycle {
-            self.cycle = min_cycle;
-            self.count = 0;
-        }
-        if self.count >= self.width {
-            self.cycle += 1;
-            self.count = 0;
-        }
-        self.count += 1;
-        self.cycle
-    }
-
-    /// Forces the next reservation onto a later cycle (fetch-group break).
-    fn break_group(&mut self) {
-        self.count = self.width;
-    }
-}
-
-/// Pool of identical fully-pipelined unit instances.
-#[derive(Debug, Clone)]
-struct UnitPool {
-    next_free: Vec<u64>,
-}
-
-impl UnitPool {
-    fn new(n: u32) -> Self {
-        UnitPool {
-            next_free: vec![0; n.max(1) as usize],
-        }
-    }
-
-    /// Earliest cycle `>= min` at which an instance can accept one op;
-    /// books the chosen instance for one cycle.
-    fn acquire(&mut self, min: u64) -> u64 {
-        let (idx, &free) = self
-            .next_free
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &f)| f)
-            .expect("pool non-empty");
-        let at = min.max(free);
-        self.next_free[idx] = at + 1;
-        at
-    }
-}
-
-#[derive(Debug, Clone, Copy)]
-struct PendingStore {
-    addr: u64,
-    bytes: u64,
-    complete: u64,
-}
-
-const STORE_QUEUE_TRACK: usize = 64;
+use valign_isa::{DynInstr, Trace, Unit};
 
 /// The cycle-accurate simulator. Create one per run (it owns the cache and
 /// predictor state) and call [`Simulator::run`].
@@ -139,8 +72,8 @@ impl Simulator {
     ///
     /// Microarchitectural state (caches, predictor) persists across calls,
     /// so a warm-up run followed by a measured run models steady state.
+    /// Per-replay stage state (queues, rings, packers) is rebuilt here.
     pub fn run(&mut self, trace: &Trace) -> SimResult {
-        let cfg = &self.cfg;
         let n = trace.len();
         let mut result = SimResult {
             instructions: n as u64,
@@ -150,173 +83,29 @@ impl Simulator {
             return result;
         }
 
-        let mut fetch = CyclePacker::new(cfg.fetch_width);
-        let mut retire = CyclePacker::new(cfg.retire_width);
-        let mut units: Vec<UnitPool> = cfg.units.iter().map(|&c| UnitPool::new(c)).collect();
-        let mut read_ports = UnitPool::new(cfg.dcache_read_ports);
-        let mut write_ports = UnitPool::new(cfg.dcache_write_ports);
-
-        // Rings of retire/completion cycles for the in-flight window. An
-        // instruction can only fetch once the one `window` older retired,
-        // so any producer older than `window` has completed by now and
-        // imposes no constraint — the completion ring therefore only needs
-        // `window` entries.
-        let window = cfg.inflight.max(1) as usize;
-        let mut retire_ring = vec![0u64; window];
-        let mut complete_ring = vec![0u64; window];
-
-        // Issue-queue occupancy rings (dispatch blocks until the entry
-        // `queue_size` older has issued).
-        let mut iq_ring: VecDeque<u64> = VecDeque::with_capacity(cfg.issue_queue as usize);
-        let mut brq_ring: VecDeque<u64> = VecDeque::with_capacity(cfg.br_issue_queue as usize);
-
-        // Physical-register free lists, modelled as rename windows.
-        let gpr_window = (cfg.phys_gpr.saturating_sub(32)).max(1) as usize;
-        let vpr_window = (cfg.phys_vpr.saturating_sub(32)).max(1) as usize;
-        let mut gpr_ring: VecDeque<u64> = VecDeque::with_capacity(gpr_window);
-        let mut vpr_ring: VecDeque<u64> = VecDeque::with_capacity(vpr_window);
-
-        let mut store_queue: VecDeque<PendingStore> = VecDeque::with_capacity(STORE_QUEUE_TRACK);
-        let mut miss_queue: Vec<u64> = Vec::with_capacity(cfg.miss_max.max(1) as usize);
-
-        let mut redirect: u64 = 0; // fetch blocked before this cycle
-        let mut last_issue: u64 = 0; // for in-order issue
-        let mut last_retire: u64 = 0;
+        let mut frontend = Frontend::new(&self.cfg, &mut self.icache);
+        let mut backend = Backend::new(&self.cfg);
+        let mut lsu = Lsu::new(&self.cfg, &mut self.mem);
 
         for (idx, instr) in trace.iter().enumerate() {
             // ---- fetch ----
-            let mut min_fetch = redirect;
-            if idx >= window {
-                min_fetch = min_fetch.max(retire_ring[idx % window]);
-            }
-            if instr.dst.is_some() {
-                let (ring, cap) = match instr.dst.unwrap() {
-                    Reg::Gpr(_) => (&mut gpr_ring, gpr_window),
-                    Reg::Vpr(_) => (&mut vpr_ring, vpr_window),
-                };
-                if ring.len() == cap {
-                    let freed = ring.pop_front().expect("ring non-empty");
-                    min_fetch = min_fetch.max(freed);
-                }
-            }
-            // Instruction fetch through the I-cache: a miss on the line
-            // holding this site stalls the fetch by the L2 latency.
-            if !self.icache.access(instr.sid.pc(), false) {
-                min_fetch += u64::from(cfg.memory.l2_latency);
-                fetch.break_group();
-            }
-            let fetch_cycle = fetch.reserve(min_fetch);
+            let fetch_cycle = frontend.fetch(instr, backend.window_floor(idx));
 
             // ---- dispatch / issue readiness ----
-            let dispatch = fetch_cycle + u64::from(cfg.frontend_depth);
-            let mut earliest = dispatch;
-
-            // Issue-queue back-pressure.
-            let (queue, qcap) = if instr.op.is_branch() {
-                (&mut brq_ring, cfg.br_issue_queue as usize)
-            } else {
-                (&mut iq_ring, cfg.issue_queue as usize)
-            };
-            if queue.len() == qcap {
-                let oldest_issue = queue.pop_front().expect("queue non-empty");
-                earliest = earliest.max(oldest_issue);
-            }
-
-            // Operand readiness: true dataflow via producer indices (what
-            // the renamed machine recovers); producers outside the
-            // in-flight window completed long ago.
-            for def in instr.source_defs() {
-                let def = def as usize;
-                if idx - def <= window {
-                    earliest = earliest.max(complete_ring[def % window]);
-                }
-            }
-
-            if cfg.policy == IssuePolicy::InOrder {
-                earliest = earliest.max(last_issue);
-            }
+            let dispatch = frontend.dispatch_at(fetch_cycle);
+            let earliest = backend.ready_at(idx, instr, dispatch);
 
             // ---- unit + ports ----
-            let unit = instr.op.unit();
-            let mut issue_cycle = units[unit.index()].acquire(earliest);
+            let mut issue_cycle = backend.acquire_unit(instr, earliest);
             if instr.op.touches_memory() {
-                let port = match instr.mem.expect("memory op has a MemRef").kind {
-                    MemKind::Load => &mut read_ports,
-                    MemKind::Store => &mut write_ports,
-                };
-                issue_cycle = port.acquire(issue_cycle);
+                let kind = instr.mem.expect("memory op has a MemRef").kind;
+                issue_cycle = lsu.acquire_port(kind, issue_cycle);
             }
-            if cfg.policy == IssuePolicy::InOrder {
-                last_issue = issue_cycle;
-            }
-            queue_push(queue, qcap, issue_cycle);
+            backend.note_issue(instr, issue_cycle);
 
             // ---- execute ----
             let complete = if let Some(mem_ref) = instr.mem {
-                let mut start = issue_cycle;
-
-                // Store-to-load ordering through the store queue.
-                if mem_ref.kind == MemKind::Load {
-                    for st in store_queue.iter() {
-                        if ranges_overlap(st.addr, st.bytes, mem_ref.addr, u64::from(mem_ref.bytes))
-                        {
-                            start = start.max(st.complete);
-                        }
-                    }
-                }
-
-                let outcome = self.mem.access(
-                    mem_ref.addr,
-                    u32::from(mem_ref.bytes),
-                    mem_ref.kind == MemKind::Store,
-                    cfg.realign.banks,
-                );
-                if outcome.split {
-                    result.split_accesses += 1;
-                }
-
-                // Bounded miss queue.
-                if !outcome.l1_hit {
-                    miss_queue.retain(|&c| c > start);
-                    if miss_queue.len() >= cfg.miss_max.max(1) as usize {
-                        let (i, &soonest) = miss_queue
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, &c)| c)
-                            .expect("non-empty");
-                        start = start.max(soonest);
-                        miss_queue.swap_remove(i);
-                    }
-                }
-
-                // Realignment-network penalty for unaligned vector access.
-                let unaligned = instr.is_unaligned_vector_access();
-                let penalty = cfg.realign.penalty(
-                    unaligned,
-                    mem_ref.kind == MemKind::Store,
-                    outcome.split,
-                    cfg.memory.l1_latency,
-                );
-                if unaligned {
-                    result.unaligned_accesses += 1;
-                    result.realign_penalty_cycles += u64::from(penalty);
-                }
-
-                let complete = start + u64::from(outcome.latency + penalty);
-                if !outcome.l1_hit {
-                    miss_queue.push(complete);
-                }
-                if mem_ref.kind == MemKind::Store {
-                    if store_queue.len() == STORE_QUEUE_TRACK {
-                        store_queue.pop_front();
-                    }
-                    store_queue.push_back(PendingStore {
-                        addr: mem_ref.addr,
-                        bytes: u64::from(mem_ref.bytes),
-                        complete,
-                    });
-                }
-                complete
+                lsu.execute(instr, mem_ref, issue_cycle, &mut result)
             } else {
                 let lat = instr
                     .op
@@ -328,31 +117,17 @@ impl Simulator {
             // ---- branch resolution ----
             if let Some(br) = instr.branch {
                 let mispredicted = self.pred.access(instr.sid, br.taken, br.unconditional);
-                if mispredicted {
-                    redirect = redirect.max(complete + 1);
-                } else if br.taken {
-                    // Correctly predicted taken branch still ends the
-                    // fetch group.
-                    fetch.break_group();
-                }
+                frontend.apply_branch(mispredicted, br.taken, complete);
             }
 
             // ---- retire ----
-            let retire_cycle = retire.reserve(complete.max(last_retire));
-            last_retire = retire_cycle;
-            retire_ring[idx % window] = retire_cycle;
-            complete_ring[idx % window] = complete;
-
+            let retire_cycle = backend.retire(idx, complete);
             if let Some(dst) = instr.dst {
-                let ring = match dst {
-                    Reg::Gpr(_) => &mut gpr_ring,
-                    Reg::Vpr(_) => &mut vpr_ring,
-                };
-                ring.push_back(retire_cycle);
+                frontend.release_dst(dst, retire_cycle);
             }
         }
 
-        result.cycles = last_retire;
+        result.cycles = backend.last_retire();
         result.predictor = self.pred.stats();
         result.l1 = self.mem.l1_stats();
         result.l2 = self.mem.l2_stats();
@@ -368,20 +143,6 @@ impl Simulator {
         }
         sim.run(trace)
     }
-}
-
-fn queue_push(queue: &mut VecDeque<u64>, cap: usize, issue_cycle: u64) {
-    if cap == 0 {
-        return;
-    }
-    if queue.len() == cap {
-        queue.pop_front();
-    }
-    queue.push_back(issue_cycle);
-}
-
-fn ranges_overlap(a: u64, alen: u64, b: u64, blen: u64) -> bool {
-    a < b + blen && b < a + alen
 }
 
 /// Per-unit static occupancy summary of a trace (how many ops target each
@@ -402,11 +163,18 @@ pub fn memory_ops(trace: &Trace) -> impl Iterator<Item = &DynInstr> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::IssuePolicy;
     use valign_cache::RealignConfig;
     use valign_vm::Vm;
 
     fn run(cfg: PipelineConfig, trace: &Trace) -> SimResult {
         Simulator::simulate(cfg, Some(trace), trace)
+    }
+
+    #[test]
+    fn simulator_is_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<Simulator>();
     }
 
     #[test]
@@ -562,7 +330,12 @@ mod tests {
             "predictable loop mispredicts {}",
             p.predictor.mispredict_ratio()
         );
-        assert!(c.cycles > p.cycles, "chaotic {} vs predictable {}", c.cycles, p.cycles);
+        assert!(
+            c.cycles > p.cycles,
+            "chaotic {} vs predictable {}",
+            c.cycles,
+            p.cycles
+        );
     }
 
     #[test]
@@ -616,26 +389,6 @@ mod tests {
         assert_eq!(h[Unit::Fx.index()], 1);
         assert_eq!(memory_ops(vm.trace()).count(), 0);
     }
-
-    #[test]
-    fn cycle_packer_packs_and_breaks() {
-        let mut p = CyclePacker::new(2);
-        assert_eq!(p.reserve(0), 0);
-        assert_eq!(p.reserve(0), 0);
-        assert_eq!(p.reserve(0), 1);
-        p.break_group();
-        assert_eq!(p.reserve(0), 2);
-        assert_eq!(p.reserve(10), 10);
-    }
-
-    #[test]
-    fn unit_pool_round_robins() {
-        let mut u = UnitPool::new(2);
-        assert_eq!(u.acquire(0), 0);
-        assert_eq!(u.acquire(0), 0);
-        assert_eq!(u.acquire(0), 1);
-        assert_eq!(u.acquire(5), 5);
-    }
 }
 
 #[cfg(test)]
@@ -657,7 +410,12 @@ mod icache_tests {
         let mut sim = Simulator::new(PipelineConfig::four_way());
         let cold = sim.run(&t);
         let warm = sim.run(&t);
-        assert!(warm.cycles <= cold.cycles, "warm {} vs cold {}", warm.cycles, cold.cycles);
+        assert!(
+            warm.cycles <= cold.cycles,
+            "warm {} vs cold {}",
+            warm.cycles,
+            cold.cycles
+        );
     }
 
     #[test]
@@ -674,7 +432,8 @@ mod icache_tests {
         let cold = sim.run(&t);
         let warm = sim.run(&t);
         assert!(
-            cold.cycles <= warm.cycles + 3 * u64::from(PipelineConfig::four_way().memory.l2_latency),
+            cold.cycles
+                <= warm.cycles + 3 * u64::from(PipelineConfig::four_way().memory.l2_latency),
             "cold {} vs warm {}",
             cold.cycles,
             warm.cycles

@@ -1,0 +1,189 @@
+//! Front-end stage of the engine: instruction fetch through the I-cache,
+//! fetch-group packing, rename-window (physical-register) constraints and
+//! branch-redirect steering.
+//!
+//! Holds only per-replay state plus a mutable borrow of the persistent
+//! I-cache, so one [`crate::Simulator`] can be moved freely between worker
+//! threads and rebuilt per run.
+
+use crate::config::PipelineConfig;
+use std::collections::VecDeque;
+use valign_cache::SetAssocCache;
+use valign_isa::{DynInstr, Reg};
+
+/// Packs at most `width` events per cycle, advancing monotonically.
+#[derive(Debug, Clone)]
+pub(crate) struct CyclePacker {
+    cycle: u64,
+    count: u32,
+    width: u32,
+}
+
+impl CyclePacker {
+    pub(crate) fn new(width: u32) -> Self {
+        assert!(width > 0, "width must be positive");
+        CyclePacker {
+            cycle: 0,
+            count: 0,
+            width,
+        }
+    }
+
+    /// Reserves one slot at the earliest cycle `>= min_cycle`; returns it.
+    pub(crate) fn reserve(&mut self, min_cycle: u64) -> u64 {
+        if min_cycle > self.cycle {
+            self.cycle = min_cycle;
+            self.count = 0;
+        }
+        if self.count >= self.width {
+            self.cycle += 1;
+            self.count = 0;
+        }
+        self.count += 1;
+        self.cycle
+    }
+
+    /// Forces the next reservation onto a later cycle (fetch-group break).
+    pub(crate) fn break_group(&mut self) {
+        self.count = self.width;
+    }
+}
+
+/// One physical-register file, modelled as a rename window: a destination
+/// register can only be allocated once the one `window` older retired.
+#[derive(Debug)]
+struct RenameWindow {
+    ring: VecDeque<u64>,
+    window: usize,
+}
+
+impl RenameWindow {
+    fn new(phys: u32) -> Self {
+        let window = (phys.saturating_sub(32)).max(1) as usize;
+        RenameWindow {
+            ring: VecDeque::with_capacity(window),
+            window,
+        }
+    }
+
+    /// If the free list is exhausted, returns the retire cycle that frees
+    /// the oldest mapping (the allocation cannot fetch before it).
+    fn constrain(&mut self) -> Option<u64> {
+        if self.ring.len() == self.window {
+            Some(self.ring.pop_front().expect("ring non-empty"))
+        } else {
+            None
+        }
+    }
+
+    fn release_at(&mut self, retire_cycle: u64) {
+        self.ring.push_back(retire_cycle);
+    }
+}
+
+/// Per-replay front-end state. Created fresh for every [`crate::Trace`]
+/// replay; the I-cache it borrows persists across replays (warm-up runs).
+#[derive(Debug)]
+pub(crate) struct Frontend<'a> {
+    fetch: CyclePacker,
+    icache: &'a mut SetAssocCache,
+    gpr: RenameWindow,
+    vpr: RenameWindow,
+    redirect: u64,
+    l2_latency: u64,
+    depth: u64,
+}
+
+impl<'a> Frontend<'a> {
+    pub(crate) fn new(cfg: &PipelineConfig, icache: &'a mut SetAssocCache) -> Self {
+        Frontend {
+            fetch: CyclePacker::new(cfg.fetch_width),
+            icache,
+            gpr: RenameWindow::new(cfg.phys_gpr),
+            vpr: RenameWindow::new(cfg.phys_vpr),
+            redirect: 0,
+            l2_latency: u64::from(cfg.memory.l2_latency),
+            depth: u64::from(cfg.frontend_depth),
+        }
+    }
+
+    /// Fetches one instruction: bounded by any pending redirect, the
+    /// in-flight-window floor from the back end, rename-window pressure for
+    /// the destination register, and I-cache misses. Returns the fetch
+    /// cycle.
+    pub(crate) fn fetch(&mut self, instr: &DynInstr, window_floor: Option<u64>) -> u64 {
+        let mut min_fetch = self.redirect;
+        if let Some(floor) = window_floor {
+            min_fetch = min_fetch.max(floor);
+        }
+        if let Some(dst) = instr.dst {
+            let file = match dst {
+                Reg::Gpr(_) => &mut self.gpr,
+                Reg::Vpr(_) => &mut self.vpr,
+            };
+            if let Some(freed) = file.constrain() {
+                min_fetch = min_fetch.max(freed);
+            }
+        }
+        // Instruction fetch through the I-cache: a miss on the line holding
+        // this site stalls the fetch by the L2 latency.
+        if !self.icache.access(instr.sid.pc(), false) {
+            min_fetch += self.l2_latency;
+            self.fetch.break_group();
+        }
+        self.fetch.reserve(min_fetch)
+    }
+
+    /// The cycle at which a fetched instruction reaches dispatch.
+    pub(crate) fn dispatch_at(&self, fetch_cycle: u64) -> u64 {
+        fetch_cycle + self.depth
+    }
+
+    /// Steers fetch after a resolved branch: a misprediction redirects
+    /// fetch past the branch's completion; a correctly predicted taken
+    /// branch still ends the fetch group.
+    pub(crate) fn apply_branch(&mut self, mispredicted: bool, taken: bool, complete: u64) {
+        if mispredicted {
+            self.redirect = self.redirect.max(complete + 1);
+        } else if taken {
+            self.fetch.break_group();
+        }
+    }
+
+    /// Returns the destination's physical register to the free list once
+    /// the instruction retires.
+    pub(crate) fn release_dst(&mut self, dst: Reg, retire_cycle: u64) {
+        let file = match dst {
+            Reg::Gpr(_) => &mut self.gpr,
+            Reg::Vpr(_) => &mut self.vpr,
+        };
+        file.release_at(retire_cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_packer_packs_and_breaks() {
+        let mut p = CyclePacker::new(2);
+        assert_eq!(p.reserve(0), 0);
+        assert_eq!(p.reserve(0), 0);
+        assert_eq!(p.reserve(0), 1);
+        p.break_group();
+        assert_eq!(p.reserve(0), 2);
+        assert_eq!(p.reserve(10), 10);
+    }
+
+    #[test]
+    fn rename_window_frees_oldest_first() {
+        let mut w = RenameWindow::new(34); // window of 2
+        assert!(w.constrain().is_none());
+        w.release_at(5);
+        w.release_at(9);
+        assert_eq!(w.constrain(), Some(5));
+        w.release_at(11);
+        assert_eq!(w.constrain(), Some(9));
+    }
+}

@@ -33,8 +33,11 @@
 //! assert!(result.cycles > 0);
 //! ```
 
+mod backend;
 pub mod config;
 pub mod engine;
+mod frontend;
+mod lsu;
 pub mod predictor;
 pub mod result;
 

@@ -1,0 +1,154 @@
+//! Load/store unit of the engine: D-cache port arbitration, store-to-load
+//! ordering through a bounded store queue, the bounded miss queue (MSHRs),
+//! and the realignment-network penalty for unaligned vector accesses.
+//!
+//! Borrows the persistent memory [`Hierarchy`] mutably for one replay; all
+//! other state is per-replay.
+
+use crate::backend::UnitPool;
+use crate::config::PipelineConfig;
+use crate::result::SimResult;
+use std::collections::VecDeque;
+use valign_cache::{BankScheme, Hierarchy, RealignConfig};
+use valign_isa::{DynInstr, MemKind, MemRef};
+
+#[derive(Debug, Clone, Copy)]
+struct PendingStore {
+    addr: u64,
+    bytes: u64,
+    complete: u64,
+}
+
+const STORE_QUEUE_TRACK: usize = 64;
+
+/// Per-replay load/store-unit state around the persistent cache hierarchy.
+#[derive(Debug)]
+pub(crate) struct Lsu<'a> {
+    mem: &'a mut Hierarchy,
+    read_ports: UnitPool,
+    write_ports: UnitPool,
+    store_queue: VecDeque<PendingStore>,
+    miss_queue: Vec<u64>,
+    miss_cap: usize,
+    banks: BankScheme,
+    realign: RealignConfig,
+    l1_latency: u32,
+}
+
+impl<'a> Lsu<'a> {
+    pub(crate) fn new(cfg: &PipelineConfig, mem: &'a mut Hierarchy) -> Self {
+        let miss_cap = cfg.miss_max.max(1) as usize;
+        Lsu {
+            mem,
+            read_ports: UnitPool::new(cfg.dcache_read_ports),
+            write_ports: UnitPool::new(cfg.dcache_write_ports),
+            store_queue: VecDeque::with_capacity(STORE_QUEUE_TRACK),
+            miss_queue: Vec::with_capacity(miss_cap),
+            miss_cap,
+            banks: cfg.realign.banks,
+            realign: cfg.realign,
+            l1_latency: cfg.memory.l1_latency,
+        }
+    }
+
+    /// Books a D-cache port of the right kind from `min` onwards.
+    pub(crate) fn acquire_port(&mut self, kind: MemKind, min: u64) -> u64 {
+        let port = match kind {
+            MemKind::Load => &mut self.read_ports,
+            MemKind::Store => &mut self.write_ports,
+        };
+        port.acquire(min)
+    }
+
+    /// Executes one memory access issued at `issue_cycle`; returns its
+    /// completion cycle and accumulates penalty statistics into `result`.
+    pub(crate) fn execute(
+        &mut self,
+        instr: &DynInstr,
+        mem_ref: MemRef,
+        issue_cycle: u64,
+        result: &mut SimResult,
+    ) -> u64 {
+        let mut start = issue_cycle;
+
+        // Store-to-load ordering through the store queue.
+        if mem_ref.kind == MemKind::Load {
+            for st in self.store_queue.iter() {
+                if ranges_overlap(st.addr, st.bytes, mem_ref.addr, u64::from(mem_ref.bytes)) {
+                    start = start.max(st.complete);
+                }
+            }
+        }
+
+        let outcome = self.mem.access(
+            mem_ref.addr,
+            u32::from(mem_ref.bytes),
+            mem_ref.kind == MemKind::Store,
+            self.banks,
+        );
+        if outcome.split {
+            result.split_accesses += 1;
+        }
+
+        // Bounded miss queue.
+        if !outcome.l1_hit {
+            self.miss_queue.retain(|&c| c > start);
+            if self.miss_queue.len() >= self.miss_cap {
+                let (i, &soonest) = self
+                    .miss_queue
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &c)| c)
+                    .expect("non-empty");
+                start = start.max(soonest);
+                self.miss_queue.swap_remove(i);
+            }
+        }
+
+        // Realignment-network penalty for unaligned vector access.
+        let unaligned = instr.is_unaligned_vector_access();
+        let penalty = self.realign.penalty(
+            unaligned,
+            mem_ref.kind == MemKind::Store,
+            outcome.split,
+            self.l1_latency,
+        );
+        if unaligned {
+            result.unaligned_accesses += 1;
+            result.realign_penalty_cycles += u64::from(penalty);
+        }
+
+        let complete = start + u64::from(outcome.latency + penalty);
+        if !outcome.l1_hit {
+            self.miss_queue.push(complete);
+        }
+        if mem_ref.kind == MemKind::Store {
+            if self.store_queue.len() == STORE_QUEUE_TRACK {
+                self.store_queue.pop_front();
+            }
+            self.store_queue.push_back(PendingStore {
+                addr: mem_ref.addr,
+                bytes: u64::from(mem_ref.bytes),
+                complete,
+            });
+        }
+        complete
+    }
+}
+
+fn ranges_overlap(a: u64, alen: u64, b: u64, blen: u64) -> bool {
+    a < b + blen && b < a + alen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_is_symmetric_and_exact() {
+        assert!(ranges_overlap(0, 4, 3, 4));
+        assert!(ranges_overlap(3, 4, 0, 4));
+        assert!(!ranges_overlap(0, 4, 4, 4));
+        assert!(!ranges_overlap(4, 4, 0, 4));
+    }
+}

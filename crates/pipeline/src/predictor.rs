@@ -176,7 +176,11 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.branches, 100);
         // Only the cold warm-up iterations mispredict.
-        assert!(s.mispredict_ratio() <= 0.2, "ratio {}", s.mispredict_ratio());
+        assert!(
+            s.mispredict_ratio() <= 0.2,
+            "ratio {}",
+            s.mispredict_ratio()
+        );
         assert_eq!(PredictorStats::default().mispredict_ratio(), 0.0);
     }
 }

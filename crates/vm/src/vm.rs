@@ -200,6 +200,12 @@ impl Vm {
         std::mem::take(&mut self.trace)
     }
 
+    /// Takes the recorded trace frozen behind an `Arc`, ready to be
+    /// shared across simulation workers without copying.
+    pub fn take_shared_trace(&mut self) -> std::sync::Arc<Trace> {
+        self.take_trace().into_shared()
+    }
+
     /// Clears the recorded trace (memory image is kept).
     pub fn clear_trace(&mut self) {
         self.trace.clear();
@@ -333,7 +339,12 @@ impl Vm {
     pub fn neg(&mut self, a: Scalar) -> Scalar {
         let sid = self.site();
         let srcs = [self.sref(a)];
-        self.emit_gpr(Opcode::Neg, sid, &srcs, (a.value as i64).wrapping_neg() as u64)
+        self.emit_gpr(
+            Opcode::Neg,
+            sid,
+            &srcs,
+            (a.value as i64).wrapping_neg() as u64,
+        )
     }
 
     /// `mullw rD, rA, rB` — 32-bit multiply (low word).
@@ -377,7 +388,11 @@ impl Vm {
     pub fn slw(&mut self, a: Scalar, b: Scalar) -> Scalar {
         let sid = self.site();
         let sh = (b.value & 0x3f) as u32;
-        let v = if sh > 31 { 0 } else { ((a.value as u32) << sh) as u64 };
+        let v = if sh > 31 {
+            0
+        } else {
+            ((a.value as u32) << sh) as u64
+        };
         let srcs = [self.sref(a), self.sref(b)];
         self.emit_gpr(Opcode::Slw, sid, &srcs, v)
     }
@@ -387,7 +402,11 @@ impl Vm {
     pub fn srw(&mut self, a: Scalar, b: Scalar) -> Scalar {
         let sid = self.site();
         let sh = (b.value & 0x3f) as u32;
-        let v = if sh > 31 { 0 } else { ((a.value as u32) >> sh) as u64 };
+        let v = if sh > 31 {
+            0
+        } else {
+            ((a.value as u32) >> sh) as u64
+        };
         let srcs = [self.sref(a), self.sref(b)];
         self.emit_gpr(Opcode::Srw, sid, &srcs, v)
     }
@@ -455,7 +474,12 @@ impl Vm {
     pub fn extsh(&mut self, a: Scalar) -> Scalar {
         let sid = self.site();
         let srcs = [self.sref(a)];
-        self.emit_gpr(Opcode::Extsh, sid, &srcs, a.value as u16 as i16 as i64 as u64)
+        self.emit_gpr(
+            Opcode::Extsh,
+            sid,
+            &srcs,
+            a.value as u16 as i16 as i64 as u64,
+        )
     }
 
     /// `cmpw rA, rB` — signed compare; result encodes -1/0/1.
@@ -649,6 +673,7 @@ impl Vm {
         base.value.wrapping_add(idx.value)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn vec_load(
         &mut self,
         op: Opcode,
@@ -675,6 +700,7 @@ impl Vm {
         Vector { reg, value, def }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn vec_store(
         &mut self,
         op: Opcode,

@@ -24,7 +24,10 @@ fn main() {
         plan.mbs.len(),
         plan.inter_fraction() * 100.0
     );
-    println!("{:>4} {:>10} {:>14} {:>16}", "QP", "PSNR-Y", "bit proxy", "nonzero levels");
+    println!(
+        "{:>4} {:>10} {:>14} {:>16}",
+        "QP", "PSNR-Y", "bit proxy", "nonzero levels"
+    );
     println!("{}", "-".repeat(50));
     for qp in [8u8, 16, 24, 32, 40, 48] {
         let (_, stats) = reconstruct_frame(&source, &reference, &plan, qp);

@@ -72,9 +72,8 @@ fn main() {
 
                 // Cross-check a sample of blocks against the golden
                 // reference (all of them would drown the output).
-                if blocks % 7 == 0 {
-                    let golden =
-                        luma_qpel(&refframe.y, sx as isize, sy as isize, 2, 2, edge, edge);
+                if blocks.is_multiple_of(7) {
+                    let golden = luma_qpel(&refframe.y, sx as isize, sy as isize, 2, 2, edge, edge);
                     let mut got = Vec::new();
                     for r in 0..edge {
                         got.extend_from_slice(

@@ -4,7 +4,9 @@
 //! Sweeps the extra unaligned-access latency well beyond the paper's
 //! +6-cycle range for a chosen kernel, locates the break-even point
 //! against plain Altivec, and contrasts the two-bank interleaved cache
-//! with a single-banked one.
+//! with a single-banked one. The whole sweep is submitted as one batch to
+//! the simulation-job layer: the two traces are generated once and every
+//! latency point replays them in parallel (`VALIGN_THREADS` workers).
 //!
 //! Run with: `cargo run --release --example latency_explorer [kernel]`
 //! where `kernel` is one of `luma16x16`, `chroma8x8`, `sad16x16`, … (the
@@ -12,8 +14,8 @@
 //! discusses explicitly (worse than Altivec beyond ~+8 cycles).
 
 use valign::cache::{BankScheme, RealignConfig};
-use valign::core::experiments::measure;
-use valign::core::workload::{trace_kernel, KernelId};
+use valign::core::sim::{SimContext, SimJob, TraceKey};
+use valign::core::workload::KernelId;
 use valign::kernels::util::Variant;
 use valign::pipeline::PipelineConfig;
 
@@ -21,7 +23,9 @@ const EXECS: usize = 150;
 const SEED: u64 = 99;
 
 fn main() {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "chroma8x8".into());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "chroma8x8".into());
     let kernel = KernelId::ALL
         .iter()
         .copied()
@@ -34,35 +38,54 @@ fn main() {
             std::process::exit(2);
         });
 
-    println!("kernel: {kernel}, 4-way configuration, {EXECS} executions\n");
+    let threads = std::env::var("VALIGN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+    let ctx = SimContext::new(threads);
+    println!("kernel: {kernel}, 4-way configuration, {EXECS} executions, {threads} threads\n");
 
-    let altivec = trace_kernel(kernel, Variant::Altivec, EXECS, SEED);
-    let unaligned = trace_kernel(kernel, Variant::Unaligned, EXECS, SEED);
-    let base = measure(
+    let key = |variant| TraceKey {
+        kernel,
+        variant,
+        execs: EXECS,
+        seed: SEED,
+    };
+    // One batch: the Altivec baseline plus both bank schemes per latency.
+    let mut jobs = vec![SimJob::keyed(
+        key(Variant::Altivec),
         PipelineConfig::four_way().with_realign(RealignConfig::equal_latency()),
-        &altivec,
-    )
-    .cycles;
-    println!("plain Altivec baseline: {base} cycles\n");
-    println!("{:<10} {:>12} {:>12} {:>10}", "extra", "two-bank", "single-bank", "speedup*");
-    println!("{}", "-".repeat(48));
-
-    let mut break_even: Option<u32> = None;
-    for extra in 0..=12u32 {
-        let two = measure(
+    )];
+    let extras: Vec<u32> = (0..=12).collect();
+    for &extra in &extras {
+        jobs.push(SimJob::keyed(
+            key(Variant::Unaligned),
             PipelineConfig::four_way().with_realign(RealignConfig::extra(extra)),
-            &unaligned,
-        )
-        .cycles;
-        let single = measure(
+        ));
+        jobs.push(SimJob::keyed(
+            key(Variant::Unaligned),
             PipelineConfig::four_way().with_realign(RealignConfig {
                 load_extra: extra,
                 store_extra: extra,
                 banks: BankScheme::SingleBank,
             }),
-            &unaligned,
-        )
-        .cycles;
+        ));
+    }
+    let results = ctx.run_batch("latency-sweep", jobs);
+
+    let base = results[0].cycles;
+    println!("plain Altivec baseline: {base} cycles\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "extra", "two-bank", "single-bank", "speedup*"
+    );
+    println!("{}", "-".repeat(48));
+
+    let mut break_even: Option<u32> = None;
+    for (i, &extra) in extras.iter().enumerate() {
+        let two = results[1 + 2 * i].cycles;
+        let single = results[2 + 2 * i].cycles;
         let speedup = base as f64 / two as f64;
         if speedup < 1.0 && break_even.is_none() {
             break_even = Some(extra);
@@ -76,4 +99,5 @@ fn main() {
         ),
         None => println!("no break-even within +12 cycles — the unaligned version always wins"),
     }
+    println!("\n{}", ctx.scorecard());
 }

@@ -53,9 +53,7 @@ fn main() {
                 let args = SadArgs {
                     cur: (cur00 as i64 + cy as i64 * stride + cx as i64) as u64,
                     cur_stride: stride,
-                    refp: (ref00 as i64
-                        + (cy + dy) as i64 * stride
-                        + (cx + dx) as i64) as u64,
+                    refp: (ref00 as i64 + (cy + dy) as i64 * stride + (cx + dx) as i64) as u64,
                     ref_stride: stride,
                     scratch,
                     w: 16,

@@ -1,20 +1,26 @@
 //! `valign` — command-line front end for the reproduction experiments.
 //!
 //! ```text
-//! valign table1|table2|table3|fig4|fig8|fig9|fig10|all [--execs N] [--seed S]
+//! valign table1|table2|table3|fig4|fig8|fig9|fig10|all [--execs N] [--seed S] [--threads T]
 //! ```
 //!
 //! Each subcommand prints the corresponding table/figure of the paper;
-//! `all` runs the full evaluation in order. Equivalent bench targets
-//! exist under `cargo bench -p valign-bench`, this binary just makes the
-//! study runnable as a plain tool.
+//! `all` runs the full evaluation in order, sharing one simulation
+//! context so every kernel/variant is traced exactly once (the closing
+//! scorecard asserts this), and `--threads` spreads the replays over a
+//! deterministic worker pool — output is bit-identical at any thread
+//! count. Equivalent bench targets exist under `cargo bench -p
+//! valign-bench`, this binary just makes the study runnable as a plain
+//! tool.
 
 use valign::core::experiments::{fig10, fig4, fig8, fig9, table1, table2, table3};
+use valign::core::SimContext;
 
 #[derive(Debug, Clone, Copy)]
 struct Options {
     execs: usize,
     seed: u64,
+    threads: usize,
 }
 
 fn parse_args() -> (String, Options) {
@@ -23,16 +29,33 @@ fn parse_args() -> (String, Options) {
     let mut opts = Options {
         execs: 200,
         seed: 20070425,
+        threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--execs" => {
-                let v = args.next().unwrap_or_else(|| usage("--execs needs a value"));
-                opts.execs = v.parse().unwrap_or_else(|_| usage("--execs must be a number"));
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--execs needs a value"));
+                opts.execs = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--execs must be a number"));
             }
             "--seed" => {
                 let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
-                opts.seed = v.parse().unwrap_or_else(|_| usage("--seed must be a number"));
+                opts.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed must be a number"));
+            }
+            "--threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a value"));
+                opts.threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&t| t > 0)
+                    .unwrap_or_else(|| usage("--threads must be a positive number"));
             }
             other => usage(&format!("unknown flag {other}")),
         }
@@ -43,22 +66,26 @@ fn parse_args() -> (String, Options) {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: valign <table1|table2|table3|fig4|fig8|fig9|fig10|all> [--execs N] [--seed S]"
+        "usage: valign <table1|table2|table3|fig4|fig8|fig9|fig10|all> \
+         [--execs N] [--seed S] [--threads T]"
     );
     std::process::exit(2);
 }
 
-fn run_one(cmd: &str, o: Options) {
+fn run_one(ctx: &SimContext, cmd: &str, o: Options) {
     match cmd {
         "table1" => print!("{}", table1::render()),
         "table2" => print!("{}", table2::render()),
-        "table3" => print!("{}", table3::run(o.execs.max(1), o.seed).render()),
-        "fig4" => print!("{}", fig4::run((o.execs / 50).max(1) as u32, o.seed).render()),
-        "fig8" => print!("{}", fig8::run(o.execs.max(2), o.seed).render()),
-        "fig9" => print!("{}", fig9::run(o.execs.max(2), o.seed).render()),
+        "table3" => print!("{}", table3::run_with(ctx, o.execs.max(1), o.seed).render()),
+        "fig4" => print!(
+            "{}",
+            fig4::run((o.execs / 50).max(1) as u32, o.seed).render()
+        ),
+        "fig8" => print!("{}", fig8::run_with(ctx, o.execs.max(2), o.seed).render()),
+        "fig9" => print!("{}", fig9::run_with(ctx, o.execs.max(2), o.seed).render()),
         "fig10" => print!(
             "{}",
-            fig10::run((o.execs / 2).max(4), 2, o.seed).render()
+            fig10::run_with(ctx, (o.execs / 2).max(4), 2, o.seed).render()
         ),
         other => usage(&format!("unknown subcommand {other}")),
     }
@@ -66,12 +93,25 @@ fn run_one(cmd: &str, o: Options) {
 
 fn main() {
     let (cmd, opts) = parse_args();
+    let ctx = SimContext::new(opts.threads);
     if cmd == "all" {
-        for c in ["table1", "table2", "table3", "fig4", "fig8", "fig9", "fig10"] {
-            run_one(c, opts);
+        for c in [
+            "table1", "table2", "table3", "fig4", "fig8", "fig9", "fig10",
+        ] {
+            run_one(&ctx, c, opts);
             println!();
         }
+        println!("== simulation scorecard ==\n");
+        print!("{}", ctx.scorecard());
+        let stats = ctx.store().stats();
+        if !stats.traced_exactly_once() {
+            eprintln!(
+                "error: trace store retraced a kernel/variant ({} misses for {} traces)",
+                stats.misses, stats.entries
+            );
+            std::process::exit(1);
+        }
     } else {
-        run_one(&cmd, opts);
+        run_one(&ctx, &cmd, opts);
     }
 }

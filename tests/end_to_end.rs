@@ -22,10 +22,7 @@ fn vectorisation_beats_scalar_on_every_kernel() {
     for &kernel in KernelId::ALL {
         let s = cycles(kernel, Variant::Scalar, PipelineConfig::four_way());
         let a = cycles(kernel, Variant::Altivec, PipelineConfig::four_way());
-        assert!(
-            a < s,
-            "{kernel}: altivec {a} cycles should beat scalar {s}"
-        );
+        assert!(a < s, "{kernel}: altivec {a} cycles should beat scalar {s}");
     }
 }
 
@@ -50,7 +47,11 @@ fn unaligned_support_beats_plain_altivec_at_proposed_latency() {
 #[test]
 fn idct_gains_are_modest_as_in_the_paper() {
     let cfg = || PipelineConfig::four_way().with_realign(RealignConfig::proposed());
-    for kernel in [KernelId::Idct4x4, KernelId::Idct4x4Matrix, KernelId::Idct8x8] {
+    for kernel in [
+        KernelId::Idct4x4,
+        KernelId::Idct4x4Matrix,
+        KernelId::Idct8x8,
+    ] {
         let a = cycles(kernel, Variant::Altivec, cfg());
         let u = cycles(kernel, Variant::Unaligned, cfg());
         let gain = a as f64 / u as f64;
@@ -92,7 +93,10 @@ fn latency_sweep_is_monotone_and_crosses_for_sad16() {
         )
         .cycles;
         // Tolerate sub-percent greedy-scheduling anomalies.
-        assert!(c + c / 100 >= prev, "latency increase cannot meaningfully speed things up");
+        assert!(
+            c + c / 100 >= prev,
+            "latency increase cannot meaningfully speed things up"
+        );
         prev = c.max(prev);
         last_speedup = base as f64 / c as f64;
     }

@@ -46,7 +46,12 @@ fn fig8_smoke() {
     assert_eq!(f.points.len(), 99);
     // Speed-ups are positive and finite everywhere.
     for p in &f.points {
-        assert!(p.speedup.is_finite() && p.speedup > 0.0, "{} {}", p.kernel, p.config);
+        assert!(
+            p.speedup.is_finite() && p.speedup > 0.0,
+            "{} {}",
+            p.kernel,
+            p.config
+        );
     }
 }
 

@@ -1,0 +1,75 @@
+//! Integration tests for the simulation-job layer: the batch executor is
+//! deterministic across thread counts, and shared-trace replays are pure.
+
+use proptest::prelude::*;
+use valign::core::experiments::{fig8, fig9};
+use valign::core::sim::{SimContext, TraceKey, TraceStore};
+use valign::core::workload::KernelId;
+use valign::kernels::util::Variant;
+use valign::pipeline::{PipelineConfig, Simulator};
+
+/// The whole Fig. 8 report — 99 jobs over 33 shared traces — is
+/// byte-identical whether replayed serially or on 2 or 8 workers.
+#[test]
+fn fig8_report_is_identical_across_thread_counts() {
+    let reports: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let ctx = SimContext::new(threads);
+            fig8::run_with(&ctx, 4, 11).render()
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "2 threads diverged from serial");
+    assert_eq!(reports[0], reports[2], "8 threads diverged from serial");
+}
+
+#[test]
+fn fig9_report_is_identical_across_thread_counts() {
+    let serial = fig9::run_with(&SimContext::new(1), 3, 5).render();
+    let parallel = fig9::run_with(&SimContext::new(8), 3, 5).render();
+    assert_eq!(serial, parallel);
+}
+
+/// A shared context hits the store when drivers overlap: fig8 and fig9
+/// both replay the Altivec and Unaligned traces of every kernel.
+#[test]
+fn shared_context_reuses_traces_across_drivers() {
+    let ctx = SimContext::new(2);
+    let _ = fig8::run_with(&ctx, 3, 9);
+    let misses_after_fig8 = ctx.store().stats().misses;
+    let _ = fig9::run_with(&ctx, 3, 9);
+    let stats = ctx.store().stats();
+    assert_eq!(
+        stats.misses, misses_after_fig8,
+        "fig9 must not trace anything fig8 already traced"
+    );
+    assert!(stats.traced_exactly_once(), "{stats:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Replaying the same shared trace twice — on a fresh simulator each
+    /// time, as the batch runner does — yields identical results.
+    #[test]
+    fn replaying_a_shared_trace_is_pure(
+        kernel_idx in 0usize..KernelId::ALL.len(),
+        variant_idx in 0usize..Variant::ALL.len(),
+        execs in 1usize..4,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let store = TraceStore::new();
+        let key = TraceKey {
+            kernel: KernelId::ALL[kernel_idx],
+            variant: Variant::ALL[variant_idx],
+            execs,
+            seed,
+        };
+        let trace = store.get(key);
+        let first = Simulator::simulate(PipelineConfig::four_way(), Some(&trace), &trace);
+        let second = Simulator::simulate(PipelineConfig::four_way(), Some(&trace), &trace);
+        prop_assert_eq!(first, second);
+        // The two replays shared one generation.
+        prop_assert_eq!(store.stats().misses, 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This vendored replacement keeps bench targets
+//! compiling and producing useful wall-clock numbers: each
+//! `bench_function` warms up, then times batches of iterations and prints
+//! min / median / mean. No statistical analysis, plots or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The stub times each routine
+/// call individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per routine call.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Benchmarks `routine` back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let measure_until = Instant::now() + self.measurement_time;
+        while self.samples.len() < self.sample_size || Instant::now() < measure_until {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if self.samples.len() >= self.sample_size * 64 {
+                break;
+            }
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine(setup()));
+        }
+        let measure_until = Instant::now() + self.measurement_time;
+        while self.samples.len() < self.sample_size || Instant::now() < measure_until {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if self.samples.len() >= self.sample_size * 64 {
+                break;
+            }
+        }
+    }
+}
+
+/// The benchmark driver: builder-style configuration plus
+/// [`Criterion::bench_function`].
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Minimum number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target wall time spent measuring each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall time spent warming up each benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs `f` under the timer and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut bencher);
+        samples.sort_unstable();
+        if samples.is_empty() {
+            println!("{id:<40} no samples collected");
+        } else {
+            let min = samples[0];
+            let median = samples[samples.len() / 2];
+            let total: Duration = samples.iter().sum();
+            let mean = total / samples.len() as u32;
+            println!(
+                "{id:<40} min {} · median {} · mean {} ({} samples)",
+                fmt_duration(min),
+                fmt_duration(median),
+                fmt_duration(mean),
+                samples.len(),
+            );
+        }
+        self
+    }
+
+    /// Upstream prints the final report here; the stub has nothing left to
+    /// do but keeps the call site valid.
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

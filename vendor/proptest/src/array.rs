@@ -1,0 +1,29 @@
+//! Fixed-size array strategies (`uniform4`, `uniform16`, ...).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `[S::Value; N]` with every lane drawn from the same
+/// element strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        core::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+/// Arrays of 4 values drawn from `element`.
+pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+    UniformArray { element }
+}
+
+/// Arrays of 16 values drawn from `element`.
+pub fn uniform16<S: Strategy>(element: S) -> UniformArray<S, 16> {
+    UniformArray { element }
+}

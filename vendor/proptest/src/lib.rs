@@ -1,0 +1,92 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This vendored replacement keeps the same *testing
+//! model* — strategies generate random inputs, `proptest!` runs each test
+//! body for `ProptestConfig::cases` inputs, failures are ordinary panics —
+//! but drops shrinking and persistence. Inputs are drawn from a
+//! deterministic per-test generator seeded from the test's module path and
+//! name, so failures reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod array;
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+
+/// Runs each contained `#[test]` function once per configured case with
+/// freshly generated inputs.
+///
+/// Supports the upstream surface this workspace uses: an optional
+/// `#![proptest_config(expr)]` header and `fn name(pat in strategy, ...)`
+/// items.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for _case in 0..cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Picks uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}
+
+/// The glob import every consumer starts from.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
