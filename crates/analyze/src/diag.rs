@@ -1,0 +1,163 @@
+//! Diagnostics: what every rule emits, and how findings are rendered.
+
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// Ordered: `Info < Warning < Error`. The lint gate fails only on
+/// [`Severity::Error`]; warnings document model-visible oddities (natural
+/// misalignment in scalar code, forwarding the LSU does not model) without
+/// blocking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Context worth surfacing (e.g. a suppression summary).
+    Info,
+    /// A model-visible oddity that is not an invariant violation.
+    Warning,
+    /// An invariant the construction guarantees does not hold.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => f.write_str("INFO"),
+            Severity::Warning => f.write_str("WARNING"),
+            Severity::Error => f.write_str("ERROR"),
+        }
+    }
+}
+
+/// One finding of one rule over one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule name (e.g. `"alignment-invariant"`).
+    pub rule: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Kernel label of the analysed trace ("luma16x16", …).
+    pub kernel: String,
+    /// Variant label of the analysed trace ("scalar", …).
+    pub variant: String,
+    /// Trace index of the offending dynamic instruction, when the finding
+    /// points at one (rule-level findings such as a latency-table gap
+    /// carry `None`).
+    pub instr_index: Option<u32>,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the finding as one human-readable line.
+    ///
+    /// `ERROR [alignment-invariant] luma16x16/altivec #42: lvx EA ...`
+    pub fn render_human(&self) -> String {
+        let site = match self.instr_index {
+            Some(i) => format!(" #{i}"),
+            None => String::new(),
+        };
+        format!(
+            "{} [{}] {}/{}{}: {}",
+            self.severity, self.rule, self.kernel, self.variant, site, self.message
+        )
+    }
+
+    /// Renders the finding as one JSON object.
+    pub fn render_json(&self) -> String {
+        let idx = match self.instr_index {
+            Some(i) => i.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            r#"{{"rule":"{}","severity":"{}","kernel":"{}","variant":"{}","instr_index":{},"message":"{}"}}"#,
+            escape_json(self.rule),
+            self.severity.label(),
+            escape_json(&self.kernel),
+            escape_json(&self.variant),
+            idx,
+            escape_json(&self.message)
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "alignment-invariant",
+            severity: Severity::Error,
+            kernel: "luma16x16".to_string(),
+            variant: "altivec".to_string(),
+            instr_index: Some(42),
+            message: "lvx EA 0x10005 not 16-byte aligned".to_string(),
+        }
+    }
+
+    #[test]
+    fn severities_are_ordered() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn human_line_carries_everything() {
+        let line = sample().render_human();
+        assert_eq!(
+            line,
+            "ERROR [alignment-invariant] luma16x16/altivec #42: lvx EA 0x10005 not 16-byte aligned"
+        );
+    }
+
+    #[test]
+    fn json_object_is_wellformed() {
+        let d = sample().render_json();
+        assert!(d.starts_with('{') && d.ends_with('}'));
+        assert!(d.contains(r#""severity":"error""#));
+        assert!(d.contains(r#""instr_index":42"#));
+        let none = Diagnostic {
+            instr_index: None,
+            ..sample()
+        };
+        assert!(none.render_json().contains(r#""instr_index":null"#));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_json("a\\b"), r"a\\b");
+        assert_eq!(escape_json("a\nb"), r"a\nb");
+        assert_eq!(escape_json("a\u{1}b"), "a\\u0001b");
+    }
+}

@@ -1,0 +1,312 @@
+//! # valign-analyze — static analysis over traces and model metadata
+//!
+//! The repo's experiments all flow through recorded dynamic traces: the
+//! tracing VM emits them, the cycle-accurate simulator replays them, and
+//! every table and figure of the paper reproduction is derived from the
+//! replay. This crate checks the artefacts *between* those stages — the
+//! traces themselves and the ISA/pipeline metadata they are interpreted
+//! against — so a modelling bug surfaces as a named diagnostic instead of
+//! a silently wrong cycle count.
+//!
+//! Five rules (see [`rules`]):
+//!
+//! | rule | checks | gate |
+//! |------|--------|------|
+//! | `trace-wellformed` | record stream structure, EAs inside the memory map | ERROR |
+//! | `alignment-invariant` | Altivec truncation, variant/opcode discipline | ERROR |
+//! | `register-def-use` | read-before-write, producer wiring, dead vector defs | mixed |
+//! | `memory-dependence` | store→load overlaps vs the LSU's ordering model | WARNING |
+//! | `latency-completeness` | every observed opcode in all Table II tables | ERROR |
+//!
+//! The CLI front end is `valign lint` (see the repository README); the
+//! gate is **zero ERROR diagnostics across every kernel/variant pair**.
+//!
+//! ## Example
+//!
+//! ```
+//! use valign_analyze::{analyze_trace, table_ii_latency_tables, TraceCtx};
+//! use valign_core::workload::{trace_kernel, KernelId};
+//! use valign_kernels::util::Variant;
+//!
+//! let trace = trace_kernel(KernelId::Idct4x4, Variant::Unaligned, 4, 7);
+//! let tables = table_ii_latency_tables();
+//! let ctx = TraceCtx::new(&trace, "idct4x4", Variant::Unaligned, None);
+//! let diags = analyze_trace(&ctx, &tables);
+//! assert!(diags.iter().all(|d| d.severity < valign_analyze::Severity::Error));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod rules;
+
+pub use diag::{Diagnostic, Severity};
+
+use std::sync::Arc;
+use valign_core::workload::KernelId;
+use valign_core::{SimContext, Workload};
+use valign_isa::Trace;
+use valign_kernels::util::Variant;
+use valign_pipeline::{LatencyTable, PipelineConfig};
+
+/// Cap on non-ERROR diagnostics reported per rule per trace. ERRORs are
+/// never capped; a suppression summary [`Severity::Info`] records how many
+/// warnings were dropped.
+pub const MAX_WARNINGS_PER_RULE: usize = 20;
+
+/// Everything a rule needs to know about the trace under analysis.
+pub struct TraceCtx<'a> {
+    /// The trace under analysis.
+    pub trace: &'a Trace,
+    /// Kernel label ("luma16x16", …) for diagnostics.
+    pub kernel: String,
+    /// The implementation variant the trace was recorded from.
+    pub variant: Variant,
+    /// Exclusive upper bound of the workload's memory image, when known
+    /// ([`Workload::mem_limit`]); enables the out-of-map check of the
+    /// well-formedness rule.
+    pub mem_limit: Option<u64>,
+}
+
+impl<'a> TraceCtx<'a> {
+    /// Builds a context for one trace.
+    pub fn new(
+        trace: &'a Trace,
+        kernel: impl Into<String>,
+        variant: Variant,
+        mem_limit: Option<u64>,
+    ) -> Self {
+        TraceCtx {
+            trace,
+            kernel: kernel.into(),
+            variant,
+            mem_limit,
+        }
+    }
+
+    /// Builds one diagnostic against this trace.
+    pub fn diag(
+        &self,
+        rule: &'static str,
+        severity: Severity,
+        instr_index: Option<u32>,
+        message: String,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity,
+            kernel: self.kernel.clone(),
+            variant: self.variant.label().to_string(),
+            instr_index,
+            message,
+        }
+    }
+}
+
+/// Caps non-ERROR findings of one rule at [`MAX_WARNINGS_PER_RULE`],
+/// appending an Info summary when anything was dropped. ERRORs always
+/// pass through.
+fn cap_warnings(ctx: &TraceCtx<'_>, rule: &'static str, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let total_soft = diags
+        .iter()
+        .filter(|d| d.severity < Severity::Error)
+        .count();
+    if total_soft <= MAX_WARNINGS_PER_RULE {
+        return diags;
+    }
+    let mut kept_soft = 0;
+    let mut out: Vec<Diagnostic> = diags
+        .into_iter()
+        .filter(|d| {
+            if d.severity == Severity::Error {
+                return true;
+            }
+            kept_soft += 1;
+            kept_soft <= MAX_WARNINGS_PER_RULE
+        })
+        .collect();
+    out.push(ctx.diag(
+        rule,
+        Severity::Info,
+        None,
+        format!(
+            "{} further non-error diagnostic(s) suppressed (cap {MAX_WARNINGS_PER_RULE})",
+            total_soft - MAX_WARNINGS_PER_RULE
+        ),
+    ));
+    out
+}
+
+/// Runs every rule over one trace against the given latency tables.
+///
+/// Diagnostics come back grouped by rule in the order of
+/// [`rules::ALL_RULES`], warnings capped per rule (see
+/// [`MAX_WARNINGS_PER_RULE`]).
+pub fn analyze_trace(ctx: &TraceCtx<'_>, tables: &[LatencyTable]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(cap_warnings(
+        ctx,
+        rules::wellformed::RULE,
+        rules::wellformed::check(ctx),
+    ));
+    out.extend(cap_warnings(
+        ctx,
+        rules::alignment::RULE,
+        rules::alignment::check(ctx),
+    ));
+    out.extend(cap_warnings(
+        ctx,
+        rules::defuse::RULE,
+        rules::defuse::check(ctx),
+    ));
+    out.extend(cap_warnings(
+        ctx,
+        rules::memdep::RULE,
+        rules::memdep::check(ctx),
+    ));
+    out.extend(cap_warnings(
+        ctx,
+        rules::latency::RULE,
+        rules::latency::check(ctx, tables),
+    ));
+    out
+}
+
+/// Options of one lint run.
+#[derive(Debug, Clone, Copy)]
+pub struct LintOptions {
+    /// Kernel executions per trace.
+    pub execs: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for LintOptions {
+    /// Small traces: the invariants the ERROR rules check are per-record,
+    /// so a few executions exercise every static site without paying for
+    /// full experiment-sized traces.
+    fn default() -> Self {
+        LintOptions {
+            execs: 20,
+            seed: 20070425,
+        }
+    }
+}
+
+/// The outcome of a lint run: all diagnostics over all analysed traces.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, grouped by trace in analysis order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of kernel/variant traces analysed.
+    pub traces_analyzed: usize,
+}
+
+impl LintReport {
+    /// Number of ERROR findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of WARNING findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Whether the gate passes: zero ERROR diagnostics.
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Renders the report for terminals: one line per finding plus a
+    /// summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render_human());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "lint: {} trace(s), {} error(s), {} warning(s)\n",
+            self.traces_analyzed,
+            self.errors(),
+            self.warnings()
+        ));
+        out
+    }
+
+    /// Renders the report as one JSON object with counts and the full
+    /// diagnostic array.
+    pub fn render_json(&self) -> String {
+        let items: Vec<String> = self
+            .diagnostics
+            .iter()
+            .map(diag::Diagnostic::render_json)
+            .collect();
+        format!(
+            r#"{{"traces_analyzed":{},"errors":{},"warnings":{},"diagnostics":[{}]}}"#,
+            self.traces_analyzed,
+            self.errors(),
+            self.warnings(),
+            items.join(",")
+        )
+    }
+}
+
+/// The three Table II latency tables, the set `valign lint` audits
+/// against.
+pub fn table_ii_latency_tables() -> Vec<LatencyTable> {
+    PipelineConfig::table_ii()
+        .iter()
+        .map(valign_pipeline::PipelineConfig::latency_table)
+        .collect()
+}
+
+/// Lints one kernel/variant pair through the shared [`SimContext`] (the
+/// trace comes from the content-addressed store, so experiments running in
+/// the same session reuse it).
+pub fn lint_kernel(
+    ctx: &SimContext,
+    kernel: KernelId,
+    variant: Variant,
+    opts: LintOptions,
+) -> LintReport {
+    let tables = table_ii_latency_tables();
+    let mem_limit = Workload::new(opts.seed).mem_limit();
+    let mut report = LintReport::default();
+    lint_into(&mut report, ctx, kernel, variant, opts, &tables, mem_limit);
+    report
+}
+
+/// Lints every kernel/variant pair. The gate of CI's `lint-traces` job:
+/// [`LintReport::is_clean`] must hold.
+pub fn lint_all(ctx: &SimContext, opts: LintOptions) -> LintReport {
+    let tables = table_ii_latency_tables();
+    let mem_limit = Workload::new(opts.seed).mem_limit();
+    let mut report = LintReport::default();
+    for &kernel in KernelId::ALL {
+        for &variant in Variant::ALL {
+            lint_into(&mut report, ctx, kernel, variant, opts, &tables, mem_limit);
+        }
+    }
+    report
+}
+
+fn lint_into(
+    report: &mut LintReport,
+    ctx: &SimContext,
+    kernel: KernelId,
+    variant: Variant,
+    opts: LintOptions,
+    tables: &[LatencyTable],
+    mem_limit: u64,
+) {
+    let trace: Arc<Trace> = ctx.trace(kernel, variant, opts.execs, opts.seed);
+    let tctx = TraceCtx::new(&trace, kernel.label(), variant, Some(mem_limit));
+    report.diagnostics.extend(analyze_trace(&tctx, tables));
+    report.traces_analyzed += 1;
+}

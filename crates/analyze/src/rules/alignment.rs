@@ -1,0 +1,80 @@
+//! The alignment-invariant rule.
+//!
+//! Checks three invariants the kernel construction guarantees:
+//!
+//! * **aligned vector memory ops present truncated EAs** — `lvx`/`stvx`
+//!   effective addresses are 16-byte aligned, `lvewx`/`stvewx` word
+//!   aligned, because the VM applies the Altivec truncation before
+//!   recording ([`valign_isa::EaPolicy::Truncate`]);
+//! * **unaligned-capable opcodes appear only in the unaligned variant** —
+//!   `lvxu`/`stvxu` are the paper's ISA extension and must not leak into
+//!   scalar or plain-Altivec code;
+//! * **the scalar variant emits zero vector instructions**.
+//!
+//! Violations are ERRORs. Natural misalignment of scalar accesses
+//! (a halfword load from an odd address, say) is legal for the model and
+//! only reported as a WARNING.
+
+use crate::{Diagnostic, Severity, TraceCtx};
+use valign_isa::EaPolicy;
+use valign_kernels::util::Variant;
+
+/// Stable name of this rule.
+pub const RULE: &str = "alignment-invariant";
+
+/// Runs the rule over one trace.
+pub fn check(ctx: &TraceCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (idx, instr) in ctx.trace.iter().enumerate() {
+        let at = |severity, message| ctx.diag(RULE, severity, Some(idx as u32), message);
+
+        if instr.op.is_vector() && ctx.variant == Variant::Scalar {
+            out.push(at(
+                Severity::Error,
+                format!("vector instruction {} in the scalar variant", instr.op),
+            ));
+        }
+        if instr.op.is_unaligned_capable() && ctx.variant != Variant::Unaligned {
+            out.push(at(
+                Severity::Error,
+                format!(
+                    "unaligned-capable {} outside the unaligned variant ({})",
+                    instr.op, ctx.variant
+                ),
+            ));
+        }
+
+        let Some(mem) = instr.mem else { continue };
+        match instr.op.ea_policy() {
+            EaPolicy::Truncate { align } => {
+                if !mem.addr.is_multiple_of(align) {
+                    out.push(at(
+                        Severity::Error,
+                        format!(
+                            "{} EA {:#x} not {align}-byte aligned: the VM must truncate \
+                             before recording",
+                            instr.op, mem.addr
+                        ),
+                    ));
+                }
+            }
+            EaPolicy::Natural { bytes } => {
+                if !mem.addr.is_multiple_of(bytes) {
+                    out.push(at(
+                        Severity::Warning,
+                        format!(
+                            "{} EA {:#x} not naturally aligned for a {bytes}-byte access",
+                            instr.op, mem.addr
+                        ),
+                    ));
+                }
+            }
+            // lvxu/stvxu accept any EA — that is the point of the paper.
+            EaPolicy::Unrestricted => {}
+            // A memory record on a non-memory opcode is reported by the
+            // well-formedness rule.
+            EaPolicy::NonMemory => {}
+        }
+    }
+    out
+}

@@ -1,0 +1,113 @@
+//! The register def-use rule: a linear walk of the trace's register
+//! dataflow.
+//!
+//! * **read-before-write** — a source with no in-trace producer
+//!   (`SrcRef::def == None`) and no earlier in-trace write to the same
+//!   register reads external state. Kernels create every value they
+//!   consume inside the traced region, so an external *vector* read is an
+//!   ERROR; an external integer read is only a WARNING (integer state can
+//!   legitimately persist across trace segments).
+//! * **producer consistency** — when a source names an in-trace producer,
+//!   that instruction must actually write the register read (ERROR
+//!   otherwise: the tracer's dataflow wiring is broken).
+//! * **dead vector defs** — a vector register written and then
+//!   overwritten without an intervening read is dead code the kernel paid
+//!   vector-unit cycles for (WARNING). Values still live at the end of
+//!   the trace are not reported; a later segment may consume them.
+
+use crate::{Diagnostic, Severity, TraceCtx};
+use valign_isa::{Reg, RegClass, NUM_GPRS, NUM_VPRS};
+
+/// Stable name of this rule.
+pub const RULE: &str = "register-def-use";
+
+#[derive(Clone, Copy)]
+struct DefState {
+    /// Trace index of the last write.
+    idx: u32,
+    /// Whether any read of the register happened since that write.
+    read_since: bool,
+}
+
+fn slot(reg: Reg) -> usize {
+    match reg.class() {
+        RegClass::Gpr => usize::from(reg.index()),
+        RegClass::Vpr => usize::from(NUM_GPRS) + usize::from(reg.index()),
+    }
+}
+
+/// Runs the rule over one trace.
+pub fn check(ctx: &TraceCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut state: Vec<Option<DefState>> =
+        vec![None; usize::from(NUM_GPRS) + usize::from(NUM_VPRS)];
+
+    for (idx, instr) in ctx.trace.iter().enumerate() {
+        let idx = idx as u32;
+
+        for src in instr.srcs.iter().flatten() {
+            let s = slot(src.reg);
+            match src.def {
+                None => {
+                    if state[s].is_none() {
+                        let (sev, file) = match src.reg.class() {
+                            RegClass::Vpr => (Severity::Error, "vector"),
+                            RegClass::Gpr => (Severity::Warning, "integer"),
+                        };
+                        out.push(ctx.diag(
+                            RULE,
+                            sev,
+                            Some(idx),
+                            format!(
+                                "{} reads {file} register {} before any in-trace write",
+                                instr.op, src.reg
+                            ),
+                        ));
+                    }
+                }
+                Some(def) => {
+                    let producer_writes = (def as usize) < ctx.trace.len()
+                        && ctx.trace.instrs()[def as usize].dst == Some(src.reg);
+                    if !producer_writes {
+                        out.push(ctx.diag(
+                            RULE,
+                            Severity::Error,
+                            Some(idx),
+                            format!(
+                                "{} source {} names producer #{def}, which does not \
+                                 write that register",
+                                instr.op, src.reg
+                            ),
+                        ));
+                    }
+                }
+            }
+            if let Some(st) = state[s].as_mut() {
+                st.read_since = true;
+            }
+        }
+
+        if let Some(dst) = instr.dst {
+            let s = slot(dst);
+            if let Some(prev) = state[s] {
+                if !prev.read_since && dst.class() == RegClass::Vpr {
+                    out.push(ctx.diag(
+                        RULE,
+                        Severity::Warning,
+                        Some(prev.idx),
+                        format!(
+                            "dead vector def: {dst} written at #{} is overwritten at \
+                             #{idx} without being read",
+                            prev.idx
+                        ),
+                    ));
+                }
+            }
+            state[s] = Some(DefState {
+                idx,
+                read_since: false,
+            });
+        }
+    }
+    out
+}

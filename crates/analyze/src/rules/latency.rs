@@ -1,0 +1,36 @@
+//! The latency-table completeness rule.
+//!
+//! Every opcode observed in the trace must have an explicit entry in
+//! **all three** Table II configurations' [`LatencyTable`]s — no opcode
+//! may fall through to a silent default latency. A gap is an ERROR naming
+//! the opcode and the configuration; the engine would panic replaying the
+//! trace, and the whole point of the explicit tables is that the analyzer
+//! reports the gap before any replay does.
+
+use crate::{Diagnostic, Severity, TraceCtx};
+use std::collections::BTreeSet;
+use valign_pipeline::LatencyTable;
+
+/// Stable name of this rule.
+pub const RULE: &str = "latency-completeness";
+
+/// Runs the rule over one trace against the given configuration tables.
+pub fn check(ctx: &TraceCtx<'_>, tables: &[LatencyTable]) -> Vec<Diagnostic> {
+    let observed: BTreeSet<_> = ctx.trace.iter().map(|i| i.op).collect();
+    let mut out = Vec::new();
+    for table in tables {
+        for op in table.missing(observed.iter().copied()) {
+            out.push(ctx.diag(
+                RULE,
+                Severity::Error,
+                None,
+                format!(
+                    "opcode {op} observed in the trace has no latency entry in the \
+                     {} configuration",
+                    table.config()
+                ),
+            ));
+        }
+    }
+    out
+}

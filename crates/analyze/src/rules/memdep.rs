@@ -1,0 +1,122 @@
+//! The memory-dependence audit.
+//!
+//! Rebuilds the store→load overlap map of the trace at byte granularity
+//! and cross-checks it against the timing model's store-to-load ordering
+//! assumptions ([`valign_pipeline::STORE_QUEUE_TRACK`],
+//! [`valign_pipeline::ranges_overlap`]):
+//!
+//! * **partial overlap** — a load that gathers bytes from more than one
+//!   store, or mixes stored bytes with bytes no store produced, would need
+//!   merging forwarding hardware; the LSU only models ordering, so the
+//!   access pattern is worth flagging (WARNING);
+//! * **beyond the ordering window** — a load whose producing store is more
+//!   than [`STORE_QUEUE_TRACK`] stores in the past is *not* ordered by the
+//!   model's bounded store queue (WARNING): the replayed timing silently
+//!   assumes the store completed.
+//!
+//! Both findings are audit output, not invariant violations — video
+//! kernels legitimately store byte planes and reload them as quadwords.
+
+use crate::{Diagnostic, Severity, TraceCtx};
+use std::collections::HashMap;
+use valign_isa::MemKind;
+use valign_pipeline::{ranges_overlap, STORE_QUEUE_TRACK};
+
+/// Stable name of this rule.
+pub const RULE: &str = "memory-dependence";
+
+#[derive(Clone, Copy)]
+struct StoreRec {
+    /// Trace index of the store.
+    idx: u32,
+    addr: u64,
+    bytes: u64,
+    /// Position in the stream of stores (0 = first store of the trace).
+    seq: usize,
+}
+
+/// Runs the rule over one trace.
+pub fn check(ctx: &TraceCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut stores: Vec<StoreRec> = Vec::new();
+    // Last store record owning each byte of memory.
+    let mut owner: HashMap<u64, usize> = HashMap::new();
+
+    for (idx, instr) in ctx.trace.iter().enumerate() {
+        let Some(mem) = instr.mem else { continue };
+        let bytes = u64::from(mem.bytes);
+        match mem.kind {
+            MemKind::Store => {
+                let rec = StoreRec {
+                    idx: idx as u32,
+                    addr: mem.addr,
+                    bytes,
+                    seq: stores.len(),
+                };
+                for b in mem.addr..mem.addr + bytes {
+                    owner.insert(b, stores.len());
+                }
+                stores.push(rec);
+            }
+            MemKind::Load => {
+                let mut sources: Vec<usize> = Vec::new();
+                let mut unowned = 0u64;
+                for b in mem.addr..mem.addr + bytes {
+                    match owner.get(&b) {
+                        Some(&rec) if sources.last() == Some(&rec) => {}
+                        Some(&rec) => sources.push(rec),
+                        None => unowned += 1,
+                    }
+                }
+                if sources.is_empty() {
+                    continue; // reads only workload-initialised memory
+                }
+                for &s in &sources {
+                    let st = stores[s];
+                    debug_assert!(
+                        ranges_overlap(st.addr, st.bytes, mem.addr, bytes),
+                        "owner map disagrees with the LSU overlap predicate"
+                    );
+                }
+                if sources.len() > 1 || unowned > 0 {
+                    out.push(ctx.diag(
+                        RULE,
+                        Severity::Warning,
+                        Some(idx as u32),
+                        format!(
+                            "{} load of {bytes} bytes at {:#x} gathers bytes from {} \
+                             store(s){}; the LSU orders but does not merge-forward \
+                             partial overlaps",
+                            instr.op,
+                            mem.addr,
+                            sources.len(),
+                            if unowned > 0 {
+                                format!(" plus {unowned} byte(s) no traced store wrote")
+                            } else {
+                                String::new()
+                            },
+                        ),
+                    ));
+                }
+                // Window check against the most recent producing store.
+                if let Some(&newest) = sources.iter().max_by_key(|&&s| stores[s].seq) {
+                    let age = stores.len() - stores[newest].seq;
+                    if age > STORE_QUEUE_TRACK {
+                        out.push(ctx.diag(
+                            RULE,
+                            Severity::Warning,
+                            Some(idx as u32),
+                            format!(
+                                "load at {:#x} depends on store #{} from {age} stores \
+                                 ago, beyond the {STORE_QUEUE_TRACK}-store ordering \
+                                 window the LSU tracks",
+                                mem.addr, stores[newest].idx
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,22 @@
+//! The individual analysis rules.
+//!
+//! Each rule is a free function from a [`crate::TraceCtx`] (plus any
+//! rule-specific metadata) to a list of [`crate::Diagnostic`]s, and
+//! exports its stable name as `RULE`. [`crate::analyze_trace`] runs them
+//! all and applies the per-rule warning cap.
+
+pub mod alignment;
+pub mod defuse;
+pub mod latency;
+pub mod memdep;
+pub mod wellformed;
+
+/// Stable names of all rules, in the order [`crate::analyze_trace`] runs
+/// them.
+pub const ALL_RULES: &[&str] = &[
+    wellformed::RULE,
+    alignment::RULE,
+    defuse::RULE,
+    memdep::RULE,
+    latency::RULE,
+];

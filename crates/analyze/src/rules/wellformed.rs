@@ -1,0 +1,128 @@
+//! The trace well-formedness rule: structural invariants of the record
+//! stream itself.
+//!
+//! * **dataflow is backward** — a source's in-trace producer index must be
+//!   strictly smaller than the reading instruction's own index (program
+//!   order is the only order a trace has; a forward or self reference is
+//!   corrupt);
+//! * **record shape matches the opcode** — a memory record appears exactly
+//!   on memory opcodes with the opcode's access width and direction, a
+//!   branch record exactly on branch opcodes;
+//! * **branch targets resolve** — the VM allocates static ids from 1, so a
+//!   branch whose target is the null site `@0x0` was never wired to a
+//!   label, and an unconditional branch is always taken;
+//! * **effective addresses stay inside the VM memory map** — at or above
+//!   [`valign_vm::MEM_BASE`], and below the workload's allocation limit
+//!   when the caller supplies one ([`crate::TraceCtx::mem_limit`]).
+//!
+//! All findings are ERRORs: a trace violating any of these cannot have
+//! come from the tracing VM.
+
+use crate::{Diagnostic, Severity, TraceCtx};
+use valign_isa::{MemKind, StaticId};
+use valign_vm::MEM_BASE;
+
+/// Stable name of this rule.
+pub const RULE: &str = "trace-wellformed";
+
+/// Runs the rule over one trace.
+pub fn check(ctx: &TraceCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (idx, instr) in ctx.trace.iter().enumerate() {
+        let mut err = |message| {
+            out.push(ctx.diag(RULE, Severity::Error, Some(idx as u32), message));
+        };
+
+        for src in instr.srcs.iter().flatten() {
+            if let Some(def) = src.def {
+                if def as usize >= idx {
+                    err(format!(
+                        "source {} names producer #{def}, at or after the reading \
+                         instruction #{idx}",
+                        src.reg
+                    ));
+                }
+            }
+        }
+
+        match (instr.mem, instr.op.touches_memory()) {
+            (Some(mem), true) => {
+                match instr.op.access_bytes() {
+                    Some(expect) if u64::from(mem.bytes) != expect => {
+                        err(format!(
+                            "{} records a {}-byte access, opcode width is {expect}",
+                            instr.op, mem.bytes
+                        ));
+                    }
+                    _ => {}
+                }
+                let is_load = mem.kind == MemKind::Load;
+                if is_load != instr.op.is_load() {
+                    err(format!(
+                        "{} records a {} access, opcode is a {}",
+                        instr.op,
+                        if is_load { "load" } else { "store" },
+                        if instr.op.is_load() { "load" } else { "store" },
+                    ));
+                }
+                if mem.addr < MEM_BASE {
+                    err(format!(
+                        "EA {:#x} below the VM memory map base {MEM_BASE:#x}",
+                        mem.addr
+                    ));
+                }
+                if let Some(limit) = ctx.mem_limit {
+                    if mem.addr + u64::from(mem.bytes) > limit {
+                        err(format!(
+                            "access [{:#x}, {:#x}) extends past the workload \
+                             allocation limit {limit:#x}",
+                            mem.addr,
+                            mem.addr + u64::from(mem.bytes)
+                        ));
+                    }
+                }
+            }
+            (Some(_), false) => {
+                err(format!(
+                    "non-memory opcode {} carries a memory record",
+                    instr.op
+                ));
+            }
+            (None, true) => {
+                err(format!(
+                    "memory opcode {} carries no memory record",
+                    instr.op
+                ));
+            }
+            (None, false) => {}
+        }
+
+        match (instr.branch, instr.op.is_branch()) {
+            (Some(b), true) => {
+                if b.target == StaticId(0) {
+                    err(format!(
+                        "branch {} targets the null site @0x0: never wired to a label",
+                        instr.op
+                    ));
+                }
+                if b.unconditional && !b.taken {
+                    err(format!("unconditional {} recorded as not taken", instr.op));
+                }
+            }
+            (Some(_), false) => {
+                err(format!(
+                    "non-branch opcode {} carries a branch record",
+                    instr.op
+                ));
+            }
+            (None, true) => {
+                err(format!(
+                    "branch opcode {} carries no branch record",
+                    instr.op
+                ));
+            }
+            (None, false) => {}
+        }
+    }
+    out
+}

@@ -1,0 +1,463 @@
+//! Every rule proves it fires: hand-crafted traces seed exactly one
+//! violation each and the test asserts the expected diagnostic (rule,
+//! severity, trace index), plus clean-pass runs over real kernel traces.
+//!
+//! Malformed records that the `DynInstr` constructors would debug-assert
+//! away are built as struct literals — the analyzer exists precisely to
+//! catch streams that did not come from the well-behaved constructors.
+
+use valign_analyze::rules::{alignment, defuse, latency, memdep, wellformed};
+use valign_analyze::{analyze_trace, table_ii_latency_tables, Severity, TraceCtx};
+use valign_core::workload::{trace_kernel, KernelId};
+use valign_isa::{
+    BranchInfo, DynInstr, Gpr, MemKind, MemRef, Opcode, Reg, SrcRef, StaticId, Trace, Vpr,
+};
+use valign_kernels::util::Variant;
+use valign_pipeline::{PipelineConfig, STORE_QUEUE_TRACK};
+use valign_vm::MEM_BASE;
+
+fn v(i: u8) -> Reg {
+    Reg::Vpr(Vpr::new(i))
+}
+
+fn g(i: u8) -> Reg {
+    Reg::Gpr(Gpr::new(i))
+}
+
+fn load(op: Opcode, addr: u64, bytes: u8, dst: Reg) -> DynInstr {
+    DynInstr::mem(
+        op,
+        StaticId(1),
+        Some(dst),
+        &[],
+        MemRef {
+            addr,
+            bytes,
+            kind: MemKind::Load,
+        },
+    )
+}
+
+fn store(op: Opcode, addr: u64, bytes: u8, data: SrcRef) -> DynInstr {
+    DynInstr::mem(
+        op,
+        StaticId(2),
+        None,
+        &[data],
+        MemRef {
+            addr,
+            bytes,
+            kind: MemKind::Store,
+        },
+    )
+}
+
+fn errors_of<'a>(
+    diags: &'a [valign_analyze::Diagnostic],
+    rule: &str,
+) -> Vec<&'a valign_analyze::Diagnostic> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule && d.severity == Severity::Error)
+        .collect()
+}
+
+/// Runs the full analysis with the standard Table II latency tables.
+fn analyze(trace: &Trace, variant: Variant) -> Vec<valign_analyze::Diagnostic> {
+    let ctx = TraceCtx::new(trace, "seeded", variant, None);
+    analyze_trace(&ctx, &table_ii_latency_tables())
+}
+
+// ---------------------------------------------------------------- alignment
+
+#[test]
+fn misaligned_lvx_is_an_error() {
+    let mut t = Trace::new();
+    // The VM truncates lvx EAs; an untruncated one cannot be its output.
+    t.push(load(Opcode::Lvx, MEM_BASE + 5, 16, v(0)));
+    let diags = analyze(&t, Variant::Altivec);
+    let errs = errors_of(&diags, alignment::RULE);
+    assert_eq!(errs.len(), 1, "diags: {diags:?}");
+    assert_eq!(errs[0].instr_index, Some(0));
+    assert!(errs[0].message.contains("lvx"));
+    assert!(errs[0].message.contains("truncate"));
+}
+
+#[test]
+fn misaligned_lvewx_is_an_error_but_word_aligned_is_not() {
+    let mut bad = Trace::new();
+    bad.push(load(Opcode::Lvewx, MEM_BASE + 2, 4, v(0)));
+    assert_eq!(
+        errors_of(&analyze(&bad, Variant::Altivec), alignment::RULE).len(),
+        1
+    );
+
+    let mut good = Trace::new();
+    // Word-aligned but not quadword-aligned: exactly what lvewx produces.
+    good.push(load(Opcode::Lvewx, MEM_BASE + 4, 4, v(0)));
+    assert!(errors_of(&analyze(&good, Variant::Altivec), alignment::RULE).is_empty());
+}
+
+#[test]
+fn lvxu_outside_the_unaligned_variant_is_an_error() {
+    let mut t = Trace::new();
+    t.push(load(Opcode::Lvxu, MEM_BASE + 3, 16, v(0)));
+    for variant in [Variant::Scalar, Variant::Altivec] {
+        let diags = analyze(&t, variant);
+        let errs = errors_of(&diags, alignment::RULE);
+        assert!(
+            errs.iter().any(|d| d.message.contains("unaligned-capable")),
+            "{variant}: {errs:?}"
+        );
+    }
+    // In its own variant the same record is clean: lvxu takes any EA.
+    assert!(errors_of(&analyze(&t, Variant::Unaligned), alignment::RULE).is_empty());
+}
+
+#[test]
+fn vector_op_in_scalar_variant_is_an_error() {
+    let mut t = Trace::new();
+    let a = DynInstr::alu(Opcode::Vperm, StaticId(1), Some(v(2)), &[]);
+    t.push(a);
+    let diags = analyze(&t, Variant::Scalar);
+    let errs = errors_of(&diags, alignment::RULE);
+    assert_eq!(errs.len(), 1);
+    assert!(errs[0].message.contains("scalar variant"));
+}
+
+#[test]
+fn scalar_natural_misalignment_is_only_a_warning() {
+    let mut t = Trace::new();
+    t.push(load(Opcode::Lwz, MEM_BASE + 2, 4, g(0)));
+    let diags = analyze(&t, Variant::Scalar);
+    assert!(errors_of(&diags, alignment::RULE).is_empty());
+    assert!(diags
+        .iter()
+        .any(|d| d.rule == alignment::RULE && d.severity == Severity::Warning));
+}
+
+// ------------------------------------------------------------------ defuse
+
+#[test]
+fn vector_read_before_any_write_is_an_error() {
+    let mut t = Trace::new();
+    t.push(DynInstr::alu(
+        Opcode::Vperm,
+        StaticId(1),
+        Some(v(1)),
+        &[SrcRef::external(v(0))],
+    ));
+    let diags = analyze(&t, Variant::Altivec);
+    let errs = errors_of(&diags, defuse::RULE);
+    assert_eq!(errs.len(), 1, "diags: {diags:?}");
+    assert_eq!(errs[0].instr_index, Some(0));
+    assert!(errs[0].message.contains("before any in-trace write"));
+}
+
+#[test]
+fn integer_read_before_write_is_only_a_warning() {
+    let mut t = Trace::new();
+    t.push(DynInstr::alu(
+        Opcode::Add,
+        StaticId(1),
+        Some(g(1)),
+        &[SrcRef::external(g(0))],
+    ));
+    let diags = analyze(&t, Variant::Scalar);
+    assert!(errors_of(&diags, defuse::RULE).is_empty());
+    assert!(diags
+        .iter()
+        .any(|d| d.rule == defuse::RULE && d.severity == Severity::Warning));
+}
+
+#[test]
+fn dead_vector_def_is_a_warning_at_the_dead_site() {
+    let mut t = Trace::new();
+    t.push(DynInstr::alu(Opcode::Vperm, StaticId(1), Some(v(3)), &[])); // dead
+    t.push(DynInstr::alu(Opcode::Vperm, StaticId(2), Some(v(3)), &[])); // kills it
+    t.push(store(
+        Opcode::Stvx,
+        MEM_BASE,
+        16,
+        SrcRef::produced_by(v(3), 1),
+    ));
+    let diags = analyze(&t, Variant::Altivec);
+    let dead: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == defuse::RULE && d.message.contains("dead vector def"))
+        .collect();
+    assert_eq!(dead.len(), 1);
+    assert_eq!(dead[0].severity, Severity::Warning);
+    assert_eq!(dead[0].instr_index, Some(0), "points at the dead def");
+}
+
+#[test]
+fn value_live_at_trace_end_is_not_dead() {
+    let mut t = Trace::new();
+    t.push(DynInstr::alu(Opcode::Vperm, StaticId(1), Some(v(3)), &[]));
+    let diags = analyze(&t, Variant::Altivec);
+    assert!(!diags.iter().any(|d| d.message.contains("dead")));
+}
+
+#[test]
+fn producer_not_writing_the_register_is_an_error() {
+    let mut t = Trace::new();
+    t.push(DynInstr::alu(Opcode::Vperm, StaticId(1), Some(v(0)), &[]));
+    // Claims v5 came from #0, but #0 writes v0.
+    t.push(DynInstr::alu(
+        Opcode::Vperm,
+        StaticId(2),
+        Some(v(1)),
+        &[SrcRef::produced_by(v(5), 0)],
+    ));
+    let diags = analyze(&t, Variant::Altivec);
+    let errs = errors_of(&diags, defuse::RULE);
+    assert_eq!(errs.len(), 1);
+    assert!(errs[0].message.contains("does not write"));
+}
+
+// ------------------------------------------------------------------ memdep
+
+#[test]
+fn partial_overlap_forwarding_is_a_warning() {
+    let mut t = Trace::new();
+    t.push(DynInstr::alu(Opcode::Li, StaticId(1), Some(g(0)), &[]));
+    // One stored byte inside a 16-byte reload: the LSU orders, it does
+    // not merge-forward.
+    t.push(store(
+        Opcode::Stb,
+        MEM_BASE + 20,
+        1,
+        SrcRef::produced_by(g(0), 0),
+    ));
+    t.push(load(Opcode::Lvx, MEM_BASE + 16, 16, v(0)));
+    let diags = analyze(&t, Variant::Altivec);
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == memdep::RULE && d.message.contains("merge-forward"))
+        .collect();
+    assert_eq!(hits.len(), 1, "diags: {diags:?}");
+    assert_eq!(hits[0].severity, Severity::Warning);
+    assert_eq!(hits[0].instr_index, Some(2));
+}
+
+#[test]
+fn full_single_store_forward_within_window_is_clean() {
+    let mut t = Trace::new();
+    t.push(DynInstr::alu(Opcode::Vperm, StaticId(1), Some(v(0)), &[]));
+    t.push(store(
+        Opcode::Stvx,
+        MEM_BASE,
+        16,
+        SrcRef::produced_by(v(0), 0),
+    ));
+    t.push(load(Opcode::Lvx, MEM_BASE, 16, v(1)));
+    let diags = analyze(&t, Variant::Altivec);
+    assert!(!diags.iter().any(|d| d.rule == memdep::RULE), "{diags:?}");
+}
+
+#[test]
+fn dependence_beyond_the_store_queue_window_is_a_warning() {
+    let mut t = Trace::new();
+    t.push(DynInstr::alu(Opcode::Li, StaticId(1), Some(g(0)), &[]));
+    let data = SrcRef::produced_by(g(0), 0);
+    // The producing store, then enough younger stores to evict it from
+    // the LSU's tracked window.
+    t.push(store(Opcode::Stw, MEM_BASE, 4, data));
+    for i in 0..STORE_QUEUE_TRACK as u64 {
+        t.push(store(Opcode::Stw, MEM_BASE + 64 + 4 * i, 4, data));
+    }
+    t.push(load(Opcode::Lwz, MEM_BASE, 4, g(1)));
+    let diags = analyze(&t, Variant::Scalar);
+    let hits: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == memdep::RULE && d.message.contains("ordering window"))
+        .collect();
+    assert_eq!(hits.len(), 1, "diags: {diags:?}");
+    assert_eq!(hits[0].severity, Severity::Warning);
+}
+
+// ----------------------------------------------------------------- latency
+
+#[test]
+fn latency_table_gap_is_an_error_naming_the_config() {
+    let mut t = Trace::new();
+    t.push(load(Opcode::Lvx, MEM_BASE, 16, v(0)));
+    let ctx = TraceCtx::new(&t, "seeded", Variant::Altivec, None);
+
+    // Seed a gap in one configuration only.
+    let mut tables = table_ii_latency_tables();
+    assert!(tables[1].remove(Opcode::Lvx).is_some());
+    let diags = latency::check(&ctx, &tables);
+
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert!(diags[0].message.contains("lvx"));
+    assert!(
+        diags[0]
+            .message
+            .contains(PipelineConfig::table_ii()[1].name),
+        "names the gapped config: {}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn complete_tables_produce_no_latency_diagnostics() {
+    let mut t = Trace::new();
+    t.push(load(Opcode::Lvx, MEM_BASE, 16, v(0)));
+    t.push(DynInstr::alu(Opcode::Vperm, StaticId(3), Some(v(1)), &[]));
+    let ctx = TraceCtx::new(&t, "seeded", Variant::Altivec, None);
+    assert!(latency::check(&ctx, &table_ii_latency_tables()).is_empty());
+}
+
+// -------------------------------------------------------------- wellformed
+
+#[test]
+fn forward_def_reference_is_an_error() {
+    let mut t = Trace::new();
+    t.push(DynInstr::alu(
+        Opcode::Vperm,
+        StaticId(1),
+        Some(v(1)),
+        &[SrcRef::produced_by(v(0), 7)], // forward reference
+    ));
+    let diags = analyze(&t, Variant::Altivec);
+    let errs = errors_of(&diags, wellformed::RULE);
+    assert_eq!(errs.len(), 1, "diags: {diags:?}");
+    assert!(errs[0].message.contains("at or after"));
+}
+
+#[test]
+fn null_branch_target_is_an_error() {
+    let mut t = Trace::new();
+    t.push(DynInstr::branch(
+        Opcode::B,
+        StaticId(1),
+        &[],
+        BranchInfo {
+            taken: true,
+            target: StaticId(0),
+            unconditional: true,
+        },
+    ));
+    let diags = analyze(&t, Variant::Scalar);
+    let errs = errors_of(&diags, wellformed::RULE);
+    assert_eq!(errs.len(), 1);
+    assert!(errs[0].message.contains("null site"));
+}
+
+#[test]
+fn access_width_mismatch_is_an_error() {
+    let mut t = Trace::new();
+    // lvx is a 16-byte access; a record claiming 8 bytes is corrupt.
+    // Struct literal: the constructor debug_asserts would not build this.
+    t.push(DynInstr {
+        op: Opcode::Lvx,
+        sid: StaticId(1),
+        dst: Some(v(0)),
+        srcs: [None; 3],
+        mem: Some(MemRef {
+            addr: MEM_BASE,
+            bytes: 8,
+            kind: MemKind::Load,
+        }),
+        branch: None,
+    });
+    let diags = analyze(&t, Variant::Altivec);
+    let errs = errors_of(&diags, wellformed::RULE);
+    assert_eq!(errs.len(), 1);
+    assert!(errs[0].message.contains("opcode width is 16"));
+}
+
+#[test]
+fn memory_record_on_a_non_memory_opcode_is_an_error() {
+    let mut t = Trace::new();
+    t.push(DynInstr {
+        op: Opcode::Vperm,
+        sid: StaticId(1),
+        dst: Some(v(0)),
+        srcs: [None; 3],
+        mem: Some(MemRef {
+            addr: MEM_BASE,
+            bytes: 16,
+            kind: MemKind::Load,
+        }),
+        branch: None,
+    });
+    let diags = analyze(&t, Variant::Altivec);
+    assert!(errors_of(&diags, wellformed::RULE)
+        .iter()
+        .any(|d| d.message.contains("non-memory opcode")));
+}
+
+#[test]
+fn ea_below_the_memory_map_is_an_error() {
+    let mut t = Trace::new();
+    t.push(load(Opcode::Lwz, MEM_BASE - 16, 4, g(0)));
+    let diags = analyze(&t, Variant::Scalar);
+    let errs = errors_of(&diags, wellformed::RULE);
+    assert_eq!(errs.len(), 1);
+    assert!(errs[0].message.contains("below the VM memory map base"));
+}
+
+#[test]
+fn ea_beyond_the_workload_limit_is_an_error() {
+    let mut t = Trace::new();
+    let limit = MEM_BASE + 64;
+    // Starts inside, runs past the limit.
+    t.push(load(Opcode::Lvx, limit - 8, 16, v(0)));
+    let ctx = TraceCtx::new(&t, "seeded", Variant::Altivec, Some(limit));
+    let diags = wellformed::check(&ctx);
+    assert_eq!(diags.len(), 1, "diags: {diags:?}");
+    assert!(diags[0].message.contains("allocation limit"));
+
+    // Without a limit the same record only has to clear the base check.
+    let no_limit = TraceCtx::new(&t, "seeded", Variant::Altivec, None);
+    assert!(wellformed::check(&no_limit).is_empty());
+}
+
+// -------------------------------------------------------- warning capping
+
+#[test]
+fn warnings_are_capped_with_a_suppression_summary() {
+    let mut t = Trace::new();
+    // Way more natural-misalignment warnings than the cap.
+    for _ in 0..(valign_analyze::MAX_WARNINGS_PER_RULE + 15) {
+        t.push(load(Opcode::Lwz, MEM_BASE + 2, 4, g(0)));
+    }
+    let diags = analyze(&t, Variant::Scalar);
+    let warns = diags
+        .iter()
+        .filter(|d| d.rule == alignment::RULE && d.severity == Severity::Warning)
+        .count();
+    assert_eq!(warns, valign_analyze::MAX_WARNINGS_PER_RULE);
+    let summary: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == alignment::RULE && d.severity == Severity::Info)
+        .collect();
+    assert_eq!(summary.len(), 1);
+    assert!(summary[0].message.contains("15 further"));
+}
+
+// -------------------------------------------------------------- clean pass
+
+#[test]
+fn real_kernel_traces_are_error_free() {
+    let tables = table_ii_latency_tables();
+    for (kernel, variant) in [
+        (KernelId::Idct4x4, Variant::Scalar),
+        (KernelId::Idct4x4, Variant::Altivec),
+        (KernelId::Idct4x4Matrix, Variant::Unaligned),
+    ] {
+        let trace = trace_kernel(kernel, variant, 8, 11);
+        assert!(!trace.is_empty());
+        let ctx = TraceCtx::new(&trace, kernel.label(), variant, None);
+        let diags = analyze_trace(&ctx, &tables);
+        let errs: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(errs.is_empty(), "{kernel}/{variant}: {errs:?}");
+    }
+}

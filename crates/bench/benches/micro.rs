@@ -23,17 +23,17 @@ fn textured(n: usize) -> Plane {
 fn golden_kernels(c: &mut Criterion) {
     let p = textured(128);
     c.bench_function("golden/luma_qpel_16x16_hv", |b| {
-        b.iter(|| luma_qpel(black_box(&p), 40, 40, 2, 2, 16, 16))
+        b.iter(|| luma_qpel(black_box(&p), 40, 40, 2, 2, 16, 16));
     });
     let q = textured(128);
     c.bench_function("golden/sad_16x16", |b| {
-        b.iter(|| sad_block(black_box(&p), 32, 32, black_box(&q), 37, 29, 16, 16))
+        b.iter(|| sad_block(black_box(&p), 32, 32, black_box(&q), 37, 29, 16, 16));
     });
 }
 
 fn vm_tracing(c: &mut Criterion) {
     c.bench_function("vm/trace_luma16_altivec_x4", |b| {
-        b.iter(|| trace_kernel(KernelId::Luma(BlockSize::B16x16), Variant::Altivec, 4, SEED))
+        b.iter(|| trace_kernel(KernelId::Luma(BlockSize::B16x16), Variant::Altivec, 4, SEED));
     });
     c.bench_function("vm/trace_sad16_unaligned_x16", |b| {
         b.iter(|| {
@@ -43,7 +43,7 @@ fn vm_tracing(c: &mut Criterion) {
                 16,
                 SEED,
             )
-        })
+        });
     });
 }
 
@@ -54,14 +54,14 @@ fn pipeline_replay(c: &mut Criterion) {
             || Simulator::new(PipelineConfig::four_way()),
             |mut sim| sim.run(black_box(&trace)),
             BatchSize::SmallInput,
-        )
+        );
     });
     c.bench_function("pipeline/replay_2way_inorder", |b| {
         b.iter_batched(
             || Simulator::new(PipelineConfig::two_way()),
             |mut sim| sim.run(black_box(&trace)),
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -80,7 +80,7 @@ fn cache_model(c: &mut Criterion) {
                 acc
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 

@@ -19,6 +19,8 @@
 //! Set `VALIGN_EXECS` to scale the traced kernel executions (fidelity vs
 //! runtime); the defaults keep a full `cargo bench` run in minutes.
 
+#![forbid(unsafe_code)]
+
 /// Scales an experiment's default execution count by `VALIGN_EXECS` when
 /// set (re-exported convenience for the bench targets).
 pub fn execs(default: usize) -> usize {
@@ -33,7 +35,7 @@ pub fn threads() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
 }
 
 /// The deterministic seed shared by all bench targets, so printed numbers

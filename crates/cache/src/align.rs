@@ -69,7 +69,8 @@ impl RealignConfig {
     /// Extra cycles for one vector access.
     ///
     /// * `unaligned` — the effective address has a non-zero 16-byte offset
-    ///   (only ever true for `lvxu`/`stvxu`).
+    ///   (`addr & valign_isa::align::QUAD_OFFSET_MASK != 0`; only ever
+    ///   true for `lvxu`/`stvxu`, since aligned Altivec ops truncate).
     /// * `is_store` — store vs load.
     /// * `crosses_line` — the 16 bytes span two cache lines.
     /// * `l1_latency` — the base D-L1 hit latency, used as the cost of the
@@ -164,5 +165,18 @@ mod tests {
     #[test]
     fn default_is_proposed() {
         assert_eq!(RealignConfig::default(), RealignConfig::proposed());
+    }
+
+    /// The realignment network rotates one quadword: its granularity is
+    /// pinned to the shared ISA constants, not a local magic number.
+    #[test]
+    fn network_granularity_matches_isa_quadword() {
+        use valign_isa::align::{QUAD_BYTES, QUAD_OFFSET_MASK, QUAD_TRUNCATE_MASK};
+        assert_eq!(QUAD_BYTES, 16);
+        assert_eq!(QUAD_OFFSET_MASK, 0xf);
+        assert_eq!(QUAD_TRUNCATE_MASK, !0xf_u64);
+        // An address truncated by an aligned op never triggers a penalty.
+        let truncated = valign_isa::align::quad_truncate(0x1_2345);
+        assert!(valign_isa::align::is_quad_aligned(truncated));
     }
 }

@@ -139,6 +139,12 @@ impl Hierarchy {
         write: bool,
         banks: BankScheme,
     ) -> AccessOutcome {
+        // The widest access in the ISA is one quadword, so an access spans
+        // at most two lines — the invariant the two-lookup model relies on.
+        debug_assert!(
+            u64::from(bytes) <= valign_isa::align::QUAD_BYTES,
+            "access wider than a vector register: {bytes} bytes"
+        );
         let line = self.config.l1d.line_bytes as u64;
         let first = addr;
         let last = addr + u64::from(bytes.max(1)) - 1;

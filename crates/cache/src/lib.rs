@@ -25,6 +25,8 @@
 //! assert_eq!(realign.penalty(true, false, cold.split, 4), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod align;
 pub mod hierarchy;
 pub mod set_assoc;

@@ -94,7 +94,8 @@ mod tests {
     fn twelve_series() {
         let f = run(1, 3);
         assert_eq!(f.series.len(), 12);
-        let labels: std::collections::HashSet<_> = f.series.iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<_> =
+            f.series.iter().map(super::Series::label).collect();
         assert_eq!(labels.len(), 12);
         assert!(labels.contains("1088_riverbed"));
         assert!(labels.contains("576_rush_hour"));

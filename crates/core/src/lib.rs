@@ -30,6 +30,8 @@
 //! assert!(un.cycles < av.cycles, "unaligned loads accelerate the kernel");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod sim;
 pub mod workload;

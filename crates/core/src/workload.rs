@@ -71,6 +71,11 @@ impl KernelId {
             KernelId::Sad(b) => format!("sad{}", b.label()),
         }
     }
+
+    /// Inverse of [`KernelId::label`], for CLI argument parsing.
+    pub fn from_label(label: &str) -> Option<KernelId> {
+        KernelId::ALL.iter().copied().find(|k| k.label() == label)
+    }
 }
 
 impl std::fmt::Display for KernelId {
@@ -157,6 +162,14 @@ impl Workload {
         self.vm.take_trace()
     }
 
+    /// Exclusive upper bound of the VM memory image. All allocation
+    /// happens in [`Workload::new`], so every effective address in a trace
+    /// of this workload lies in `[valign_vm::MEM_BASE, mem_limit())` — the
+    /// bound the analyzer's trace well-formedness rule checks against.
+    pub fn mem_limit(&self) -> u64 {
+        self.vm.mem().limit()
+    }
+
     fn block_pos(&mut self, edge: usize) -> (u64, u64) {
         // Grid-aligned block position inside the area.
         let bx = self.rng.gen_range(0..(AREA - 32) / edge) * edge + 16;
@@ -228,7 +241,7 @@ impl Workload {
                 match kernel {
                     KernelId::Idct4x4 => idct4x4(&mut self.vm, variant, &args),
                     KernelId::Idct4x4Matrix => {
-                        idct4x4_matrix(&mut self.vm, variant, &args, self.matrix_pool)
+                        idct4x4_matrix(&mut self.vm, variant, &args, self.matrix_pool);
                     }
                     _ => idct8x8(&mut self.vm, variant, &args),
                 }

@@ -43,6 +43,8 @@
 //! assert_eq!(stats.luma_store.counts()[1], 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cabac;
 pub mod deblock;
 pub mod decoder;

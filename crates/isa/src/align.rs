@@ -1,0 +1,142 @@
+//! Alignment semantics of the modelled ISA, defined once.
+//!
+//! Altivec's aligned vector memory operations do not fault on unaligned
+//! effective addresses — they *silently truncate* the low four address
+//! bits (`EA & !0xF`), which is exactly the behaviour that forces the
+//! software-realignment idiom the paper measures. That truncation mask,
+//! the intra-quadword offset mask (the paper's `src % 16`), and the
+//! per-opcode effective-address policy all live here so the VM, the cache
+//! model and the static analyzer agree on one definition instead of
+//! scattering magic `!0xF` constants.
+
+/// Width in bytes of a vector register (one quadword).
+pub const QUAD_BYTES: u64 = 16;
+
+/// Mask selecting the intra-quadword offset bits: `addr & QUAD_OFFSET_MASK`
+/// is the `src % 16` quantity of the paper's Fig. 4.
+pub const QUAD_OFFSET_MASK: u64 = QUAD_BYTES - 1;
+
+/// Mask applied by aligned vector memory operations (`lvx`/`stvx`): the
+/// effective address is silently truncated to a 16-byte boundary.
+pub const QUAD_TRUNCATE_MASK: u64 = !QUAD_OFFSET_MASK;
+
+/// Width in bytes of a vector element word (`lvewx`/`stvewx` access size).
+pub const WORD_BYTES: u64 = 4;
+
+/// Mask applied by element-word vector memory operations
+/// (`lvewx`/`stvewx`): the effective address is truncated to a word
+/// boundary.
+pub const WORD_TRUNCATE_MASK: u64 = !(WORD_BYTES - 1);
+
+/// Truncates an effective address to a 16-byte boundary (aligned Altivec
+/// `lvx`/`stvx` semantics).
+#[inline]
+pub fn quad_truncate(addr: u64) -> u64 {
+    addr & QUAD_TRUNCATE_MASK
+}
+
+/// Truncates an effective address to a 4-byte boundary
+/// (`lvewx`/`stvewx` semantics).
+#[inline]
+pub fn word_truncate(addr: u64) -> u64 {
+    addr & WORD_TRUNCATE_MASK
+}
+
+/// The intra-quadword offset of an address, in `0..16` — what `lvsl`
+/// encodes into the realignment permute mask.
+#[inline]
+pub fn quad_offset(addr: u64) -> u8 {
+    (addr & QUAD_OFFSET_MASK) as u8
+}
+
+/// Whether an address sits on a 16-byte boundary.
+#[inline]
+pub fn is_quad_aligned(addr: u64) -> bool {
+    addr & QUAD_OFFSET_MASK == 0
+}
+
+/// Effective-address policy of one opcode — what a recorded memory access
+/// by that opcode is allowed to look like.
+///
+/// The tracing VM applies the policy at emission time (truncating where
+/// Altivec truncates), so every trace record must *satisfy* its opcode's
+/// policy; the `valign-analyze` alignment-invariant rule checks exactly
+/// that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EaPolicy {
+    /// The opcode performs no memory access (`lvsl`/`lvsr` included: they
+    /// read the EA's low bits but never touch memory).
+    NonMemory,
+    /// The EA is silently truncated to a multiple of `align` before the
+    /// access (aligned Altivec semantics); recorded addresses must be
+    /// `align`-byte aligned.
+    Truncate {
+        /// Truncation granularity in bytes (16 for `lvx`/`stvx`, 4 for
+        /// `lvewx`/`stvewx`).
+        align: u64,
+    },
+    /// Scalar accesses, naturally aligned by construction in this model;
+    /// recorded addresses are expected to be multiples of the access
+    /// width.
+    Natural {
+        /// Access width in bytes.
+        bytes: u64,
+    },
+    /// Any byte address is architecturally legal — only the paper's
+    /// `lvxu`/`stvxu` extension qualifies.
+    Unrestricted,
+}
+
+impl EaPolicy {
+    /// Whether a recorded effective address satisfies this policy.
+    ///
+    /// [`EaPolicy::NonMemory`] never admits an address: a memory record on
+    /// a non-memory opcode is malformed.
+    pub fn admits(self, addr: u64) -> bool {
+        match self {
+            EaPolicy::NonMemory => false,
+            EaPolicy::Truncate { align } => addr.is_multiple_of(align),
+            EaPolicy::Natural { bytes } => addr.is_multiple_of(bytes.max(1)),
+            EaPolicy::Unrestricted => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the shared truncation constants to the literal Altivec masks
+    /// they replace (formerly duplicated as magic `!0xF` in the VM).
+    #[test]
+    fn masks_pin_the_altivec_encoding() {
+        assert_eq!(QUAD_BYTES, 16);
+        assert_eq!(QUAD_OFFSET_MASK, 0xf);
+        assert_eq!(QUAD_TRUNCATE_MASK, !0xf_u64);
+        assert_eq!(QUAD_TRUNCATE_MASK, 0xffff_ffff_ffff_fff0);
+        assert_eq!(WORD_TRUNCATE_MASK, !0x3_u64);
+        assert_eq!(QUAD_TRUNCATE_MASK | QUAD_OFFSET_MASK, u64::MAX);
+    }
+
+    #[test]
+    fn truncation_and_offset_roundtrip() {
+        for addr in [0u64, 1, 15, 16, 17, 0x1_0003, u64::MAX - 20] {
+            assert_eq!(quad_truncate(addr) + u64::from(quad_offset(addr)), addr);
+            assert!(is_quad_aligned(quad_truncate(addr)));
+            assert_eq!(word_truncate(addr) % 4, 0);
+        }
+        assert_eq!(quad_offset(0x1_0003), 3);
+        assert_eq!(quad_truncate(0x1_0003), 0x1_0000);
+        assert_eq!(word_truncate(0x1_0007), 0x1_0004);
+    }
+
+    #[test]
+    fn policies_admit_what_they_should() {
+        assert!(!EaPolicy::NonMemory.admits(0x1_0000));
+        assert!(EaPolicy::Truncate { align: 16 }.admits(0x1_0000));
+        assert!(!EaPolicy::Truncate { align: 16 }.admits(0x1_0001));
+        assert!(EaPolicy::Natural { bytes: 2 }.admits(0x1_0002));
+        assert!(!EaPolicy::Natural { bytes: 2 }.admits(0x1_0003));
+        assert!(EaPolicy::Unrestricted.admits(0x1_0003));
+    }
+}

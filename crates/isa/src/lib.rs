@@ -32,12 +32,16 @@
 //! assert!(!Opcode::Lvx.is_unaligned_capable());
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod align;
 pub mod class;
 pub mod op;
 pub mod reg;
 pub mod support;
 pub mod trace;
 
+pub use align::{EaPolicy, QUAD_BYTES, QUAD_OFFSET_MASK, QUAD_TRUNCATE_MASK};
 pub use class::{InstrClass, MixCounts, Unit};
 pub use op::Opcode;
 pub use reg::{Gpr, Reg, RegClass, Vpr, NUM_GPRS, NUM_VPRS};

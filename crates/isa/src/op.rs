@@ -15,6 +15,7 @@
 //! the execution [`Unit`] that services it, and a fixed execute latency for
 //! non-memory operations (memory latency is decided by the cache model).
 
+use crate::align::{EaPolicy, QUAD_BYTES, WORD_BYTES};
 use crate::class::{InstrClass, Unit};
 use std::fmt;
 
@@ -277,6 +278,29 @@ impl Opcode {
             _ => None,
         }
     }
+
+    /// The effective-address policy of this opcode: what a recorded memory
+    /// access by it is allowed to look like (see [`EaPolicy`]).
+    pub fn ea_policy(self) -> EaPolicy {
+        match self {
+            Opcode::Lvx | Opcode::Stvx => EaPolicy::Truncate { align: QUAD_BYTES },
+            Opcode::Lvewx | Opcode::Stvewx => EaPolicy::Truncate { align: WORD_BYTES },
+            Opcode::Lvxu | Opcode::Stvxu => EaPolicy::Unrestricted,
+            _ => match self.access_bytes() {
+                Some(bytes) => EaPolicy::Natural { bytes },
+                None => EaPolicy::NonMemory,
+            },
+        }
+    }
+
+    /// All opcodes of `class`, in declaration order — the per-class opcode
+    /// table the static analyzer audits latency maps against.
+    pub fn in_class(class: InstrClass) -> impl Iterator<Item = Opcode> {
+        Opcode::ALL
+            .iter()
+            .copied()
+            .filter(move |op| op.class() == class)
+    }
 }
 
 impl fmt::Display for Opcode {
@@ -372,6 +396,44 @@ mod tests {
                 InstrClass::VecPerm => assert_eq!(op.unit(), Unit::Vperm),
             }
         }
+    }
+
+    #[test]
+    fn ea_policy_partitions_the_opcode_set() {
+        for op in Opcode::ALL {
+            match op.ea_policy() {
+                EaPolicy::NonMemory => assert!(!op.touches_memory(), "{op}"),
+                EaPolicy::Truncate { align } => {
+                    assert!(op.is_vector() && op.touches_memory(), "{op}");
+                    assert!(!op.is_unaligned_capable(), "{op}");
+                    assert!(align == QUAD_BYTES || align == WORD_BYTES, "{op}");
+                }
+                EaPolicy::Natural { bytes } => {
+                    assert!(!op.is_vector() && op.touches_memory(), "{op}");
+                    assert_eq!(Some(bytes), op.access_bytes(), "{op}");
+                }
+                EaPolicy::Unrestricted => assert!(op.is_unaligned_capable(), "{op}"),
+            }
+        }
+        assert_eq!(
+            Opcode::Lvx.ea_policy(),
+            EaPolicy::Truncate { align: QUAD_BYTES }
+        );
+        assert_eq!(
+            Opcode::Stvewx.ea_policy(),
+            EaPolicy::Truncate { align: WORD_BYTES }
+        );
+    }
+
+    #[test]
+    fn in_class_tables_cover_all_opcodes() {
+        let total: usize = InstrClass::ALL
+            .iter()
+            .map(|&c| Opcode::in_class(c).count())
+            .sum();
+        assert_eq!(total, Opcode::ALL.len());
+        assert!(Opcode::in_class(InstrClass::VecLoad).any(|o| o == Opcode::Lvxu));
+        assert!(Opcode::in_class(InstrClass::IntAlu).all(|o| !o.touches_memory()));
     }
 
     #[test]

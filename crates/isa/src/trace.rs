@@ -67,7 +67,7 @@ impl MemRef {
     /// The offset of the effective address within a 16-byte vector word —
     /// the `(src % 16)` quantity of the paper's Fig. 4.
     pub fn quad_offset(&self) -> u8 {
-        (self.addr & 0xf) as u8
+        crate::align::quad_offset(self.addr)
     }
 
     /// Whether the access is unaligned with respect to its own width.
@@ -225,7 +225,7 @@ impl DynInstr {
     /// not 16-byte aligned. Only meaningful for `lvxu`/`stvxu`; aligned
     /// Altivec ops always present truncated addresses.
     pub fn is_unaligned_vector_access(&self) -> bool {
-        self.op.is_unaligned_capable() && self.mem.map(|m| m.quad_offset() != 0).unwrap_or(false)
+        self.op.is_unaligned_capable() && self.mem.is_some_and(|m| m.quad_offset() != 0)
     }
 }
 

@@ -41,6 +41,8 @@
 //! assert_eq!(fast.value(), slow.value());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bipred;
 pub mod cabac;
 pub mod chroma;

@@ -42,6 +42,11 @@ impl Variant {
     pub fn is_vector(self) -> bool {
         !matches!(self, Variant::Scalar)
     }
+
+    /// Inverse of [`Variant::label`], for CLI argument parsing.
+    pub fn from_label(label: &str) -> Option<Variant> {
+        Variant::ALL.iter().copied().find(|v| v.label() == label)
+    }
 }
 
 impl std::fmt::Display for Variant {

@@ -31,6 +31,7 @@
 use crate::backend::Backend;
 use crate::config::PipelineConfig;
 use crate::frontend::Frontend;
+use crate::latency::LatencyTable;
 use crate::lsu::Lsu;
 use crate::predictor::BranchPredictor;
 use crate::result::SimResult;
@@ -42,6 +43,7 @@ use valign_isa::{DynInstr, Trace, Unit};
 #[derive(Debug)]
 pub struct Simulator {
     cfg: PipelineConfig,
+    lat: LatencyTable,
     mem: Hierarchy,
     icache: SetAssocCache,
     pred: BranchPredictor,
@@ -55,12 +57,20 @@ impl Simulator {
         // are loop-resident, so after warm-up this is all hits; cold code
         // pays the L2 latency per line.
         let icache = SetAssocCache::new(CacheConfig::new(32 * 1024, 128, 1));
+        let lat = LatencyTable::for_config(&cfg);
         Simulator {
             cfg,
+            lat,
             mem,
             icache,
             pred: BranchPredictor::new(),
         }
+    }
+
+    /// The explicit latency table the engine resolves execute latencies
+    /// from (see [`crate::latency`]).
+    pub fn latency_table(&self) -> &LatencyTable {
+        &self.lat
     }
 
     /// The configuration in use.
@@ -107,10 +117,10 @@ impl Simulator {
             let complete = if let Some(mem_ref) = instr.mem {
                 lsu.execute(instr, mem_ref, issue_cycle, &mut result)
             } else {
-                let lat = instr
-                    .op
-                    .fixed_latency()
-                    .expect("non-memory op has fixed latency");
+                let lat = self
+                    .lat
+                    .fixed(instr.op)
+                    .unwrap_or_else(|| panic!("no fixed latency entry for {}", instr.op));
                 issue_cycle + u64::from(lat)
             };
 

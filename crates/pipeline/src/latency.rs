@@ -1,0 +1,172 @@
+//! Explicit execute-latency tables for the Table II configurations.
+//!
+//! Historically the engine resolved latencies implicitly — a match on
+//! [`Opcode::fixed_latency`] with the memory hierarchy filling in the
+//! rest — which left nothing to audit: an opcode class silently absent
+//! from the model would only surface as a panic mid-replay. This module
+//! materialises the mapping as a [`LatencyTable`] per configuration so
+//! that
+//!
+//! * the engine looks latencies up in one explicit place, and
+//! * the `valign-analyze` latency-completeness rule can verify that every
+//!   opcode observed in any trace has an entry in **all three** Table II
+//!   configurations — no silent default latency.
+
+use crate::config::PipelineConfig;
+use std::collections::BTreeMap;
+use valign_isa::Opcode;
+
+/// How one opcode's execute latency is resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Latency {
+    /// A fixed execute latency in cycles.
+    Fixed(u32),
+    /// Resolved per access by the memory hierarchy; carries the best-case
+    /// (D-L1 hit) latency of the configuration for introspection.
+    Memory {
+        /// The configuration's D-L1 hit latency in cycles.
+        l1_hit: u32,
+    },
+}
+
+/// The explicit opcode → latency mapping of one pipeline configuration.
+///
+/// Built complete by [`LatencyTable::for_config`]; entries can be removed
+/// (e.g. by analyzer tests seeding a coverage gap) and the absence is then
+/// observable through [`LatencyTable::get`] / [`LatencyTable::missing`].
+#[derive(Debug, Clone)]
+pub struct LatencyTable {
+    config: &'static str,
+    entries: BTreeMap<Opcode, Latency>,
+}
+
+impl LatencyTable {
+    /// The full table of `cfg`: every opcode of the ISA gets an explicit
+    /// entry — fixed latencies from the opcode model, memory-resolved
+    /// latencies annotated with the configuration's L1 hit cost.
+    pub fn for_config(cfg: &PipelineConfig) -> Self {
+        let entries = Opcode::ALL
+            .iter()
+            .map(|&op| {
+                let lat = match op.fixed_latency() {
+                    Some(cycles) => Latency::Fixed(cycles),
+                    None => Latency::Memory {
+                        l1_hit: cfg.memory.l1_latency,
+                    },
+                };
+                (op, lat)
+            })
+            .collect();
+        LatencyTable {
+            config: cfg.name,
+            entries,
+        }
+    }
+
+    /// Name of the configuration this table belongs to ("2-way", …).
+    pub fn config(&self) -> &'static str {
+        self.config
+    }
+
+    /// The entry for `op`, if present.
+    pub fn get(&self, op: Opcode) -> Option<Latency> {
+        self.entries.get(&op).copied()
+    }
+
+    /// The fixed execute latency of `op`, if its entry is fixed.
+    pub fn fixed(&self, op: Opcode) -> Option<u32> {
+        match self.get(op) {
+            Some(Latency::Fixed(cycles)) => Some(cycles),
+            _ => None,
+        }
+    }
+
+    /// Removes the entry for `op`, returning it. Used by analyzer tests to
+    /// seed a coverage gap and prove the completeness rule fires.
+    pub fn remove(&mut self, op: Opcode) -> Option<Latency> {
+        self.entries.remove(&op)
+    }
+
+    /// The opcodes among `observed` that have no entry in this table.
+    pub fn missing(&self, observed: impl IntoIterator<Item = Opcode>) -> Vec<Opcode> {
+        observed
+            .into_iter()
+            .filter(|op| !self.entries.contains_key(op))
+            .collect()
+    }
+
+    /// Whether every opcode of the ISA has an entry.
+    pub fn is_complete(&self) -> bool {
+        self.entries.len() == Opcode::ALL.len()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl PipelineConfig {
+    /// The explicit opcode → latency table of this configuration.
+    pub fn latency_table(&self) -> LatencyTable {
+        LatencyTable::for_config(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_complete_for_all_configs() {
+        for cfg in PipelineConfig::table_ii() {
+            let t = cfg.latency_table();
+            assert!(t.is_complete(), "{} table incomplete", t.config());
+            assert_eq!(t.len(), Opcode::ALL.len());
+            assert!(!t.is_empty());
+            assert!(t.missing(Opcode::ALL.iter().copied()).is_empty());
+        }
+    }
+
+    #[test]
+    fn fixed_and_memory_entries_partition() {
+        let t = PipelineConfig::four_way().latency_table();
+        for &op in Opcode::ALL {
+            match t.get(op) {
+                Some(Latency::Fixed(c)) => {
+                    assert_eq!(Some(c), op.fixed_latency(), "{op}");
+                }
+                Some(Latency::Memory { l1_hit }) => {
+                    assert!(op.touches_memory(), "{op}");
+                    assert_eq!(l1_hit, PipelineConfig::four_way().memory.l1_latency);
+                    assert_eq!(t.fixed(op), None);
+                }
+                None => panic!("{op} missing from a freshly built table"),
+            }
+        }
+    }
+
+    #[test]
+    fn removal_creates_an_observable_gap() {
+        let mut t = PipelineConfig::two_way().latency_table();
+        assert!(t.remove(Opcode::Lvx).is_some());
+        assert!(t.get(Opcode::Lvx).is_none());
+        assert!(!t.is_complete());
+        assert_eq!(t.missing([Opcode::Lvx, Opcode::Add]), vec![Opcode::Lvx]);
+        assert!(t.remove(Opcode::Lvx).is_none(), "second removal is a no-op");
+    }
+
+    #[test]
+    fn table_names_follow_configs() {
+        let names: Vec<&str> = PipelineConfig::table_ii()
+            .iter()
+            .map(|c| c.latency_table().config())
+            .collect();
+        assert_eq!(names, ["2-way", "4-way", "8-way"]);
+    }
+}

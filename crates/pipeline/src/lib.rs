@@ -33,15 +33,21 @@
 //! assert!(result.cycles > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 mod backend;
 pub mod config;
 pub mod engine;
 mod frontend;
+pub mod latency;
 mod lsu;
 pub mod predictor;
 pub mod result;
 
 pub use config::{IssuePolicy, PipelineConfig};
 pub use engine::{memory_ops, unit_histogram, Simulator};
+pub use latency::{Latency, LatencyTable};
+pub use lsu::{ranges_overlap, STORE_QUEUE_TRACK};
 pub use predictor::{BranchPredictor, PredictorStats};
 pub use result::SimResult;

@@ -19,7 +19,11 @@ struct PendingStore {
     complete: u64,
 }
 
-const STORE_QUEUE_TRACK: usize = 64;
+/// Number of most-recent stores the LSU tracks for store-to-load
+/// ordering. A load overlapping only stores older than this window is not
+/// ordered by the model — the `valign-analyze` memory-dependence rule
+/// audits traces against exactly this assumption.
+pub const STORE_QUEUE_TRACK: usize = 64;
 
 /// Per-replay load/store-unit state around the persistent cache hierarchy.
 #[derive(Debug)]
@@ -136,7 +140,10 @@ impl<'a> Lsu<'a> {
     }
 }
 
-fn ranges_overlap(a: u64, alen: u64, b: u64, blen: u64) -> bool {
+/// Whether the byte ranges `[a, a+alen)` and `[b, b+blen)` overlap — the
+/// exact predicate the store queue uses for store-to-load ordering,
+/// exported so the static analyzer cross-checks against the same test.
+pub fn ranges_overlap(a: u64, alen: u64, b: u64, blen: u64) -> bool {
     a < b + blen && b < a + alen
 }
 

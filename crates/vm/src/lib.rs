@@ -41,12 +41,16 @@
 //! assert_eq!(hw.value().u8(0), 3);
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod mem;
 pub mod ops;
 pub mod v128;
 pub mod vm;
 
 pub use mem::Memory;
+pub use mem::BASE as MEM_BASE;
 pub use v128::V128;
 pub use vm::{Label, Scalar, Vector, Vm};
 

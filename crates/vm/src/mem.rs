@@ -8,10 +8,13 @@
 
 use crate::v128::V128;
 use std::fmt;
+use valign_isa::align::QUAD_OFFSET_MASK;
 
 /// Base address of the allocatable region. Address 0 is kept unmapped so a
-/// zero address is always a bug.
-const BASE: u64 = 0x1_0000;
+/// zero address is always a bug; any recorded effective address below this
+/// base is malformed (the well-formedness rule in `valign-analyze` checks
+/// traces against it).
+pub const BASE: u64 = 0x1_0000;
 
 /// A byte-addressable memory image with a bump allocator.
 #[derive(Clone)]
@@ -65,12 +68,19 @@ impl Memory {
     /// drivers to place data at a controlled `(addr % 16)`.
     pub fn alloc_with_offset(&mut self, len: usize, offset: u8) -> u64 {
         let base = self.alloc(len + 16, 16);
-        base + u64::from(offset & 0xf)
+        base + (u64::from(offset) & QUAD_OFFSET_MASK)
     }
 
     /// Total bytes allocated so far.
     pub fn allocated(&self) -> usize {
         (self.next - BASE) as usize
+    }
+
+    /// One past the highest allocated address — the exclusive upper bound
+    /// of the memory map. Every legal effective address `a` of an access
+    /// of `n` bytes satisfies `BASE <= a && a + n <= limit()`.
+    pub fn limit(&self) -> u64 {
+        self.next
     }
 
     fn ensure(&mut self, end: u64) {
@@ -121,7 +131,7 @@ impl Memory {
     #[inline]
     pub fn read_u32(&self, addr: u64) -> u32 {
         let i = self.index(addr);
-        u32::from_be_bytes(self.data[i..i + 4].try_into().unwrap())
+        u32::from_be_bytes(self.data[i..i + 4].try_into().expect("4-byte slice"))
     }
 
     /// Writes a big-endian word.
@@ -136,7 +146,7 @@ impl Memory {
     #[inline]
     pub fn read_v128(&self, addr: u64) -> V128 {
         let i = self.index(addr);
-        V128::from_bytes(self.data[i..i + 16].try_into().unwrap())
+        V128::from_bytes(self.data[i..i + 16].try_into().expect("16-byte slice"))
     }
 
     /// Writes 16 bytes from a vector.

@@ -38,6 +38,7 @@ use crate::v128::V128;
 use std::collections::HashMap;
 use std::panic::Location;
 
+use valign_isa::align;
 use valign_isa::{
     BranchInfo, DynInstr, Gpr, MemKind, MemRef, Opcode, SrcRef, StaticId, Trace, Vpr, NUM_GPRS,
     NUM_VPRS,
@@ -730,7 +731,7 @@ impl Vm {
     #[track_caller]
     pub fn lvx(&mut self, idx: Scalar, base: Scalar) -> Vector {
         let sid = self.site();
-        let addr = Self::ea(idx, base) & !0xf;
+        let addr = align::quad_truncate(Self::ea(idx, base));
         let value = self.mem.read_v128(addr);
         self.vec_load(Opcode::Lvx, sid, idx, base, addr, 16, value)
     }
@@ -749,7 +750,7 @@ impl Vm {
     #[track_caller]
     pub fn stvx(&mut self, val: Vector, idx: Scalar, base: Scalar) {
         let sid = self.site();
-        let addr = Self::ea(idx, base) & !0xf;
+        let addr = align::quad_truncate(Self::ea(idx, base));
         self.mem.write_v128(addr, val.value);
         self.vec_store(Opcode::Stvx, sid, val, idx, base, addr, 16);
     }
@@ -768,7 +769,7 @@ impl Vm {
     #[track_caller]
     pub fn lvewx(&mut self, idx: Scalar, base: Scalar) -> Vector {
         let sid = self.site();
-        let ea = Self::ea(idx, base) & !0x3;
+        let ea = align::word_truncate(Self::ea(idx, base));
         let lane = ((ea >> 2) & 0x3) as usize;
         let mut value = V128::ZERO;
         value.set_u32(lane, self.mem.read_u32(ea));
@@ -780,7 +781,7 @@ impl Vm {
     #[track_caller]
     pub fn stvewx(&mut self, val: Vector, idx: Scalar, base: Scalar) {
         let sid = self.site();
-        let ea = Self::ea(idx, base) & !0x3;
+        let ea = align::word_truncate(Self::ea(idx, base));
         let lane = ((ea >> 2) & 0x3) as usize;
         self.mem.write_u32(ea, val.value.u32(lane));
         self.vec_store(Opcode::Stvewx, sid, val, idx, base, ea, 4);
@@ -791,7 +792,7 @@ impl Vm {
     #[track_caller]
     pub fn lvsl(&mut self, idx: Scalar, base: Scalar) -> Vector {
         let sid = self.site();
-        let sh = (Self::ea(idx, base) & 0xf) as u8;
+        let sh = align::quad_offset(Self::ea(idx, base));
         let value = ops::lvsl_mask(sh);
         let srcs = [self.sref(idx), self.sref(base)];
         self.emit_vpr(Opcode::Lvsl, sid, &srcs, value)
@@ -801,7 +802,7 @@ impl Vm {
     #[track_caller]
     pub fn lvsr(&mut self, idx: Scalar, base: Scalar) -> Vector {
         let sid = self.site();
-        let sh = (Self::ea(idx, base) & 0xf) as u8;
+        let sh = align::quad_offset(Self::ea(idx, base));
         let value = ops::lvsr_mask(sh);
         let srcs = [self.sref(idx), self.sref(base)];
         self.emit_vpr(Opcode::Lvsr, sid, &srcs, value)

@@ -42,7 +42,7 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&t| t > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get));
     let ctx = SimContext::new(threads);
     println!("kernel: {kernel}, 4-way configuration, {EXECS} executions, {threads} threads\n");
 

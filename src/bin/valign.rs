@@ -2,25 +2,36 @@
 //!
 //! ```text
 //! valign table1|table2|table3|fig4|fig8|fig9|fig10|all [--execs N] [--seed S] [--threads T]
+//! valign lint [--json] [--kernel K --variant V | --all] [--execs N] [--seed S]
 //! ```
 //!
-//! Each subcommand prints the corresponding table/figure of the paper;
-//! `all` runs the full evaluation in order, sharing one simulation
-//! context so every kernel/variant is traced exactly once (the closing
-//! scorecard asserts this), and `--threads` spreads the replays over a
-//! deterministic worker pool — output is bit-identical at any thread
-//! count. Equivalent bench targets exist under `cargo bench -p
+//! Each experiment subcommand prints the corresponding table/figure of
+//! the paper; `all` runs the full evaluation in order, sharing one
+//! simulation context so every kernel/variant is traced exactly once (the
+//! closing scorecard asserts this), and `--threads` spreads the replays
+//! over a deterministic worker pool — output is bit-identical at any
+//! thread count. Equivalent bench targets exist under `cargo bench -p
 //! valign-bench`, this binary just makes the study runnable as a plain
 //! tool.
+//!
+//! `lint` runs the `valign-analyze` static checks over recorded traces
+//! and the pipeline latency tables, and exits 1 on any ERROR diagnostic —
+//! the trace gate CI enforces.
 
+use valign::analyze::{lint_all, lint_kernel, LintOptions};
 use valign::core::experiments::{fig10, fig4, fig8, fig9, table1, table2, table3};
+use valign::core::workload::KernelId;
 use valign::core::SimContext;
+use valign::kernels::util::Variant;
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Options {
     execs: usize,
     seed: u64,
     threads: usize,
+    json: bool,
+    kernel: Option<String>,
+    variant: Option<String>,
 }
 
 fn parse_args() -> (String, Options) {
@@ -29,10 +40,30 @@ fn parse_args() -> (String, Options) {
     let mut opts = Options {
         execs: 200,
         seed: 20070425,
-        threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        json: false,
+        kernel: None,
+        variant: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
+            "--json" => opts.json = true,
+            "--all" => {
+                opts.kernel = None;
+                opts.variant = None;
+            }
+            "--kernel" => {
+                opts.kernel = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--kernel needs a value")),
+                );
+            }
+            "--variant" => {
+                opts.variant = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--variant needs a value")),
+                );
+            }
             "--execs" => {
                 let v = args
                     .next()
@@ -67,12 +98,40 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: valign <table1|table2|table3|fig4|fig8|fig9|fig10|all> \
-         [--execs N] [--seed S] [--threads T]"
+         [--execs N] [--seed S] [--threads T]\n       \
+         valign lint [--json] [--kernel K --variant V | --all] \
+         [--execs N] [--seed S]"
     );
     std::process::exit(2);
 }
 
-fn run_one(ctx: &SimContext, cmd: &str, o: Options) {
+/// Runs `valign lint`: exits 0 when the gate passes (zero ERROR
+/// diagnostics), 1 otherwise.
+fn run_lint(ctx: &SimContext, o: &Options) -> ! {
+    let lint_opts = LintOptions {
+        execs: o.execs.max(1),
+        seed: o.seed,
+    };
+    let report = match (&o.kernel, &o.variant) {
+        (None, None) => lint_all(ctx, lint_opts),
+        (Some(k), Some(v)) => {
+            let kernel =
+                KernelId::from_label(k).unwrap_or_else(|| usage(&format!("unknown kernel {k}")));
+            let variant =
+                Variant::from_label(v).unwrap_or_else(|| usage(&format!("unknown variant {v}")));
+            lint_kernel(ctx, kernel, variant, lint_opts)
+        }
+        _ => usage("--kernel and --variant go together (or use --all)"),
+    };
+    if o.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    std::process::exit(i32::from(!report.is_clean()));
+}
+
+fn run_one(ctx: &SimContext, cmd: &str, o: &Options) {
     match cmd {
         "table1" => print!("{}", table1::render()),
         "table2" => print!("{}", table2::render()),
@@ -94,11 +153,14 @@ fn run_one(ctx: &SimContext, cmd: &str, o: Options) {
 fn main() {
     let (cmd, opts) = parse_args();
     let ctx = SimContext::new(opts.threads);
+    if cmd == "lint" {
+        run_lint(&ctx, &opts);
+    }
     if cmd == "all" {
         for c in [
             "table1", "table2", "table3", "fig4", "fig8", "fig9", "fig10",
         ] {
-            run_one(&ctx, c, opts);
+            run_one(&ctx, c, &opts);
             println!();
         }
         println!("== simulation scorecard ==\n");
@@ -112,6 +174,6 @@ fn main() {
             std::process::exit(1);
         }
     } else {
-        run_one(&ctx, &cmd, opts);
+        run_one(&ctx, &cmd, &opts);
     }
 }

@@ -20,6 +20,8 @@
 //! * [`h264`] — golden kernels, synthetic sequences, decoder model
 //! * [`kernels`] — the scalar / Altivec / unaligned kernel triples
 //! * [`core`] — workloads and the per-table/figure experiment drivers
+//! * [`analyze`] — static analysis over traces and model metadata
+//!   (the `valign lint` gate)
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,9 @@
 //! assert!(un.cycles < av.cycles);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use valign_analyze as analyze;
 pub use valign_cache as cache;
 pub use valign_core as core;
 pub use valign_h264 as h264;

@@ -1,0 +1,40 @@
+//! The trace gate as a test: `valign lint --all` must report zero ERROR
+//! diagnostics over every kernel/variant pair. CI additionally runs the
+//! CLI form (`cargo run --release -- lint --all --json`); this test keeps
+//! the gate enforced under plain `cargo test` too, at a smaller exec
+//! count.
+
+use valign::analyze::{lint_all, LintOptions};
+use valign::core::workload::KernelId;
+use valign::core::SimContext;
+use valign::kernels::util::Variant;
+
+#[test]
+fn lint_gate_is_clean_across_all_kernel_variant_pairs() {
+    let ctx = SimContext::new(2);
+    let report = lint_all(
+        &ctx,
+        LintOptions {
+            execs: 6,
+            seed: 20070425,
+        },
+    );
+    assert_eq!(
+        report.traces_analyzed,
+        KernelId::ALL.len() * Variant::ALL.len()
+    );
+    let errors: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == valign::analyze::Severity::Error)
+        .collect();
+    assert!(errors.is_empty(), "lint gate broken: {errors:#?}");
+    assert!(report.is_clean());
+
+    // The renderers must agree with the counters.
+    let human = report.render_human();
+    assert!(human.contains("0 error(s)"));
+    let json = report.render_json();
+    assert!(json.contains("\"errors\":0"));
+    assert!(json.starts_with('{') && json.ends_with('}'));
+}
