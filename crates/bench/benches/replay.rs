@@ -1,0 +1,19 @@
+//! Replay-throughput comparison: the packed replay-image hot path vs the
+//! record-form reference walker over the full fig8-style batch (see
+//! `valign_core::replay_bench`). Also available as `valign bench-replay`,
+//! which additionally writes the `BENCH_replay.json` artifact.
+
+fn main() {
+    let execs = valign_bench::execs(200);
+    let repeats = std::env::var("VALIGN_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(3);
+    let b = valign_core::replay_bench::run(execs, valign_bench::SEED, repeats);
+    println!("{}", b.render());
+    assert!(
+        b.bit_identical,
+        "packed-image replay diverged from the reference walker"
+    );
+}

@@ -15,6 +15,7 @@
 //! | `fig10` | Fig. 10 — whole-decoder stage profile |
 //! | `ablations` | design-choice ablations (banking, MSHRs, predictor) |
 //! | `micro` | criterion micro-benchmarks of the simulator stack |
+//! | `replay` | replay throughput: packed image vs reference walker |
 //!
 //! Set `VALIGN_EXECS` to scale the traced kernel executions (fidelity vs
 //! runtime); the defaults keep a full `cargo bench` run in minutes.

@@ -13,6 +13,9 @@
 //!   drivers share so each kernel/variant is traced exactly once.
 //! * [`experiments`] — one driver per table/figure; see its module docs
 //!   for the mapping and the bench targets that regenerate each artefact.
+//! * [`replay_bench`] — the replay-throughput harness comparing the
+//!   packed [`ReplayImage`](valign_pipeline::ReplayImage) hot path against
+//!   the record-form reference walker (`valign bench-replay`).
 //!
 //! ## Example: the headline measurement in five lines
 //!
@@ -33,8 +36,9 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod replay_bench;
 pub mod sim;
 pub mod workload;
 
-pub use sim::{BatchRunner, SimContext, SimJob, TraceKey, TraceSource, TraceStore};
+pub use sim::{BatchRunner, PreparedTrace, SimContext, SimJob, TraceKey, TraceSource, TraceStore};
 pub use workload::{trace_kernel, KernelId, Workload};

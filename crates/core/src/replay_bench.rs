@@ -1,0 +1,347 @@
+//! Replay-throughput benchmark: the packed [`ReplayImage`] hot path
+//! against the record-form reference walker, over the full fig8-style
+//! batch.
+//!
+//! The engine's work is *replaying* — every {kernel × variant} trace is
+//! generated once and then replayed across three machine configurations,
+//! warm-up plus measured pass each. This harness runs exactly that batch
+//! twice per repeat, once through [`Simulator::run_reference`] (the
+//! array-of-structs walk over `&[DynInstr]`, the pre-image engine) and
+//! once through [`Simulator::run_image`] (the packed structure-of-arrays
+//! walk), and reports simulated instructions per wall-second (MIPS) for
+//! both, per kernel and in total.
+//!
+//! Two invariants are checked on every run and recorded in the artifact:
+//!
+//! * **bit-identical** — each job's [`SimResult`] is `==` across the two
+//!   paths (the packed image is a lossless re-encoding, not an
+//!   approximation);
+//! * trace generation and image compilation happen *outside* every timed
+//!   region, so the numbers isolate replay throughput.
+//!
+//! `valign bench-replay` drives this module and writes the JSON artifact
+//! (`BENCH_replay.json`); `cargo bench -p valign-bench --bench replay`
+//! prints the human-readable report.
+
+use crate::sim::{PreparedTrace, TraceKey, TraceStore};
+use crate::workload::KernelId;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use valign_cache::RealignConfig;
+use valign_kernels::util::Variant;
+use valign_pipeline::{PipelineConfig, SimResult, Simulator};
+
+/// Wall time and derived throughput of one replay path over the batch.
+#[derive(Debug, Clone, Copy)]
+pub struct PathMeasure {
+    /// Best-of-repeats wall time of one full batch pass.
+    pub wall: Duration,
+    /// Simulated instructions per wall-second, in millions (MIPS).
+    pub mips: f64,
+}
+
+/// Per-kernel slice of the comparison.
+#[derive(Debug, Clone)]
+pub struct KernelMeasure {
+    /// Which kernel.
+    pub kernel: KernelId,
+    /// Simulated instructions per pass across this kernel's jobs
+    /// (3 configs × 3 variants, warm-up + measured replay each).
+    pub instructions: u64,
+    /// Reference-path wall over this kernel's jobs (from the best pass).
+    pub reference_wall: Duration,
+    /// Image-path wall over this kernel's jobs (from the best pass).
+    pub image_wall: Duration,
+}
+
+impl KernelMeasure {
+    /// Image-path speed-up over the reference path for this kernel.
+    pub fn speedup(&self) -> f64 {
+        self.reference_wall.as_secs_f64() / self.image_wall.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
+/// The full replay-throughput comparison.
+#[derive(Debug, Clone)]
+pub struct ReplayBench {
+    /// Kernel executions traced per kernel/variant.
+    pub execs: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Batch passes per path; walls are best-of-repeats.
+    pub repeats: usize,
+    /// Jobs per pass (kernels × configs × variants).
+    pub jobs: usize,
+    /// Simulated instructions per pass (each job replays its trace twice:
+    /// warm-up + measured).
+    pub instructions: u64,
+    /// The record-form reference path ([`Simulator::run_reference`]).
+    pub reference: PathMeasure,
+    /// The packed-image path ([`Simulator::run_image`]).
+    pub image: PathMeasure,
+    /// Whether every job's [`SimResult`] was `==` across the two paths.
+    pub bit_identical: bool,
+    /// Per-kernel breakdown, in [`KernelId::ALL`] order.
+    pub per_kernel: Vec<KernelMeasure>,
+}
+
+impl ReplayBench {
+    /// Image-path speed-up over the reference path for the whole batch.
+    pub fn speedup(&self) -> f64 {
+        self.reference.wall.as_secs_f64() / self.image.wall.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
+/// Which replay path one timed pass exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Path {
+    Reference,
+    Image,
+}
+
+/// One job of the fig8-style batch, with its trace prepared up front.
+struct BenchJob {
+    kernel_idx: usize,
+    cfg: PipelineConfig,
+    prepared: PreparedTrace,
+}
+
+/// Runs the comparison: the fig8-style batch (every kernel × Table II
+/// config at equal unaligned latency × variant, warm-up + measured replay
+/// each), `repeats` passes per path, walls best-of-repeats.
+pub fn run(execs: usize, seed: u64, repeats: usize) -> ReplayBench {
+    let repeats = repeats.max(1);
+    let store = TraceStore::new();
+    let configs: Vec<PipelineConfig> = PipelineConfig::table_ii()
+        .into_iter()
+        .map(|cfg| cfg.with_realign(RealignConfig::equal_latency()))
+        .collect();
+
+    // Generate and image every trace before any timing.
+    let mut jobs = Vec::with_capacity(KernelId::ALL.len() * configs.len() * Variant::ALL.len());
+    for (kernel_idx, &kernel) in KernelId::ALL.iter().enumerate() {
+        for cfg in &configs {
+            for &variant in Variant::ALL {
+                let prepared = store.prepared(TraceKey {
+                    kernel,
+                    variant,
+                    execs,
+                    seed,
+                });
+                jobs.push(BenchJob {
+                    kernel_idx,
+                    cfg: cfg.clone(),
+                    prepared,
+                });
+            }
+        }
+    }
+    let instructions: u64 = jobs.iter().map(|j| 2 * j.prepared.trace.len() as u64).sum();
+
+    let (ref_walls, ref_results) = best_pass(&jobs, repeats, Path::Reference);
+    let (img_walls, img_results) = best_pass(&jobs, repeats, Path::Image);
+    let bit_identical = ref_results == img_results;
+
+    let per_kernel = KernelId::ALL
+        .iter()
+        .enumerate()
+        .map(|(kernel_idx, &kernel)| KernelMeasure {
+            kernel,
+            instructions: jobs
+                .iter()
+                .filter(|j| j.kernel_idx == kernel_idx)
+                .map(|j| 2 * j.prepared.trace.len() as u64)
+                .sum(),
+            reference_wall: ref_walls[kernel_idx],
+            image_wall: img_walls[kernel_idx],
+        })
+        .collect();
+
+    let measure = |walls: &[Duration]| {
+        let wall: Duration = walls.iter().sum();
+        PathMeasure {
+            wall,
+            mips: instructions as f64 / wall.as_secs_f64().max(f64::EPSILON) / 1e6,
+        }
+    };
+    ReplayBench {
+        execs,
+        seed,
+        repeats,
+        jobs: jobs.len(),
+        instructions,
+        reference: measure(&ref_walls),
+        image: measure(&img_walls),
+        bit_identical,
+        per_kernel,
+    }
+}
+
+/// Runs `repeats` full passes of one path and keeps the per-kernel walls
+/// of the fastest pass (results are identical every pass — the engine is
+/// deterministic — so they are taken from the last one).
+fn best_pass(jobs: &[BenchJob], repeats: usize, path: Path) -> (Vec<Duration>, Vec<SimResult>) {
+    let mut best: Option<Vec<Duration>> = None;
+    let mut results = Vec::new();
+    for _ in 0..repeats {
+        let mut walls = vec![Duration::ZERO; KernelId::ALL.len()];
+        results.clear();
+        for job in jobs {
+            let started = Instant::now();
+            let mut sim = Simulator::new(job.cfg.clone());
+            let result = match path {
+                Path::Reference => {
+                    let _ = sim.run_reference(&job.prepared.trace);
+                    sim.run_reference(&job.prepared.trace)
+                }
+                Path::Image => {
+                    let _ = sim.run_image(&job.prepared.image);
+                    sim.run_image(&job.prepared.image)
+                }
+            };
+            walls[job.kernel_idx] += started.elapsed();
+            results.push(result);
+        }
+        let total: Duration = walls.iter().sum();
+        if best
+            .as_ref()
+            .is_none_or(|b| total < b.iter().sum::<Duration>())
+        {
+            best = Some(walls);
+        }
+    }
+    (best.expect("at least one pass"), results)
+}
+
+impl ReplayBench {
+    /// Renders the human-readable comparison table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "REPLAY THROUGHPUT: packed image vs record-form reference\n\
+             ({} executions, seed {}, {} jobs/pass, best of {} passes, \
+             {} simulated instructions/pass)\n",
+            self.execs, self.seed, self.jobs, self.repeats, self.instructions
+        );
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>12} {:>12} {:>9}",
+            "kernel", "instrs/pass", "ref wall", "image wall", "speedup"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(66));
+        for k in &self.per_kernel {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>12} {:>12.2?} {:>12.2?} {:>8.2}x",
+                k.kernel.label(),
+                k.instructions,
+                k.reference_wall,
+                k.image_wall,
+                k.speedup(),
+            );
+        }
+        let _ = writeln!(out, "{}", "-".repeat(66));
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12} {:>12.2?} {:>12.2?} {:>8.2}x",
+            "total",
+            self.instructions,
+            self.reference.wall,
+            self.image.wall,
+            self.speedup(),
+        );
+        let _ = writeln!(
+            out,
+            "\nreference: {:>8.2} MIPS\nimage:     {:>8.2} MIPS\nresults {}",
+            self.reference.mips,
+            self.image.mips,
+            if self.bit_identical {
+                "bit-identical across both paths"
+            } else {
+                "DIVERGED between paths"
+            },
+        );
+        out
+    }
+
+    /// Renders the machine-readable artifact (`BENCH_replay.json`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"bench\": \"replay_throughput\",");
+        let _ = writeln!(out, "  \"execs\": {},", self.execs);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"repeats\": {},", self.repeats);
+        let _ = writeln!(out, "  \"jobs_per_pass\": {},", self.jobs);
+        let _ = writeln!(out, "  \"instructions_per_pass\": {},", self.instructions);
+        let _ = writeln!(out, "  \"bit_identical\": {},", self.bit_identical);
+        let _ = writeln!(
+            out,
+            "  \"reference\": {{\"wall_secs\": {:.6}, \"mips\": {:.3}}},",
+            self.reference.wall.as_secs_f64(),
+            self.reference.mips
+        );
+        let _ = writeln!(
+            out,
+            "  \"image\": {{\"wall_secs\": {:.6}, \"mips\": {:.3}}},",
+            self.image.wall.as_secs_f64(),
+            self.image.mips
+        );
+        let _ = writeln!(out, "  \"speedup\": {:.3},", self.speedup());
+        out.push_str("  \"per_kernel\": [\n");
+        for (i, k) in self.per_kernel.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"kernel\": \"{}\", \"instructions_per_pass\": {}, \
+                 \"reference_wall_secs\": {:.6}, \"image_wall_secs\": {:.6}, \
+                 \"speedup\": {:.3}}}",
+                k.kernel.label(),
+                k.instructions,
+                k.reference_wall.as_secs_f64(),
+                k.image_wall.as_secs_f64(),
+                k.speedup(),
+            );
+            out.push_str(if i + 1 < self.per_kernel.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_is_bit_identical_and_wellformed() {
+        let b = run(3, 7, 1);
+        assert!(b.bit_identical, "paths diverged on the tiny batch");
+        assert_eq!(b.jobs, KernelId::ALL.len() * 9);
+        assert_eq!(b.per_kernel.len(), KernelId::ALL.len());
+        assert_eq!(
+            b.instructions,
+            b.per_kernel.iter().map(|k| k.instructions).sum::<u64>()
+        );
+        assert!(b.instructions > 0);
+        let json = b.render_json();
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.contains("\"speedup\""));
+        assert_eq!(json.matches("\"kernel\":").count(), KernelId::ALL.len());
+        let human = b.render();
+        assert!(human.contains("bit-identical"));
+        assert!(human.contains("MIPS"));
+    }
+
+    #[test]
+    fn repeats_are_clamped_to_at_least_one() {
+        let b = run(2, 1, 0);
+        assert_eq!(b.repeats, 1);
+        assert!(b.reference.wall > Duration::ZERO);
+        assert!(b.image.wall > Duration::ZERO);
+    }
+}

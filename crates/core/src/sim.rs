@@ -8,13 +8,18 @@
 //! structure explicit:
 //!
 //! * [`TraceStore`] — content-addressed cache keyed by
-//!   [`TraceKey`]`(kernel, variant, execs, seed)` holding `Arc<Trace>`-shared
-//!   immutable traces. Distinct keys trace in parallel; each key is traced
-//!   exactly once no matter how many jobs or threads request it.
+//!   [`TraceKey`]`(kernel, variant, execs, seed)` holding
+//!   [`PreparedTrace`]s: the `Arc<Trace>`-shared immutable trace *plus*
+//!   its packed [`ReplayImage`], compiled once right after tracing and
+//!   shared across every config and thread that replays the key. Distinct
+//!   keys trace in parallel; each key is traced (and imaged) exactly once
+//!   no matter how many jobs or threads request it.
 //! * [`SimJob`] / [`BatchRunner`] — a replay expressed as
 //!   `(trace source, PipelineConfig)` and executed on a scoped-thread
-//!   worker pool (std only). Results come back in submission order, so
-//!   batch output is bit-identical at any thread count.
+//!   worker pool (std only). Jobs are dispatched largest-estimated-trace
+//!   first so a big trace never lands last on an otherwise idle pool, but
+//!   results still come back in submission order, so batch output is
+//!   bit-identical at any thread count.
 //! * [`SimContext`] — bundles a store and a runner, and records per-batch
 //!   wall time for the summary scorecard.
 //!
@@ -31,7 +36,7 @@ use std::time::Duration;
 use std::time::Instant;
 use valign_isa::Trace;
 use valign_kernels::util::Variant;
-use valign_pipeline::{PipelineConfig, SimResult, Simulator};
+use valign_pipeline::{PipelineConfig, ReplayImage, SimResult, Simulator};
 
 /// Content address of a workload trace: everything `trace_kernel` takes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,6 +49,29 @@ pub struct TraceKey {
     pub execs: usize,
     /// Workload RNG seed.
     pub seed: u64,
+}
+
+/// A trace together with its packed replay image, ready to be replayed on
+/// any machine configuration.
+///
+/// The canonical [`Trace`] stays authoritative for everything that wants
+/// records (`valign-analyze`, trace statistics); the [`ReplayImage`] is
+/// the form the engine's hot loop actually iterates. Both are `Arc`-shared
+/// so cloning a `PreparedTrace` is two refcount bumps.
+#[derive(Debug, Clone)]
+pub struct PreparedTrace {
+    /// The canonical record-form trace.
+    pub trace: Arc<Trace>,
+    /// The packed structure-of-arrays replay form of the same trace.
+    pub image: Arc<ReplayImage>,
+}
+
+impl PreparedTrace {
+    /// Compiles `trace` into its replay image.
+    pub fn new(trace: Arc<Trace>) -> Self {
+        let image = ReplayImage::build(&trace).into_shared();
+        PreparedTrace { trace, image }
+    }
 }
 
 /// Counters describing how a [`TraceStore`] was used.
@@ -68,17 +96,22 @@ impl TraceStoreStats {
     }
 }
 
-/// Content-addressed store of immutable, `Arc`-shared workload traces.
+/// Content-addressed store of immutable, `Arc`-shared prepared traces
+/// (canonical trace + packed replay image).
 ///
 /// Thread-safe: the map lock is held only to find or create a key's cell,
-/// never while tracing, so distinct keys generate concurrently while a
-/// second requester of the same key blocks on that key's `OnceLock` and
-/// then shares the existing `Arc`.
+/// never while tracing or imaging, so distinct keys generate concurrently
+/// while a second requester of the same key blocks on that key's
+/// `OnceLock` and then shares the existing `Arc`s.
 #[derive(Debug, Default)]
 pub struct TraceStore {
-    entries: Mutex<HashMap<TraceKey, Arc<OnceLock<Arc<Trace>>>>>,
+    entries: Mutex<HashMap<TraceKey, Arc<OnceLock<PreparedTrace>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    // Running total of dynamic instructions across resident traces,
+    // bumped once per generated key so `stats()` never scans the map
+    // under its lock.
+    instructions: AtomicU64,
 }
 
 impl TraceStore {
@@ -90,15 +123,28 @@ impl TraceStore {
     /// The trace for `key`, generating it on first request. Repeated calls
     /// return clones of the same `Arc`.
     pub fn get(&self, key: TraceKey) -> Arc<Trace> {
+        self.prepared(key).trace
+    }
+
+    /// The prepared (trace + replay image) form of `key`, tracing and
+    /// compiling the image on first request. Repeated calls share the same
+    /// `Arc`s, so every machine configuration and worker thread replays
+    /// one image per key.
+    pub fn prepared(&self, key: TraceKey) -> PreparedTrace {
         let cell = {
             let mut map = self.entries.lock().expect("trace store poisoned");
             map.entry(key).or_default().clone()
         };
         let mut generated = false;
-        let trace = cell
+        let prepared = cell
             .get_or_init(|| {
                 generated = true;
-                trace_kernel(key.kernel, key.variant, key.execs, key.seed).into_shared()
+                let prepared = PreparedTrace::new(
+                    trace_kernel(key.kernel, key.variant, key.execs, key.seed).into_shared(),
+                );
+                self.instructions
+                    .fetch_add(prepared.trace.len() as u64, Ordering::Relaxed);
+                prepared
             })
             .clone();
         if generated {
@@ -106,22 +152,27 @@ impl TraceStore {
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        trace
+        prepared
+    }
+
+    /// Dynamic instruction count of `key`'s trace if it is resident, i.e.
+    /// already generated. Used by the batch runner to order dispatch by
+    /// estimated size without forcing generation.
+    pub fn resident_len(&self, key: TraceKey) -> Option<usize> {
+        let map = self.entries.lock().expect("trace store poisoned");
+        map.get(&key)
+            .and_then(|cell| cell.get())
+            .map(|p| p.trace.len())
     }
 
     /// Usage counters (hits, misses, residency).
     pub fn stats(&self) -> TraceStoreStats {
-        let map = self.entries.lock().expect("trace store poisoned");
-        let instructions = map
-            .values()
-            .filter_map(|cell| cell.get())
-            .map(|t| t.len() as u64)
-            .sum();
+        let entries = self.entries.lock().expect("trace store poisoned").len();
         TraceStoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: map.len(),
-            instructions,
+            entries,
+            instructions: self.instructions.load(Ordering::Relaxed),
         }
     }
 }
@@ -174,12 +225,28 @@ impl SimJob {
     }
 
     fn execute(&self, store: &TraceStore) -> SimResult {
-        let trace = match &self.source {
-            TraceSource::Key(key) => store.get(*key),
-            TraceSource::Shared(trace) => Arc::clone(trace),
+        let image = match &self.source {
+            TraceSource::Key(key) => store.prepared(*key).image,
+            // Shared traces bypass the store, so the image is compiled per
+            // job — they are the rare custom-program path, not the
+            // generate-once/replay-many batch path.
+            TraceSource::Shared(trace) => ReplayImage::build(trace).into_shared(),
         };
-        let warmup = self.warm.then_some(&*trace);
-        Simulator::simulate(self.cfg.clone(), warmup, &trace)
+        let warmup = self.warm.then_some(&*image);
+        Simulator::simulate_image(self.cfg.clone(), warmup, &image)
+    }
+
+    /// Estimated dynamic-instruction size of this job's trace, used only
+    /// to order dispatch (largest first). Exact for shared and resident
+    /// traces; for not-yet-generated keys the kernel execution count is a
+    /// monotone proxy.
+    fn size_estimate(&self, store: &TraceStore) -> u64 {
+        match &self.source {
+            TraceSource::Key(key) => store
+                .resident_len(*key)
+                .map_or(key.execs as u64, |len| len as u64),
+            TraceSource::Shared(trace) => trace.len() as u64,
+        }
     }
 }
 
@@ -204,19 +271,31 @@ impl BatchRunner {
     }
 
     /// Runs every job; `results[i]` corresponds to `jobs[i]`.
+    ///
+    /// On the parallel path jobs are *dispatched* largest-estimated-trace
+    /// first so a big trace never starts last on an otherwise draining
+    /// pool, but each result lands in its submission-order slot, so the
+    /// result vector is independent of dispatch order and thread count
+    /// (every job is a pure function of its inputs).
     pub fn run(&self, store: &TraceStore, jobs: &[SimJob]) -> Vec<SimResult> {
         if self.threads == 1 || jobs.len() <= 1 {
             return jobs.iter().map(|j| j.execute(store)).collect();
         }
+        // Stable sort on the (deterministic) size estimates keeps dispatch
+        // order itself deterministic: equal estimates stay in submission
+        // order.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        let estimates: Vec<u64> = jobs.iter().map(|j| j.size_estimate(store)).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(estimates[i]));
         let slots: Vec<OnceLock<SimResult>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(jobs.len()) {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { break };
+                    let rank = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = order.get(rank) else { break };
                     slots[i]
-                        .set(job.execute(store))
+                        .set(jobs[i].execute(store))
                         .expect("each slot is filled once");
                 });
             }
@@ -360,6 +439,32 @@ mod tests {
     }
 
     #[test]
+    fn prepared_shares_trace_and_image_across_lookups() {
+        let store = TraceStore::new();
+        let a = store.prepared(key(3));
+        let b = store.prepared(key(3));
+        assert!(Arc::ptr_eq(&a.trace, &b.trace));
+        assert!(Arc::ptr_eq(&a.image, &b.image), "one image per key");
+        assert_eq!(a.image.len(), a.trace.len());
+        // `get` shares the same trace Arc as `prepared`.
+        assert!(Arc::ptr_eq(&store.get(key(3)), &a.trace));
+    }
+
+    #[test]
+    fn stats_instruction_total_matches_resident_traces() {
+        let store = TraceStore::new();
+        let a = store.get(key(2));
+        let b = store.get(key(4));
+        assert_eq!(
+            store.stats().instructions,
+            (a.len() + b.len()) as u64,
+            "running total must equal a scan of resident traces"
+        );
+        assert_eq!(store.resident_len(key(2)), Some(a.len()));
+        assert_eq!(store.resident_len(key(9)), None, "never generated");
+    }
+
+    #[test]
     fn distinct_keys_are_distinct_traces() {
         let store = TraceStore::new();
         let a = store.get(key(2));
@@ -397,6 +502,29 @@ mod tests {
         let mut sorted = instr.clone();
         sorted.sort_unstable();
         assert_eq!(instr, sorted, "bigger execs must yield bigger traces");
+    }
+
+    #[test]
+    fn largest_first_dispatch_preserves_submission_order_results() {
+        // Submit smallest-first so largest-first dispatch inverts the
+        // execution order; results must still land by submission index,
+        // identically whether estimates come from execs (cold store) or
+        // resident lengths (warm store).
+        let jobs: Vec<SimJob> = (1..=6)
+            .map(|e| SimJob::keyed(key(e), PipelineConfig::four_way()))
+            .collect();
+        let cold = TraceStore::new();
+        let from_cold = BatchRunner::new(3).run(&cold, &jobs);
+        let warm = TraceStore::new();
+        for e in 1..=6 {
+            let _ = warm.get(key(e));
+        }
+        let from_warm = BatchRunner::new(3).run(&warm, &jobs);
+        assert_eq!(from_cold, from_warm);
+        let instr: Vec<u64> = from_cold.iter().map(|r| r.instructions).collect();
+        let mut sorted = instr.clone();
+        sorted.sort_unstable();
+        assert_eq!(instr, sorted, "results must be in submission order");
     }
 
     #[test]

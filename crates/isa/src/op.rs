@@ -207,6 +207,17 @@ opcodes! {
 }
 
 impl Opcode {
+    /// Number of opcodes in the ISA — the length of any dense per-opcode
+    /// array (latency tables, histograms).
+    pub const COUNT: usize = Opcode::ALL.len();
+
+    /// Dense index of this opcode in declaration order, so
+    /// `Opcode::ALL[op.index()] == op`. Fieldless enum, so this is the
+    /// discriminant; useful for `[T; Opcode::COUNT]` side tables.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// The execution unit that services this opcode.
     pub fn unit(self) -> Unit {
         self.class().unit()
@@ -434,6 +445,15 @@ mod tests {
         assert_eq!(total, Opcode::ALL.len());
         assert!(Opcode::in_class(InstrClass::VecLoad).any(|o| o == Opcode::Lvxu));
         assert!(Opcode::in_class(InstrClass::IntAlu).all(|o| !o.touches_memory()));
+    }
+
+    #[test]
+    fn index_is_position_in_all() {
+        assert_eq!(Opcode::COUNT, Opcode::ALL.len());
+        for (i, &op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i, "{op}");
+            assert_eq!(Opcode::ALL[op.index()], op);
+        }
     }
 
     #[test]

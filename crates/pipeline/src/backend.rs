@@ -6,8 +6,8 @@
 
 use crate::config::{IssuePolicy, PipelineConfig};
 use crate::frontend::CyclePacker;
+use crate::image::NO_DEF;
 use std::collections::VecDeque;
-use valign_isa::DynInstr;
 
 /// Pool of identical fully-pipelined unit instances.
 #[derive(Debug, Clone)]
@@ -92,12 +92,19 @@ impl Backend {
 
     /// Earliest cycle `idx` can issue given dispatch time, issue-queue
     /// back-pressure, operand readiness and (for in-order machines)
-    /// program order.
-    pub(crate) fn ready_at(&mut self, idx: usize, instr: &DynInstr, dispatch: u64) -> u64 {
+    /// program order. `defs` are the packed producer slots of the record
+    /// ([`NO_DEF`] marks an absent or external producer).
+    pub(crate) fn ready_at(
+        &mut self,
+        idx: usize,
+        is_branch: bool,
+        defs: &[u32; 3],
+        dispatch: u64,
+    ) -> u64 {
         let mut earliest = dispatch;
 
         // Issue-queue back-pressure.
-        let (queue, cap) = self.queue_mut(instr.op.is_branch());
+        let (queue, cap) = self.queue_mut(is_branch);
         if queue.len() == cap {
             let oldest_issue = queue.pop_front().expect("queue non-empty");
             earliest = earliest.max(oldest_issue);
@@ -106,7 +113,10 @@ impl Backend {
         // Operand readiness: true dataflow via producer indices (what the
         // renamed machine recovers); producers outside the in-flight window
         // completed long ago.
-        for def in instr.source_defs() {
+        for &def in defs {
+            if def == NO_DEF {
+                continue;
+            }
             let def = def as usize;
             if idx - def <= self.window {
                 earliest = earliest.max(self.complete_ring[def % self.window]);
@@ -119,18 +129,18 @@ impl Backend {
         earliest
     }
 
-    /// Books an instance of the instruction's execution unit.
-    pub(crate) fn acquire_unit(&mut self, instr: &DynInstr, earliest: u64) -> u64 {
-        self.units[instr.op.unit().index()].acquire(earliest)
+    /// Books an instance of the execution unit with dense index `unit`.
+    pub(crate) fn acquire_unit(&mut self, unit: usize, earliest: u64) -> u64 {
+        self.units[unit].acquire(earliest)
     }
 
     /// Records the final issue cycle (after D-cache port arbitration) in
     /// the issue queue and the in-order tracker.
-    pub(crate) fn note_issue(&mut self, instr: &DynInstr, issue_cycle: u64) {
+    pub(crate) fn note_issue(&mut self, is_branch: bool, issue_cycle: u64) {
         if self.in_order {
             self.last_issue = issue_cycle;
         }
-        let (queue, cap) = self.queue_mut(instr.op.is_branch());
+        let (queue, cap) = self.queue_mut(is_branch);
         if cap == 0 {
             return;
         }

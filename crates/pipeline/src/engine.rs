@@ -31,12 +31,13 @@
 use crate::backend::Backend;
 use crate::config::PipelineConfig;
 use crate::frontend::Frontend;
+use crate::image::{dst_file_of, flags, ReplayImage, NO_DEF};
 use crate::latency::LatencyTable;
 use crate::lsu::Lsu;
 use crate::predictor::BranchPredictor;
 use crate::result::SimResult;
 use valign_cache::{CacheConfig, Hierarchy, SetAssocCache};
-use valign_isa::{DynInstr, Trace, Unit};
+use valign_isa::{DynInstr, MemKind, Trace, Unit};
 
 /// The cycle-accurate simulator. Create one per run (it owns the cache and
 /// predictor state) and call [`Simulator::run`].
@@ -80,10 +81,124 @@ impl Simulator {
 
     /// Replays `trace` and returns the timing result.
     ///
+    /// Compiles the trace into a throw-away [`ReplayImage`] and replays
+    /// that; callers replaying the same trace more than once (warm-up +
+    /// measured, many configurations) should build the image once and use
+    /// [`Simulator::run_image`] directly — `valign-core`'s trace store
+    /// caches images for exactly this purpose.
+    ///
     /// Microarchitectural state (caches, predictor) persists across calls,
     /// so a warm-up run followed by a measured run models steady state.
     /// Per-replay stage state (queues, rings, packers) is rebuilt here.
     pub fn run(&mut self, trace: &Trace) -> SimResult {
+        self.run_image(&ReplayImage::build(trace))
+    }
+
+    /// Replays a packed [`ReplayImage`] and returns the timing result —
+    /// the engine's hot path. Bit-identical to
+    /// [`Simulator::run_reference`] on the image's source trace.
+    pub fn run_image(&mut self, image: &ReplayImage) -> SimResult {
+        let n = image.len();
+        let mut result = SimResult {
+            instructions: n as u64,
+            ..Default::default()
+        };
+        if n == 0 {
+            return result;
+        }
+
+        let mut frontend = Frontend::new(&self.cfg, &mut self.icache);
+        let mut backend = Backend::new(&self.cfg);
+        let mut lsu = Lsu::new(&self.cfg, &mut self.mem);
+
+        let ops = image.ops();
+        let units = image.units();
+        let flag_bytes = image.flags();
+        let sids = image.sids();
+        let src_defs = image.src_defs();
+        let mem_addrs = image.mem_addrs();
+        let mem_bytes = image.mem_bytes();
+        // The forward walk consumes the compact memory/branch side arrays
+        // in record order.
+        let mut mem_cursor = 0usize;
+        let mut branch_cursor = 0usize;
+
+        for idx in 0..n {
+            let f = flag_bytes[idx];
+
+            // ---- fetch ----
+            let fetch_cycle = frontend.fetch(
+                sids[idx].pc(),
+                image.dst_file(idx),
+                backend.window_floor(idx),
+            );
+
+            // ---- dispatch / issue readiness ----
+            let dispatch = frontend.dispatch_at(fetch_cycle);
+            let is_branch = f & flags::BRANCH != 0;
+            let earliest = backend.ready_at(idx, is_branch, &src_defs[idx], dispatch);
+
+            // ---- unit + ports ----
+            let mut issue_cycle = backend.acquire_unit(usize::from(units[idx]), earliest);
+            let touches_memory = f & flags::MEM != 0;
+            let kind = if f & flags::STORE != 0 {
+                MemKind::Store
+            } else {
+                MemKind::Load
+            };
+            if touches_memory {
+                issue_cycle = lsu.acquire_port(kind, issue_cycle);
+            }
+            backend.note_issue(is_branch, issue_cycle);
+
+            // ---- execute ----
+            let complete = if touches_memory {
+                let complete = lsu.execute_prepared(
+                    mem_addrs[mem_cursor],
+                    mem_bytes[mem_cursor],
+                    kind,
+                    f & flags::UNALIGNED != 0,
+                    image.mem_deps_at(mem_cursor),
+                    issue_cycle,
+                    &mut result,
+                );
+                mem_cursor += 1;
+                complete
+            } else {
+                let lat = self
+                    .lat
+                    .fixed(ops[idx])
+                    .unwrap_or_else(|| panic!("no fixed latency entry for {}", ops[idx]));
+                issue_cycle + u64::from(lat)
+            };
+
+            // ---- branch resolution ----
+            if is_branch {
+                let taken = image.branch_taken_bit(branch_cursor);
+                let unconditional = image.branch_uncond_bit(branch_cursor);
+                branch_cursor += 1;
+                let mispredicted = self.pred.access(sids[idx], taken, unconditional);
+                frontend.apply_branch(mispredicted, taken, complete);
+            }
+
+            // ---- retire ----
+            let retire_cycle = backend.retire(idx, complete);
+            frontend.release_dst(image.dst_file(idx), retire_cycle);
+        }
+
+        result.cycles = backend.last_retire();
+        result.predictor = self.pred.stats();
+        result.l1 = self.mem.l1_stats();
+        result.l2 = self.mem.l2_stats();
+        result
+    }
+
+    /// Replays `trace` record by record, straight off the AoS
+    /// [`DynInstr`] array — the pre-image walker, retained as the
+    /// reference implementation the packed path is equivalence-tested
+    /// (and benchmarked) against. Semantically identical to
+    /// [`Simulator::run`]; only the memory layout it walks differs.
+    pub fn run_reference(&mut self, trace: &Trace) -> SimResult {
         let n = trace.len();
         let mut result = SimResult {
             instructions: n as u64,
@@ -99,23 +214,41 @@ impl Simulator {
 
         for (idx, instr) in trace.iter().enumerate() {
             // ---- fetch ----
-            let fetch_cycle = frontend.fetch(instr, backend.window_floor(idx));
+            let fetch_cycle = frontend.fetch(
+                instr.sid.pc(),
+                dst_file_of(instr),
+                backend.window_floor(idx),
+            );
 
             // ---- dispatch / issue readiness ----
             let dispatch = frontend.dispatch_at(fetch_cycle);
-            let earliest = backend.ready_at(idx, instr, dispatch);
+            let is_branch = instr.op.is_branch();
+            let mut defs = [NO_DEF; 3];
+            for (slot, src) in defs.iter_mut().zip(instr.srcs.iter()) {
+                if let Some(d) = src.and_then(|s| s.def) {
+                    *slot = d;
+                }
+            }
+            let earliest = backend.ready_at(idx, is_branch, &defs, dispatch);
 
             // ---- unit + ports ----
-            let mut issue_cycle = backend.acquire_unit(instr, earliest);
+            let mut issue_cycle = backend.acquire_unit(instr.op.unit().index(), earliest);
             if instr.op.touches_memory() {
                 let kind = instr.mem.expect("memory op has a MemRef").kind;
                 issue_cycle = lsu.acquire_port(kind, issue_cycle);
             }
-            backend.note_issue(instr, issue_cycle);
+            backend.note_issue(is_branch, issue_cycle);
 
             // ---- execute ----
             let complete = if let Some(mem_ref) = instr.mem {
-                lsu.execute(instr, mem_ref, issue_cycle, &mut result)
+                lsu.execute(
+                    mem_ref.addr,
+                    mem_ref.bytes,
+                    mem_ref.kind,
+                    instr.is_unaligned_vector_access(),
+                    issue_cycle,
+                    &mut result,
+                )
             } else {
                 let lat = self
                     .lat
@@ -132,9 +265,7 @@ impl Simulator {
 
             // ---- retire ----
             let retire_cycle = backend.retire(idx, complete);
-            if let Some(dst) = instr.dst {
-                frontend.release_dst(dst, retire_cycle);
-            }
+            frontend.release_dst(dst_file_of(instr), retire_cycle);
         }
 
         result.cycles = backend.last_retire();
@@ -146,12 +277,39 @@ impl Simulator {
 
     /// Convenience: simulate `trace` on a fresh machine with `cfg`,
     /// optionally preceded by a warm-up replay of `warmup`.
+    ///
+    /// Each distinct trace is compiled to a [`ReplayImage`] once; when
+    /// `warmup` is the same trace (the common steady-state pattern) both
+    /// replays share one image.
     pub fn simulate(cfg: PipelineConfig, warmup: Option<&Trace>, trace: &Trace) -> SimResult {
+        let image = ReplayImage::build(trace);
+        let warm_image = warmup.map(|w| {
+            if std::ptr::eq(w, trace) {
+                None
+            } else {
+                Some(ReplayImage::build(w))
+            }
+        });
+        let mut sim = Simulator::new(cfg);
+        if let Some(w) = warm_image {
+            let _ = sim.run_image(w.as_ref().unwrap_or(&image));
+        }
+        sim.run_image(&image)
+    }
+
+    /// Convenience: simulate a prebuilt [`ReplayImage`] on a fresh machine
+    /// with `cfg`, optionally preceded by a warm-up replay — the
+    /// image-cached counterpart of [`Simulator::simulate`].
+    pub fn simulate_image(
+        cfg: PipelineConfig,
+        warmup: Option<&ReplayImage>,
+        image: &ReplayImage,
+    ) -> SimResult {
         let mut sim = Simulator::new(cfg);
         if let Some(w) = warmup {
-            let _ = sim.run(w);
+            let _ = sim.run_image(w);
         }
-        sim.run(trace)
+        sim.run_image(image)
     }
 }
 

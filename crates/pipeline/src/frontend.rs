@@ -7,9 +7,9 @@
 //! threads and rebuilt per run.
 
 use crate::config::PipelineConfig;
+use crate::image::DstFile;
 use std::collections::VecDeque;
 use valign_cache::SetAssocCache;
-use valign_isa::{DynInstr, Reg};
 
 /// Packs at most `width` events per cycle, advancing monotonically.
 #[derive(Debug, Clone)]
@@ -109,25 +109,24 @@ impl<'a> Frontend<'a> {
 
     /// Fetches one instruction: bounded by any pending redirect, the
     /// in-flight-window floor from the back end, rename-window pressure for
-    /// the destination register, and I-cache misses. Returns the fetch
-    /// cycle.
-    pub(crate) fn fetch(&mut self, instr: &DynInstr, window_floor: Option<u64>) -> u64 {
+    /// the destination register file, and I-cache misses. Returns the
+    /// fetch cycle.
+    pub(crate) fn fetch(&mut self, pc: u64, dst: DstFile, window_floor: Option<u64>) -> u64 {
         let mut min_fetch = self.redirect;
         if let Some(floor) = window_floor {
             min_fetch = min_fetch.max(floor);
         }
-        if let Some(dst) = instr.dst {
-            let file = match dst {
-                Reg::Gpr(_) => &mut self.gpr,
-                Reg::Vpr(_) => &mut self.vpr,
-            };
-            if let Some(freed) = file.constrain() {
-                min_fetch = min_fetch.max(freed);
-            }
+        let file = match dst {
+            DstFile::None => None,
+            DstFile::Gpr => Some(&mut self.gpr),
+            DstFile::Vpr => Some(&mut self.vpr),
+        };
+        if let Some(freed) = file.and_then(RenameWindow::constrain) {
+            min_fetch = min_fetch.max(freed);
         }
         // Instruction fetch through the I-cache: a miss on the line holding
         // this site stalls the fetch by the L2 latency.
-        if !self.icache.access(instr.sid.pc(), false) {
+        if !self.icache.access(pc, false) {
             min_fetch += self.l2_latency;
             self.fetch.break_group();
         }
@@ -151,11 +150,12 @@ impl<'a> Frontend<'a> {
     }
 
     /// Returns the destination's physical register to the free list once
-    /// the instruction retires.
-    pub(crate) fn release_dst(&mut self, dst: Reg, retire_cycle: u64) {
+    /// the instruction retires. No-op for records without a destination.
+    pub(crate) fn release_dst(&mut self, dst: DstFile, retire_cycle: u64) {
         let file = match dst {
-            Reg::Gpr(_) => &mut self.gpr,
-            Reg::Vpr(_) => &mut self.vpr,
+            DstFile::None => return,
+            DstFile::Gpr => &mut self.gpr,
+            DstFile::Vpr => &mut self.vpr,
         };
         file.release_at(retire_cycle);
     }

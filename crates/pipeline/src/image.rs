@@ -1,0 +1,651 @@
+//! Packed replay image of a trace: the structure-of-arrays form the
+//! cycle-accurate engine iterates.
+//!
+//! A recorded [`Trace`] is an array of ~80-byte [`DynInstr`] structs
+//! riddled with `Option`s — the right shape for *recording* (and for the
+//! `valign-analyze` rules, which want the full record), but a poor shape
+//! for *replaying*: the paper's methodology is generate once, replay many,
+//! so the replay loop runs over every trace once per
+//! {machine config × realignment latency} and its memory behaviour is the
+//! wall-clock of the whole evaluation.
+//!
+//! [`ReplayImage::build`] compiles a trace once into dense side arrays:
+//!
+//! * per-record **opcode**, **unit index** and **flag byte** (touches
+//!   memory / store / branch / has destination / destination file /
+//!   unaligned vector access) — everything the engine previously derived
+//!   per instruction through `Opcode` match chains or `Option` probing is
+//!   resolved at build time;
+//! * **source producer indices** packed into three fixed `u32` slots
+//!   ([`NO_DEF`] marks an absent or external producer), so operand
+//!   readiness needs no `Option` unwrapping;
+//! * **memory references** (`addr`, `bytes`) and **branch outcomes**
+//!   (taken / unconditional bitsets) in *compact* parallel arrays holding
+//!   one entry per memory/branch record, with per-record presence recorded
+//!   both in the flag byte and in word-packed presence bitsets
+//!   ([`ReplayImage::mem_mask`], [`ReplayImage::branch_mask`]). The
+//!   forward replay walk consumes the compact arrays through running
+//!   cursors; random access goes through a popcount rank over the masks;
+//! * **store-to-load dependences** pre-resolved per load: which of the
+//!   [`STORE_QUEUE_TRACK`] most recent stores overlap the load's byte
+//!   range is a pure function of the recorded addresses, so the image
+//!   computes it once at build time (as compact store-ordinal lists) and
+//!   the replay loop replaces the engine's per-load store-queue scan with
+//!   a lookup of the listed stores' completion cycles.
+//!
+//! The image carries **no timing** and **no configuration**: latencies
+//! are still resolved through the engine's [`crate::LatencyTable`] and the
+//! cache hierarchy, so one image (built once, `Arc`-shared) serves every
+//! machine configuration and worker thread. `valign-core`'s `TraceStore`
+//! caches the image alongside its `Arc<Trace>`.
+//!
+//! Invariants (established by `build`, relied on by the engine):
+//!
+//! * array lengths: `ops`, `units`, `flags`, `sids`, `src_defs` all equal
+//!   [`ReplayImage::len`]; `mem_addrs`/`mem_bytes` have one entry per set
+//!   bit of `mem_mask`; `branch_taken`/`branch_uncond` one bit per set bit
+//!   of `branch_mask`, in record order;
+//! * flag consistency: `STORE` implies `MEM`; `UNALIGNED` implies `MEM`
+//!   and an unaligned-capable opcode; `DST_VPR` implies `HAS_DST`;
+//! * `src_defs` slots are the recorded producer indices (`< len`) or
+//!   [`NO_DEF`], in the record's slot order;
+//! * `mem_dep_offsets` has `memory_records() + 1` entries; the `c`-th
+//!   memory record's dependence list is
+//!   `mem_deps[offsets[c]..offsets[c+1]]`, holding the ordinals (0-based
+//!   store count) of exactly the stores a [`crate::lsu`] store-queue scan
+//!   would find overlapping — loads only, within the trailing
+//!   [`STORE_QUEUE_TRACK`]-store window; stores have empty lists.
+
+use crate::lsu::{ranges_overlap, STORE_QUEUE_TRACK};
+use std::collections::VecDeque;
+use valign_isa::{DynInstr, MemKind, Opcode, StaticId, Trace};
+
+/// Sentinel producer index: the source slot is absent or its producer is
+/// outside the trace.
+pub const NO_DEF: u32 = u32::MAX;
+
+/// Per-record flag bits of a [`ReplayImage`].
+pub mod flags {
+    /// The record reads or writes memory.
+    pub const MEM: u8 = 1 << 0;
+    /// The memory access is a store (only meaningful with [`MEM`]).
+    pub const STORE: u8 = 1 << 1;
+    /// The record is a branch.
+    pub const BRANCH: u8 = 1 << 2;
+    /// The record writes a destination register.
+    pub const HAS_DST: u8 = 1 << 3;
+    /// The destination is a vector register (only with [`HAS_DST`]).
+    pub const DST_VPR: u8 = 1 << 4;
+    /// The record is a vector memory access to a non-16-byte-aligned
+    /// address (`lvxu`/`stvxu` with a non-zero quad offset).
+    pub const UNALIGNED: u8 = 1 << 5;
+}
+
+/// Which physical-register file a record's destination belongs to — the
+/// only thing the front end needs to know about a destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DstFile {
+    /// No destination register.
+    None,
+    /// Integer register file.
+    Gpr,
+    /// Vector register file.
+    Vpr,
+}
+
+/// One word-packed bitset over trace records (or over the compact
+/// memory/branch ordinals).
+fn set_bit(words: &mut [u64], i: usize) {
+    words[i >> 6] |= 1 << (i & 63);
+}
+
+fn get_bit(words: &[u64], i: usize) -> bool {
+    (words[i >> 6] >> (i & 63)) & 1 != 0
+}
+
+/// Number of set bits strictly below `i` — the compact-array slot of
+/// record `i` under a presence mask.
+fn rank(words: &[u64], i: usize) -> usize {
+    let full: usize = words[..i >> 6]
+        .iter()
+        .map(|w| w.count_ones() as usize)
+        .sum();
+    let partial = (words[i >> 6] & ((1u64 << (i & 63)) - 1)).count_ones() as usize;
+    full + partial
+}
+
+/// The packed, one-time-compiled replay form of a [`Trace`].
+///
+/// Built by [`ReplayImage::build`], immutable afterwards; see the
+/// [module documentation](self) for layout and invariants.
+#[derive(Debug, Clone)]
+pub struct ReplayImage {
+    len: usize,
+    /// Opcode per record (1 byte each) — latency lookups and display.
+    ops: Vec<Opcode>,
+    /// Execution-unit index per record (`Unit::index()` pre-resolved).
+    units: Vec<u8>,
+    /// Flag byte per record (see [`flags`]).
+    flags: Vec<u8>,
+    /// Static site per record (synthetic PC = `sid << 2`).
+    sids: Vec<StaticId>,
+    /// Producer index per source slot, [`NO_DEF`] when absent/external.
+    src_defs: Vec<[u32; 3]>,
+    /// Presence bitset over records: which records access memory.
+    mem_mask: Vec<u64>,
+    /// Presence bitset over records: which records are branches.
+    branch_mask: Vec<u64>,
+    /// Effective addresses, one per memory record, in record order.
+    mem_addrs: Vec<u64>,
+    /// Access widths, parallel to `mem_addrs`.
+    mem_bytes: Vec<u8>,
+    /// Taken bit per branch record, packed in branch-ordinal order.
+    branch_taken: Vec<u64>,
+    /// Unconditional bit per branch record, packed likewise.
+    branch_uncond: Vec<u64>,
+    /// Cumulative offsets into `mem_deps`, one per memory record plus a
+    /// trailing sentinel.
+    mem_dep_offsets: Vec<u32>,
+    /// Pre-resolved store-to-load dependences: ordinals of the recent
+    /// stores overlapping each load (see the module invariants).
+    mem_deps: Vec<u32>,
+}
+
+impl ReplayImage {
+    /// Compiles `trace` into its packed replay form. One forward pass;
+    /// call once per trace and share the result (`Arc`) across
+    /// configurations and threads.
+    pub fn build(trace: &Trace) -> ReplayImage {
+        let n = trace.len();
+        let mask_words = n.div_ceil(64).max(1);
+        let mut img = ReplayImage {
+            len: n,
+            ops: Vec::with_capacity(n),
+            units: Vec::with_capacity(n),
+            flags: Vec::with_capacity(n),
+            sids: Vec::with_capacity(n),
+            src_defs: Vec::with_capacity(n),
+            mem_mask: vec![0; mask_words],
+            branch_mask: vec![0; mask_words],
+            mem_addrs: Vec::new(),
+            mem_bytes: Vec::new(),
+            branch_taken: Vec::new(),
+            branch_uncond: Vec::new(),
+            mem_dep_offsets: Vec::new(),
+            mem_deps: Vec::new(),
+        };
+        let mut branches = 0usize;
+        // Trailing window of the last STORE_QUEUE_TRACK stores — the
+        // build-time mirror of the LSU's store queue: (addr, bytes,
+        // ordinal).
+        let mut recent_stores: VecDeque<(u64, u64, u32)> =
+            VecDeque::with_capacity(STORE_QUEUE_TRACK);
+        let mut stores_seen = 0u32;
+        for (idx, instr) in trace.iter().enumerate() {
+            let mut f = 0u8;
+            if let Some(mem) = instr.mem {
+                f |= flags::MEM;
+                img.mem_dep_offsets.push(img.mem_deps.len() as u32);
+                if mem.kind == MemKind::Store {
+                    f |= flags::STORE;
+                    if recent_stores.len() == STORE_QUEUE_TRACK {
+                        recent_stores.pop_front();
+                    }
+                    recent_stores.push_back((mem.addr, u64::from(mem.bytes), stores_seen));
+                    stores_seen += 1;
+                } else {
+                    for &(addr, bytes, ordinal) in &recent_stores {
+                        if ranges_overlap(addr, bytes, mem.addr, u64::from(mem.bytes)) {
+                            img.mem_deps.push(ordinal);
+                        }
+                    }
+                }
+                if instr.is_unaligned_vector_access() {
+                    f |= flags::UNALIGNED;
+                }
+                set_bit(&mut img.mem_mask, idx);
+                img.mem_addrs.push(mem.addr);
+                img.mem_bytes.push(mem.bytes);
+            }
+            if let Some(br) = instr.branch {
+                f |= flags::BRANCH;
+                set_bit(&mut img.branch_mask, idx);
+                if img.branch_taken.len() * 64 <= branches {
+                    img.branch_taken.push(0);
+                    img.branch_uncond.push(0);
+                }
+                if br.taken {
+                    set_bit(&mut img.branch_taken, branches);
+                }
+                if br.unconditional {
+                    set_bit(&mut img.branch_uncond, branches);
+                }
+                branches += 1;
+            }
+            match instr.dst {
+                Some(valign_isa::Reg::Gpr(_)) => f |= flags::HAS_DST,
+                Some(valign_isa::Reg::Vpr(_)) => f |= flags::HAS_DST | flags::DST_VPR,
+                None => {}
+            }
+            let mut defs = [NO_DEF; 3];
+            for (slot, src) in defs.iter_mut().zip(instr.srcs.iter()) {
+                if let Some(d) = src.and_then(|s| s.def) {
+                    *slot = d;
+                }
+            }
+            img.ops.push(instr.op);
+            img.units.push(instr.op.unit().index() as u8);
+            img.flags.push(f);
+            img.sids.push(instr.sid);
+            img.src_defs.push(defs);
+        }
+        img.mem_dep_offsets.push(img.mem_deps.len() as u32);
+        img
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of memory records (entries in the compact address array).
+    pub fn memory_records(&self) -> usize {
+        self.mem_addrs.len()
+    }
+
+    /// Number of branch records.
+    pub fn branch_records(&self) -> usize {
+        self.branch_mask
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Opcode of record `idx`.
+    pub fn op(&self, idx: usize) -> Opcode {
+        self.ops[idx]
+    }
+
+    /// Flag byte of record `idx` (see [`flags`]).
+    pub fn record_flags(&self, idx: usize) -> u8 {
+        self.flags[idx]
+    }
+
+    /// The memory access of record `idx`, if it has one: `(addr, bytes,
+    /// kind)`. Random access through a popcount rank over the presence
+    /// mask; the replay loop itself uses running cursors instead.
+    pub fn mem_ref_at(&self, idx: usize) -> Option<(u64, u8, MemKind)> {
+        if !get_bit(&self.mem_mask, idx) {
+            return None;
+        }
+        let slot = rank(&self.mem_mask, idx);
+        let kind = if self.flags[idx] & flags::STORE != 0 {
+            MemKind::Store
+        } else {
+            MemKind::Load
+        };
+        Some((self.mem_addrs[slot], self.mem_bytes[slot], kind))
+    }
+
+    /// The branch outcome of record `idx`, if it is a branch:
+    /// `(taken, unconditional)`.
+    pub fn branch_at(&self, idx: usize) -> Option<(bool, bool)> {
+        if !get_bit(&self.branch_mask, idx) {
+            return None;
+        }
+        let ord = rank(&self.branch_mask, idx);
+        Some((
+            get_bit(&self.branch_taken, ord),
+            get_bit(&self.branch_uncond, ord),
+        ))
+    }
+
+    /// Approximate heap footprint in bytes, for cache accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.ops.capacity()
+            + self.units.capacity()
+            + self.flags.capacity()
+            + self.sids.capacity() * std::mem::size_of::<StaticId>()
+            + self.src_defs.capacity() * std::mem::size_of::<[u32; 3]>()
+            + (self.mem_mask.capacity() + self.branch_mask.capacity()) * 8
+            + self.mem_addrs.capacity() * 8
+            + self.mem_bytes.capacity()
+            + (self.branch_taken.capacity() + self.branch_uncond.capacity()) * 8
+            + (self.mem_dep_offsets.capacity() + self.mem_deps.capacity()) * 4
+    }
+
+    /// Freezes the image behind an `Arc` for shared replay.
+    pub fn into_shared(self) -> std::sync::Arc<ReplayImage> {
+        std::sync::Arc::new(self)
+    }
+
+    // ---- crate-internal hot-path views -------------------------------
+
+    pub(crate) fn ops(&self) -> &[Opcode] {
+        &self.ops
+    }
+
+    pub(crate) fn units(&self) -> &[u8] {
+        &self.units
+    }
+
+    pub(crate) fn flags(&self) -> &[u8] {
+        &self.flags
+    }
+
+    pub(crate) fn sids(&self) -> &[StaticId] {
+        &self.sids
+    }
+
+    pub(crate) fn src_defs(&self) -> &[[u32; 3]] {
+        &self.src_defs
+    }
+
+    pub(crate) fn mem_addrs(&self) -> &[u64] {
+        &self.mem_addrs
+    }
+
+    pub(crate) fn mem_bytes(&self) -> &[u8] {
+        &self.mem_bytes
+    }
+
+    /// Pre-resolved store-to-load dependences of the `cursor`-th memory
+    /// record: ordinals of the overlapping recent stores (empty for
+    /// stores and dependence-free loads).
+    pub(crate) fn mem_deps_at(&self, cursor: usize) -> &[u32] {
+        let lo = self.mem_dep_offsets[cursor] as usize;
+        let hi = self.mem_dep_offsets[cursor + 1] as usize;
+        &self.mem_deps[lo..hi]
+    }
+
+    /// Taken bit of the `ord`-th branch record.
+    pub(crate) fn branch_taken_bit(&self, ord: usize) -> bool {
+        get_bit(&self.branch_taken, ord)
+    }
+
+    /// Unconditional bit of the `ord`-th branch record.
+    pub(crate) fn branch_uncond_bit(&self, ord: usize) -> bool {
+        get_bit(&self.branch_uncond, ord)
+    }
+
+    /// Destination register file of record `idx`, decoded from flags.
+    pub(crate) fn dst_file(&self, idx: usize) -> DstFile {
+        let f = self.flags[idx];
+        if f & flags::HAS_DST == 0 {
+            DstFile::None
+        } else if f & flags::DST_VPR != 0 {
+            DstFile::Vpr
+        } else {
+            DstFile::Gpr
+        }
+    }
+}
+
+/// Decodes the destination file straight from a recorded instruction —
+/// the reference walker's counterpart of [`ReplayImage::dst_file`].
+pub(crate) fn dst_file_of(instr: &DynInstr) -> DstFile {
+    match instr.dst {
+        None => DstFile::None,
+        Some(valign_isa::Reg::Gpr(_)) => DstFile::Gpr,
+        Some(valign_isa::Reg::Vpr(_)) => DstFile::Vpr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valign_isa::{BranchInfo, Gpr, MemRef, SrcRef, Vpr};
+
+    fn sid(n: u32) -> StaticId {
+        StaticId(n)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(DynInstr::alu(
+            Opcode::Li,
+            sid(1),
+            Some(Gpr::new(1).into()),
+            &[],
+        ));
+        t.push(DynInstr::mem(
+            Opcode::Lvxu,
+            sid(2),
+            Some(Vpr::new(0).into()),
+            &[SrcRef::produced_by(Gpr::new(1).into(), 0)],
+            MemRef {
+                addr: 0x1003,
+                bytes: 16,
+                kind: MemKind::Load,
+            },
+        ));
+        t.push(DynInstr::mem(
+            Opcode::Stw,
+            sid(3),
+            None,
+            &[SrcRef::produced_by(Gpr::new(1).into(), 0)],
+            MemRef {
+                addr: 0x2000,
+                bytes: 4,
+                kind: MemKind::Store,
+            },
+        ));
+        t.push(DynInstr::branch(
+            Opcode::Bc,
+            sid(4),
+            &[SrcRef::external(Gpr::new(2).into())],
+            BranchInfo {
+                taken: true,
+                target: sid(1),
+                unconditional: false,
+            },
+        ));
+        t
+    }
+
+    #[test]
+    fn build_packs_every_record_kind() {
+        let t = sample_trace();
+        let img = ReplayImage::build(&t);
+        assert_eq!(img.len(), 4);
+        assert!(!img.is_empty());
+        assert_eq!(img.memory_records(), 2);
+        assert_eq!(img.branch_records(), 1);
+
+        // ALU record: dst in GPR file, no mem, no branch.
+        assert_eq!(img.op(0), Opcode::Li);
+        assert_eq!(img.dst_file(0), DstFile::Gpr);
+        assert_eq!(img.mem_ref_at(0), None);
+        assert_eq!(img.branch_at(0), None);
+        assert_eq!(img.src_defs()[0], [NO_DEF; 3]);
+
+        // Unaligned vector load: MEM + UNALIGNED, VPR dst, producer 0.
+        let f = img.record_flags(1);
+        assert_ne!(f & flags::MEM, 0);
+        assert_eq!(f & flags::STORE, 0);
+        assert_ne!(f & flags::UNALIGNED, 0);
+        assert_eq!(img.dst_file(1), DstFile::Vpr);
+        assert_eq!(img.mem_ref_at(1), Some((0x1003, 16, MemKind::Load)));
+        assert_eq!(img.src_defs()[1], [0, NO_DEF, NO_DEF]);
+
+        // Aligned scalar store: MEM + STORE, no dst.
+        let f = img.record_flags(2);
+        assert_ne!(f & flags::STORE, 0);
+        assert_eq!(f & flags::UNALIGNED, 0);
+        assert_eq!(img.dst_file(2), DstFile::None);
+        assert_eq!(img.mem_ref_at(2), Some((0x2000, 4, MemKind::Store)));
+
+        // Branch record: taken, conditional.
+        assert_ne!(img.record_flags(3) & flags::BRANCH, 0);
+        assert_eq!(img.branch_at(3), Some((true, false)));
+        assert!(img.branch_taken_bit(0));
+        assert!(!img.branch_uncond_bit(0));
+    }
+
+    #[test]
+    fn image_agrees_with_trace_record_by_record() {
+        let t = sample_trace();
+        let img = ReplayImage::build(&t);
+        for (idx, instr) in t.iter().enumerate() {
+            assert_eq!(img.op(idx), instr.op);
+            assert_eq!(usize::from(img.units()[idx]), instr.op.unit().index());
+            assert_eq!(img.sids()[idx], instr.sid);
+            assert_eq!(
+                img.mem_ref_at(idx),
+                instr.mem.map(|m| (m.addr, m.bytes, m.kind))
+            );
+            assert_eq!(
+                img.branch_at(idx),
+                instr.branch.map(|b| (b.taken, b.unconditional))
+            );
+            assert_eq!(img.dst_file(idx), dst_file_of(instr));
+            let defs: Vec<u32> = img.src_defs()[idx]
+                .iter()
+                .copied()
+                .filter(|&d| d != NO_DEF)
+                .collect();
+            assert_eq!(defs, instr.source_defs().collect::<Vec<_>>());
+            assert_eq!(
+                instr.is_unaligned_vector_access(),
+                img.record_flags(idx) & flags::UNALIGNED != 0
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace_builds_empty_image() {
+        let img = ReplayImage::build(&Trace::new());
+        assert_eq!(img.len(), 0);
+        assert!(img.is_empty());
+        assert_eq!(img.memory_records(), 0);
+        assert_eq!(img.branch_records(), 0);
+        assert!(img.approx_bytes() < 64);
+    }
+
+    #[test]
+    fn rank_spans_word_boundaries() {
+        // >64 records so the presence masks span multiple words.
+        let mut t = Trace::new();
+        for i in 0..200u64 {
+            if i % 3 == 0 {
+                t.push(DynInstr::mem(
+                    Opcode::Lwz,
+                    sid(i as u32),
+                    Some(Gpr::new((i % 32) as u8).into()),
+                    &[],
+                    MemRef {
+                        addr: 0x1000 + i * 4,
+                        bytes: 4,
+                        kind: MemKind::Load,
+                    },
+                ));
+            } else {
+                t.push(DynInstr::alu(Opcode::Li, sid(i as u32), None, &[]));
+            }
+        }
+        let img = ReplayImage::build(&t);
+        let mut seen = 0usize;
+        for i in 0..200usize {
+            if i % 3 == 0 {
+                let (addr, bytes, kind) = img.mem_ref_at(i).expect("memory record");
+                assert_eq!(addr, 0x1000 + i as u64 * 4);
+                assert_eq!((bytes, kind), (4, MemKind::Load));
+                seen += 1;
+            } else {
+                assert_eq!(img.mem_ref_at(i), None);
+            }
+        }
+        assert_eq!(seen, img.memory_records());
+    }
+
+    #[test]
+    fn mem_deps_match_a_store_queue_scan() {
+        // Stores and loads over a small address range so overlaps are
+        // frequent, with enough stores to exercise window eviction.
+        let mut t = Trace::new();
+        for i in 0..400u64 {
+            let addr = 0x1000 + (i * 37) % 256;
+            if i % 3 != 0 {
+                t.push(DynInstr::mem(
+                    Opcode::Stw,
+                    sid(i as u32),
+                    None,
+                    &[],
+                    MemRef {
+                        addr,
+                        bytes: 4,
+                        kind: MemKind::Store,
+                    },
+                ));
+            } else {
+                t.push(DynInstr::mem(
+                    Opcode::Lwz,
+                    sid(i as u32),
+                    Some(Gpr::new((i % 32) as u8).into()),
+                    &[],
+                    MemRef {
+                        addr,
+                        bytes: 8,
+                        kind: MemKind::Load,
+                    },
+                ));
+            }
+        }
+        let img = ReplayImage::build(&t);
+        assert_eq!(img.mem_dep_offsets.len(), img.memory_records() + 1);
+
+        // Brute-force mirror of the LSU's store queue.
+        let mut queue: VecDeque<(u64, u64, u32)> = VecDeque::new();
+        let mut stores = 0u32;
+        let mut dep_total = 0usize;
+        for (cursor, instr) in t.iter().enumerate() {
+            let mem = instr.mem.expect("all records access memory");
+            if mem.kind == MemKind::Store {
+                assert!(img.mem_deps_at(cursor).is_empty(), "stores have no deps");
+                if queue.len() == STORE_QUEUE_TRACK {
+                    queue.pop_front();
+                }
+                queue.push_back((mem.addr, u64::from(mem.bytes), stores));
+                stores += 1;
+            } else {
+                let expect: Vec<u32> = queue
+                    .iter()
+                    .filter(|&&(a, b, _)| ranges_overlap(a, b, mem.addr, u64::from(mem.bytes)))
+                    .map(|&(_, _, ord)| ord)
+                    .collect();
+                assert_eq!(img.mem_deps_at(cursor), expect.as_slice());
+                dep_total += expect.len();
+            }
+        }
+        assert!(dep_total > 0, "the pattern must exercise real overlaps");
+        assert!(
+            stores as usize > STORE_QUEUE_TRACK,
+            "the pattern must exercise window eviction"
+        );
+    }
+
+    #[test]
+    fn image_is_much_smaller_than_the_trace() {
+        let mut t = Trace::new();
+        for i in 0..10_000u32 {
+            t.push(DynInstr::alu(
+                Opcode::Add,
+                sid(i % 64),
+                Some(Gpr::new((i % 32) as u8).into()),
+                &[SrcRef::external(Gpr::new(0).into())],
+            ));
+        }
+        let img = ReplayImage::build(&t);
+        assert!(
+            img.approx_bytes() * 2 < t.approx_bytes(),
+            "image {} vs trace {}",
+            img.approx_bytes(),
+            t.approx_bytes()
+        );
+    }
+}

@@ -34,9 +34,17 @@ pub enum Latency {
 /// Built complete by [`LatencyTable::for_config`]; entries can be removed
 /// (e.g. by analyzer tests seeding a coverage gap) and the absence is then
 /// observable through [`LatencyTable::get`] / [`LatencyTable::missing`].
+///
+/// Internally the mapping is kept twice: a dense
+/// `[Option<Latency>; Opcode::COUNT]` array indexed by [`Opcode::index`]
+/// — the O(1) lookup the replay loop resolves every ALU latency through —
+/// and an ordered map view for [`LatencyTable::missing`] and the analyze
+/// crate's introspection. Both views are kept in sync by construction and
+/// by [`LatencyTable::remove`].
 #[derive(Debug, Clone)]
 pub struct LatencyTable {
     config: &'static str,
+    dense: [Option<Latency>; Opcode::COUNT],
     entries: BTreeMap<Opcode, Latency>,
 }
 
@@ -45,6 +53,7 @@ impl LatencyTable {
     /// entry — fixed latencies from the opcode model, memory-resolved
     /// latencies annotated with the configuration's L1 hit cost.
     pub fn for_config(cfg: &PipelineConfig) -> Self {
+        let mut dense = [None; Opcode::COUNT];
         let entries = Opcode::ALL
             .iter()
             .map(|&op| {
@@ -54,11 +63,13 @@ impl LatencyTable {
                         l1_hit: cfg.memory.l1_latency,
                     },
                 };
+                dense[op.index()] = Some(lat);
                 (op, lat)
             })
             .collect();
         LatencyTable {
             config: cfg.name,
+            dense,
             entries,
         }
     }
@@ -68,9 +79,9 @@ impl LatencyTable {
         self.config
     }
 
-    /// The entry for `op`, if present.
+    /// The entry for `op`, if present. Dense-array lookup.
     pub fn get(&self, op: Opcode) -> Option<Latency> {
-        self.entries.get(&op).copied()
+        self.dense[op.index()]
     }
 
     /// The fixed execute latency of `op`, if its entry is fixed.
@@ -82,8 +93,10 @@ impl LatencyTable {
     }
 
     /// Removes the entry for `op`, returning it. Used by analyzer tests to
-    /// seed a coverage gap and prove the completeness rule fires.
+    /// seed a coverage gap and prove the completeness rule fires. Keeps
+    /// the dense array and the map view in sync.
     pub fn remove(&mut self, op: Opcode) -> Option<Latency> {
+        self.dense[op.index()] = None;
         self.entries.remove(&op)
     }
 

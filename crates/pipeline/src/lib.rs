@@ -10,7 +10,10 @@
 //!   windows, issue queues and D-cache ports;
 //! * a gshare + BTB branch predictor;
 //! * the `valign-cache` memory hierarchy, including the realignment
-//!   network latency for the paper's unaligned `lvxu`/`stvxu` accesses.
+//!   network latency for the paper's unaligned `lvxu`/`stvxu` accesses;
+//! * a packed structure-of-arrays [`ReplayImage`] (see [`image`]) that a
+//!   trace is compiled into once and replayed from many times — the
+//!   generate-once / replay-many hot path of the whole evaluation.
 //!
 //! ## Example
 //!
@@ -40,6 +43,7 @@ mod backend;
 pub mod config;
 pub mod engine;
 mod frontend;
+pub mod image;
 pub mod latency;
 mod lsu;
 pub mod predictor;
@@ -47,6 +51,7 @@ pub mod result;
 
 pub use config::{IssuePolicy, PipelineConfig};
 pub use engine::{memory_ops, unit_histogram, Simulator};
+pub use image::ReplayImage;
 pub use latency::{Latency, LatencyTable};
 pub use lsu::{ranges_overlap, STORE_QUEUE_TRACK};
 pub use predictor::{BranchPredictor, PredictorStats};

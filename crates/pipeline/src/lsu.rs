@@ -10,7 +10,7 @@ use crate::config::PipelineConfig;
 use crate::result::SimResult;
 use std::collections::VecDeque;
 use valign_cache::{BankScheme, Hierarchy, RealignConfig};
-use valign_isa::{DynInstr, MemKind, MemRef};
+use valign_isa::MemKind;
 
 #[derive(Debug, Clone, Copy)]
 struct PendingStore {
@@ -32,6 +32,12 @@ pub(crate) struct Lsu<'a> {
     read_ports: UnitPool,
     write_ports: UnitPool,
     store_queue: VecDeque<PendingStore>,
+    // Completion cycles of the last STORE_QUEUE_TRACK stores, indexed by
+    // store ordinal modulo the window — the image path's counterpart of
+    // `store_queue`, addressed through the image's pre-resolved
+    // dependence lists instead of scanned.
+    store_ring: [u64; STORE_QUEUE_TRACK],
+    stores_seen: usize,
     miss_queue: Vec<u64>,
     miss_cap: usize,
     banks: BankScheme,
@@ -47,6 +53,8 @@ impl<'a> Lsu<'a> {
             read_ports: UnitPool::new(cfg.dcache_read_ports),
             write_ports: UnitPool::new(cfg.dcache_write_ports),
             store_queue: VecDeque::with_capacity(STORE_QUEUE_TRACK),
+            store_ring: [0; STORE_QUEUE_TRACK],
+            stores_seen: 0,
             miss_queue: Vec::with_capacity(miss_cap),
             miss_cap,
             banks: cfg.realign.banks,
@@ -66,30 +74,95 @@ impl<'a> Lsu<'a> {
 
     /// Executes one memory access issued at `issue_cycle`; returns its
     /// completion cycle and accumulates penalty statistics into `result`.
+    /// `unaligned` is the record's precomputed unaligned-vector-access
+    /// flag (unaligned-capable opcode with a non-zero quad offset).
+    ///
+    /// Store-to-load ordering scans the store queue per load — the
+    /// reference-path behaviour. The image path uses
+    /// [`Lsu::execute_prepared`] instead.
     pub(crate) fn execute(
         &mut self,
-        instr: &DynInstr,
-        mem_ref: MemRef,
+        addr: u64,
+        bytes: u8,
+        kind: MemKind,
+        unaligned: bool,
         issue_cycle: u64,
         result: &mut SimResult,
     ) -> u64 {
         let mut start = issue_cycle;
+        let is_store = kind == MemKind::Store;
 
         // Store-to-load ordering through the store queue.
-        if mem_ref.kind == MemKind::Load {
+        if !is_store {
             for st in self.store_queue.iter() {
-                if ranges_overlap(st.addr, st.bytes, mem_ref.addr, u64::from(mem_ref.bytes)) {
+                if ranges_overlap(st.addr, st.bytes, addr, u64::from(bytes)) {
                     start = start.max(st.complete);
                 }
             }
         }
 
-        let outcome = self.mem.access(
-            mem_ref.addr,
-            u32::from(mem_ref.bytes),
-            mem_ref.kind == MemKind::Store,
-            self.banks,
-        );
+        let complete = self.access(addr, bytes, is_store, unaligned, start, result);
+        if is_store {
+            if self.store_queue.len() == STORE_QUEUE_TRACK {
+                self.store_queue.pop_front();
+            }
+            self.store_queue.push_back(PendingStore {
+                addr,
+                bytes: u64::from(bytes),
+                complete,
+            });
+        }
+        complete
+    }
+
+    /// [`Lsu::execute`] with the store-queue scan replaced by the replay
+    /// image's pre-resolved dependence list: `deps` holds the ordinals of
+    /// exactly the stores a scan would find overlapping, so ordering is a
+    /// direct lookup of their completion cycles in the store ring.
+    /// Bit-identical to `execute` on the same access sequence.
+    // One argument over the clippy limit: the parameters are the decoded
+    // fields of one memory record plus its dependence list, and bundling
+    // them into a struct would just rebuild the record the image unpacked.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn execute_prepared(
+        &mut self,
+        addr: u64,
+        bytes: u8,
+        kind: MemKind,
+        unaligned: bool,
+        deps: &[u32],
+        issue_cycle: u64,
+        result: &mut SimResult,
+    ) -> u64 {
+        let mut start = issue_cycle;
+        let is_store = kind == MemKind::Store;
+
+        for &ordinal in deps {
+            start = start.max(self.store_ring[ordinal as usize % STORE_QUEUE_TRACK]);
+        }
+
+        let complete = self.access(addr, bytes, is_store, unaligned, start, result);
+        if is_store {
+            self.store_ring[self.stores_seen % STORE_QUEUE_TRACK] = complete;
+            self.stores_seen += 1;
+        }
+        complete
+    }
+
+    /// The ordering-independent tail shared by both execute paths:
+    /// hierarchy access, bounded miss queue, realignment penalty.
+    fn access(
+        &mut self,
+        addr: u64,
+        bytes: u8,
+        is_store: bool,
+        unaligned: bool,
+        mut start: u64,
+        result: &mut SimResult,
+    ) -> u64 {
+        let outcome = self
+            .mem
+            .access(addr, u32::from(bytes), is_store, self.banks);
         if outcome.split {
             result.split_accesses += 1;
         }
@@ -110,13 +183,9 @@ impl<'a> Lsu<'a> {
         }
 
         // Realignment-network penalty for unaligned vector access.
-        let unaligned = instr.is_unaligned_vector_access();
-        let penalty = self.realign.penalty(
-            unaligned,
-            mem_ref.kind == MemKind::Store,
-            outcome.split,
-            self.l1_latency,
-        );
+        let penalty = self
+            .realign
+            .penalty(unaligned, is_store, outcome.split, self.l1_latency);
         if unaligned {
             result.unaligned_accesses += 1;
             result.realign_penalty_cycles += u64::from(penalty);
@@ -125,16 +194,6 @@ impl<'a> Lsu<'a> {
         let complete = start + u64::from(outcome.latency + penalty);
         if !outcome.l1_hit {
             self.miss_queue.push(complete);
-        }
-        if mem_ref.kind == MemKind::Store {
-            if self.store_queue.len() == STORE_QUEUE_TRACK {
-                self.store_queue.pop_front();
-            }
-            self.store_queue.push_back(PendingStore {
-                addr: mem_ref.addr,
-                bytes: u64::from(mem_ref.bytes),
-                complete,
-            });
         }
         complete
     }

@@ -6,7 +6,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use valign_cache::RealignConfig;
 use valign_isa::Trace;
-use valign_pipeline::{IssuePolicy, PipelineConfig, Simulator};
+use valign_pipeline::{IssuePolicy, PipelineConfig, ReplayImage, Simulator};
 use valign_vm::{Scalar, Vm};
 
 /// Generates a random but well-formed program: ALU work, loads/stores
@@ -152,6 +152,26 @@ proptest! {
         let a = Simulator::simulate(PipelineConfig::eight_way(), Some(&t), &t);
         let b = Simulator::simulate(PipelineConfig::eight_way(), Some(&t), &t);
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn image_replay_is_bit_identical_to_reference(seed in 0u64..5000) {
+        // The packed image is a lossless re-encoding: on arbitrary
+        // programs (ALU chains, overlapping loads/stores, unaligned
+        // vector accesses, loop branches) the image walk and the
+        // record-form reference walk produce equal results on every
+        // configuration, cold and warm.
+        let t = random_trace(seed, 400);
+        let image = ReplayImage::build(&t);
+        for cfg in PipelineConfig::table_ii() {
+            let mut reference = Simulator::new(cfg.clone());
+            let mut packed = Simulator::new(cfg.clone());
+            for pass in 0..2 {
+                let r = reference.run_reference(&t);
+                let i = packed.run_image(&image);
+                prop_assert_eq!(r, i, "{} pass {}", cfg.name, pass);
+            }
+        }
     }
 
     #[test]

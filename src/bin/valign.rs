@@ -3,6 +3,7 @@
 //! ```text
 //! valign table1|table2|table3|fig4|fig8|fig9|fig10|all [--execs N] [--seed S] [--threads T]
 //! valign lint [--json] [--kernel K --variant V | --all] [--execs N] [--seed S]
+//! valign bench-replay [--quick] [--execs N] [--seed S] [--repeats R] [--out PATH]
 //! ```
 //!
 //! Each experiment subcommand prints the corresponding table/figure of
@@ -17,9 +18,16 @@
 //! `lint` runs the `valign-analyze` static checks over recorded traces
 //! and the pipeline latency tables, and exits 1 on any ERROR diagnostic —
 //! the trace gate CI enforces.
+//!
+//! `bench-replay` measures replay throughput of the packed replay-image
+//! hot path against the record-form reference walker over the full
+//! fig8-style batch, asserts the two produce bit-identical results, and
+//! writes the JSON artifact (default `BENCH_replay.json`). `--quick`
+//! drops to a small batch for CI smoke runs.
 
 use valign::analyze::{lint_all, lint_kernel, LintOptions};
 use valign::core::experiments::{fig10, fig4, fig8, fig9, table1, table2, table3};
+use valign::core::replay_bench;
 use valign::core::workload::KernelId;
 use valign::core::SimContext;
 use valign::kernels::util::Variant;
@@ -32,6 +40,9 @@ struct Options {
     json: bool,
     kernel: Option<String>,
     variant: Option<String>,
+    repeats: usize,
+    quick: bool,
+    out: Option<String>,
 }
 
 fn parse_args() -> (String, Options) {
@@ -44,10 +55,27 @@ fn parse_args() -> (String, Options) {
         json: false,
         kernel: None,
         variant: None,
+        repeats: 3,
+        quick: false,
+        out: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--json" => opts.json = true,
+            "--quick" => opts.quick = true,
+            "--out" => {
+                opts.out = Some(args.next().unwrap_or_else(|| usage("--out needs a value")));
+            }
+            "--repeats" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--repeats needs a value"));
+                opts.repeats = v
+                    .parse()
+                    .ok()
+                    .filter(|&r| r > 0)
+                    .unwrap_or_else(|| usage("--repeats must be a positive number"));
+            }
             "--all" => {
                 opts.kernel = None;
                 opts.variant = None;
@@ -100,9 +128,34 @@ fn usage(err: &str) -> ! {
         "usage: valign <table1|table2|table3|fig4|fig8|fig9|fig10|all> \
          [--execs N] [--seed S] [--threads T]\n       \
          valign lint [--json] [--kernel K --variant V | --all] \
-         [--execs N] [--seed S]"
+         [--execs N] [--seed S]\n       \
+         valign bench-replay [--quick] [--execs N] [--seed S] \
+         [--repeats R] [--out PATH]"
     );
     std::process::exit(2);
+}
+
+/// Runs `valign bench-replay`: the replay-throughput comparison. Exits 1
+/// if the packed and reference paths ever diverge.
+fn run_bench_replay(o: &Options) -> ! {
+    let (execs, repeats) = if o.quick {
+        (o.execs.clamp(2, 20), 1)
+    } else {
+        (o.execs.max(2), o.repeats)
+    };
+    let bench = replay_bench::run(execs, o.seed, repeats);
+    print!("{}", bench.render());
+    let path = o.out.as_deref().unwrap_or("BENCH_replay.json");
+    if let Err(e) = std::fs::write(path, bench.render_json()) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {path}");
+    if !bench.bit_identical {
+        eprintln!("error: packed-image replay diverged from the reference walker");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 /// Runs `valign lint`: exits 0 when the gate passes (zero ERROR
@@ -152,6 +205,9 @@ fn run_one(ctx: &SimContext, cmd: &str, o: &Options) {
 
 fn main() {
     let (cmd, opts) = parse_args();
+    if cmd == "bench-replay" {
+        run_bench_replay(&opts);
+    }
     let ctx = SimContext::new(opts.threads);
     if cmd == "lint" {
         run_lint(&ctx, &opts);
