@@ -53,7 +53,11 @@ pub fn check(ctx: &TraceCtx<'_>) -> Vec<Diagnostic> {
                     bytes,
                     seq: stores.len(),
                 };
-                for b in mem.addr..mem.addr + bytes {
+                // Offset-based walk: `mem.addr + bytes` would wrap for
+                // addresses near the top of the space (the same overflow
+                // `ranges_overlap` guards against); bytes past u64::MAX do
+                // not exist and are skipped.
+                for b in (0..bytes).filter_map(|o| mem.addr.checked_add(o)) {
                     owner.insert(b, stores.len());
                 }
                 stores.push(rec);
@@ -61,7 +65,7 @@ pub fn check(ctx: &TraceCtx<'_>) -> Vec<Diagnostic> {
             MemKind::Load => {
                 let mut sources: Vec<usize> = Vec::new();
                 let mut unowned = 0u64;
-                for b in mem.addr..mem.addr + bytes {
+                for b in (0..bytes).filter_map(|o| mem.addr.checked_add(o)) {
                     match owner.get(&b) {
                         Some(&rec) if sources.last() == Some(&rec) => {}
                         Some(&rec) => sources.push(rec),

@@ -6,17 +6,21 @@
 //! all and applies the per-rule warning cap.
 
 pub mod alignment;
+pub mod conservation;
 pub mod defuse;
 pub mod latency;
 pub mod memdep;
 pub mod wellformed;
 
 /// Stable names of all rules, in the order [`crate::analyze_trace`] runs
-/// them.
+/// them. The conservation rule runs last and only on traces the earlier
+/// rules passed without an ERROR (it replays the trace, which a malformed
+/// trace could crash).
 pub const ALL_RULES: &[&str] = &[
     wellformed::RULE,
     alignment::RULE,
     defuse::RULE,
     memdep::RULE,
     latency::RULE,
+    conservation::RULE,
 ];

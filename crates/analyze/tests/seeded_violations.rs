@@ -440,6 +440,41 @@ fn warnings_are_capped_with_a_suppression_summary() {
     assert!(summary[0].message.contains("15 further"));
 }
 
+// ------------------------------------------------------------ conservation
+
+#[test]
+fn conservation_rule_is_skipped_on_structurally_broken_traces() {
+    // A forward def reference is a structural ERROR; the conservation rule
+    // replays the trace and would crash on it, so analyze_trace must gate
+    // it off rather than run it.
+    let mut t = Trace::new();
+    let mut i = load(Opcode::Lwz, 64, 4, g(1));
+    i.srcs[0] = Some(SrcRef {
+        reg: g(2),
+        def: Some(7), // producer in the future
+    });
+    t.push(i);
+    let diags = analyze(&t, Variant::Scalar);
+    assert!(!errors_of(&diags, "register-def-use").is_empty());
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.rule != valign_analyze::rules::conservation::RULE),
+        "conservation rule must not run on a trace with structural errors"
+    );
+}
+
+#[test]
+fn conservation_rule_runs_clean_on_well_formed_traces() {
+    let trace = trace_kernel(KernelId::Idct4x4, Variant::Unaligned, 4, 7);
+    let ctx = TraceCtx::new(&trace, "idct4x4", Variant::Unaligned, None);
+    let diags = analyze_trace(&ctx, &table_ii_latency_tables());
+    assert!(
+        errors_of(&diags, valign_analyze::rules::conservation::RULE).is_empty(),
+        "{diags:?}"
+    );
+}
+
 // -------------------------------------------------------------- clean pass
 
 #[test]

@@ -6,7 +6,8 @@ use valign_core::SimContext;
 fn main() {
     let execs = valign_bench::execs(100);
     let ctx = SimContext::new(valign_bench::threads());
-    let f = valign_core::experiments::fig10::run_with(&ctx, execs, 2, valign_bench::SEED);
+    let f = valign_core::experiments::fig10::run_with(&ctx, execs, 2, valign_bench::SEED)
+        .expect("fig10 replays are non-empty at bench scale");
     println!("{}", f.render());
     println!("{}", ctx.scorecard());
 }

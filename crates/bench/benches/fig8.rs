@@ -6,7 +6,8 @@ use valign_core::SimContext;
 fn main() {
     let execs = valign_bench::execs(200);
     let ctx = SimContext::new(valign_bench::threads());
-    let f = valign_core::experiments::fig8::run_with(&ctx, execs, valign_bench::SEED);
+    let f = valign_core::experiments::fig8::run_with(&ctx, execs, valign_bench::SEED)
+        .expect("fig8 replays are non-empty at bench scale");
     println!("{}", f.render());
     println!("{}", ctx.scorecard());
 }

@@ -49,7 +49,7 @@ fn main() {
     println!("\n2. SAD permute elimination (paper: ~95%): measured {perm_drop:.1}%");
 
     // --- Claim 3: kernel speed-ups from unaligned support. ---
-    let f8 = fig8::run_with(&ctx, n, SEED);
+    let f8 = fig8::run_with(&ctx, n, SEED).expect("fig8 replays are non-empty at bench scale");
     println!("\n3. Kernel speed-up from unaligned support at equal latency, 4-way");
     println!("   (paper: up to 3.8x on luma 4x4; 1.06-1.09x on IDCT):");
     for k in [
@@ -64,7 +64,7 @@ fn main() {
     }
 
     // --- Claim 4: latency tolerance and the SAD16 crossing. ---
-    let f9 = fig9::run_with(&ctx, n, SEED);
+    let f9 = fig9::run_with(&ctx, n, SEED).expect("fig9 replays are non-empty at bench scale");
     println!("\n4. Latency sensitivity (paper: gains survive moderate extra latency;");
     println!("   only SAD 16x16 drops below plain Altivec):");
     for k in [
@@ -106,7 +106,8 @@ fn main() {
     println!("   speed-up with respect to the original Altivec version\").");
 
     // --- Claim 6: application-level impact. ---
-    let f10 = fig10::run_with(&ctx, (n / 2).max(4), 1, SEED);
+    let f10 = fig10::run_with(&ctx, (n / 2).max(4), 1, SEED)
+        .expect("fig10 replays are non-empty at bench scale");
     println!("\n6. Whole-decoder speed-ups (paper: altivec 1.2x over scalar, unaligned");
     println!("   1.49x over scalar; riverbed benefits least):");
     println!(

@@ -13,6 +13,7 @@
 //!    (MotionComp, Inv.Transform, Deb.Filter, CABAC, VideoOut, OS,
 //!    Others) and the application-level speed-ups.
 
+use super::ExperimentError;
 use crate::sim::{SimContext, SimJob, TraceKey};
 use crate::workload::KernelId;
 use std::collections::HashMap;
@@ -25,7 +26,7 @@ use valign_h264::plane::Resolution;
 use valign_h264::synth::{plan_frame, Sequence};
 use valign_h264::BlockSize;
 use valign_kernels::util::Variant;
-use valign_pipeline::PipelineConfig;
+use valign_pipeline::{Bucket, PipelineConfig, StallBreakdown};
 
 /// Nominal clock of the modelled machine (PowerPC 970-class, 2 GHz).
 pub const CLOCK_HZ: f64 = 2.0e9;
@@ -39,6 +40,11 @@ pub struct VariantCosts {
     pub variant: Variant,
     /// Composable cost table.
     pub kernels: KernelCycleCosts,
+    /// Aggregate cycle attribution over the cost-kernel replays.
+    pub attribution: StallBreakdown,
+    /// Total cycles across the cost-kernel replays (the attribution's
+    /// conservation denominator).
+    pub attribution_cycles: u64,
 }
 
 /// Kernels whose per-call costs feed the decoder composition, in the
@@ -54,13 +60,17 @@ const COST_KERNELS: [KernelId; 7] = [
 ];
 
 /// Measures per-call kernel cycle costs for every variant.
-pub fn measure_kernel_costs(execs: usize, seed: u64) -> Vec<VariantCosts> {
+pub fn measure_kernel_costs(execs: usize, seed: u64) -> Result<Vec<VariantCosts>, ExperimentError> {
     measure_kernel_costs_with(&SimContext::new(1), execs, seed)
 }
 
 /// Measures per-call kernel cycle costs for every variant as one batch
 /// (variant-major, [`COST_KERNELS`] order) on a shared context.
-pub fn measure_kernel_costs_with(ctx: &SimContext, execs: usize, seed: u64) -> Vec<VariantCosts> {
+pub fn measure_kernel_costs_with(
+    ctx: &SimContext,
+    execs: usize,
+    seed: u64,
+) -> Result<Vec<VariantCosts>, ExperimentError> {
     let cfg = PipelineConfig::four_way().with_realign(RealignConfig::proposed());
     let jobs: Vec<SimJob> = Variant::ALL
         .iter()
@@ -79,8 +89,19 @@ pub fn measure_kernel_costs_with(ctx: &SimContext, execs: usize, seed: u64) -> V
         .iter()
         .zip(results.chunks_exact(COST_KERNELS.len()))
         .map(|(&variant, chunk)| {
+            let mut attribution = StallBreakdown::default();
+            let mut attribution_cycles = 0u64;
+            for (r, &kernel) in chunk.iter().zip(COST_KERNELS.iter()) {
+                if r.cycles == 0 {
+                    return Err(ExperimentError::EmptyReplay {
+                        context: format!("fig10 {}/{}", kernel.label(), variant.label()),
+                    });
+                }
+                attribution.accumulate(&r.breakdown);
+                attribution_cycles += r.cycles;
+            }
             let c = |i: usize| chunk[i].cycles as f64 / execs as f64;
-            VariantCosts {
+            Ok(VariantCosts {
                 variant,
                 kernels: KernelCycleCosts {
                     luma: [c(0), c(1), c(2)],
@@ -88,7 +109,9 @@ pub fn measure_kernel_costs_with(ctx: &SimContext, execs: usize, seed: u64) -> V
                     idct4: c(5),
                     idct8: c(6),
                 },
-            }
+                attribution,
+                attribution_cycles,
+            })
         })
         .collect()
 }
@@ -171,14 +194,19 @@ pub fn measure_cabac_cost_with(ctx: &SimContext, bins: usize, seed: u64) -> f64 
 /// Runs the Fig. 10 experiment: kernel costs measured with `execs`
 /// executions, decoder work accumulated over `frames` planned frames and
 /// scaled to [`REPORT_FRAMES`].
-pub fn run(execs: usize, frames: u32, seed: u64) -> Fig10 {
+pub fn run(execs: usize, frames: u32, seed: u64) -> Result<Fig10, ExperimentError> {
     run_with(&SimContext::new(1), execs, frames, seed)
 }
 
 /// [`run`] against a shared context: kernel costs and the CABAC pricing
 /// replay come from the context's store and batch runner.
-pub fn run_with(ctx: &SimContext, execs: usize, frames: u32, seed: u64) -> Fig10 {
-    let costs = measure_kernel_costs_with(ctx, execs, seed);
+pub fn run_with(
+    ctx: &SimContext,
+    execs: usize,
+    frames: u32,
+    seed: u64,
+) -> Result<Fig10, ExperimentError> {
+    let costs = measure_kernel_costs_with(ctx, execs, seed)?;
     // The CABAC stage is priced from the measured serial decoder kernel
     // rather than a guessed constant (it is scalar in every variant).
     let scalar_costs = ScalarStageCosts {
@@ -204,11 +232,11 @@ pub fn run_with(ctx: &SimContext, execs: usize, frames: u32, seed: u64) -> Fig10
         .enumerate()
         .map(|(i, s)| (s.seq, i))
         .collect();
-    Fig10 {
+    Ok(Fig10 {
         sequences,
         costs,
         index,
-    }
+    })
 }
 
 fn scale_work(w: &DecoderWork, factor: f64) -> DecoderWork {
@@ -307,6 +335,20 @@ impl Fig10 {
         }
         let _ = writeln!(
             out,
+            "\nKernel attribution over the measured cost kernels (share of replay cycles):"
+        );
+        for vc in &self.costs {
+            let _ = write!(out, "{:<10}", vc.variant.label());
+            for b in Bucket::ALL {
+                let share = vc.attribution.share(b, vc.attribution_cycles);
+                if share >= 0.0005 {
+                    let _ = write!(out, " {}={:.1}%", b.label(), share * 100.0);
+                }
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
             "\nApplication speed-ups: altivec vs scalar {:.2}x, unaligned vs altivec {:.2}x, unaligned vs scalar {:.2}x",
             self.speedup(Variant::Altivec, Variant::Scalar),
             self.speedup(Variant::Unaligned, Variant::Altivec),
@@ -322,8 +364,18 @@ mod tests {
 
     #[test]
     fn kernel_costs_are_ordered() {
-        let costs = measure_kernel_costs(8, 42);
+        let costs = measure_kernel_costs(8, 42).unwrap();
         assert_eq!(costs.len(), 3);
+        // Attribution aggregates conserve against their summed cycles.
+        for vc in &costs {
+            assert!(
+                vc.attribution.conserves(vc.attribution_cycles),
+                "{}: {} attributed vs {}",
+                vc.variant.label(),
+                vc.attribution.total(),
+                vc.attribution_cycles
+            );
+        }
         let by = |v: Variant| costs.iter().find(|c| c.variant == v).unwrap().kernels;
         let s = by(Variant::Scalar);
         let a = by(Variant::Altivec);
@@ -344,7 +396,7 @@ mod tests {
 
     #[test]
     fn decoder_totals_have_the_paper_shape() {
-        let f = run(6, 1, 42);
+        let f = run(6, 1, 42).unwrap();
         assert_eq!(f.sequences.len(), 4);
         // Every variant total positive; unaligned <= altivec <= scalar.
         for sr in &f.sequences {
@@ -373,7 +425,7 @@ mod tests {
 
     #[test]
     fn render_has_all_stages_and_sequences() {
-        let f = run(4, 1, 3);
+        let f = run(4, 1, 3).unwrap();
         let s = f.render();
         for label in [
             "MotionCmp",
@@ -382,6 +434,8 @@ mod tests {
             "rush_hour",
             "AVG",
             "speed-ups",
+            "Kernel attribution",
+            "useful=",
         ] {
             assert!(s.contains(label), "missing {label}");
         }

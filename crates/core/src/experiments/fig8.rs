@@ -6,13 +6,14 @@
 //! experiment of section V-B). All speed-ups are normalised to the 2-way
 //! scalar version, exactly as in the figure.
 
+use super::{guarded_speedup, ExperimentError};
 use crate::sim::{SimContext, SimJob, TraceKey};
 use crate::workload::KernelId;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use valign_cache::RealignConfig;
 use valign_kernels::util::Variant;
-use valign_pipeline::PipelineConfig;
+use valign_pipeline::{Bucket, PipelineConfig, StallBreakdown};
 
 /// One measured point.
 #[derive(Debug, Clone)]
@@ -27,6 +28,8 @@ pub struct Point {
     pub cycles: u64,
     /// Speed-up relative to this kernel's 2-way scalar cycles.
     pub speedup: f64,
+    /// Cycle attribution of the replay.
+    pub breakdown: StallBreakdown,
 }
 
 /// The full Fig. 8 dataset.
@@ -43,7 +46,7 @@ pub struct Fig8 {
 }
 
 /// Runs the Fig. 8 experiment on a private single-threaded context.
-pub fn run(execs: usize, seed: u64) -> Fig8 {
+pub fn run(execs: usize, seed: u64) -> Result<Fig8, ExperimentError> {
     run_with(&SimContext::new(1), execs, seed)
 }
 
@@ -53,7 +56,7 @@ pub fn run(execs: usize, seed: u64) -> Fig8 {
 /// later driver replaying the same workloads reuses them. The batch is
 /// kernel-major then config then variant; the 2-way scalar job of each
 /// kernel doubles as its normalisation baseline.
-pub fn run_with(ctx: &SimContext, execs: usize, seed: u64) -> Fig8 {
+pub fn run_with(ctx: &SimContext, execs: usize, seed: u64) -> Result<Fig8, ExperimentError> {
     let configs: Vec<PipelineConfig> = PipelineConfig::table_ii()
         .into_iter()
         .map(|cfg| cfg.with_realign(RealignConfig::equal_latency()))
@@ -79,15 +82,21 @@ pub fn run_with(ctx: &SimContext, execs: usize, seed: u64) -> Fig8 {
     for (i, r) in results.iter().enumerate() {
         // Baseline: the kernel's first job is its 2-way scalar replay.
         let base = results[i / per_kernel * per_kernel].cycles;
+        let kernel = KernelId::ALL[i / per_kernel];
+        let config = configs[(i % per_kernel) / Variant::ALL.len()].name;
+        let variant = Variant::ALL[i % Variant::ALL.len()];
         points.push(Point {
-            kernel: KernelId::ALL[i / per_kernel],
-            config: configs[(i % per_kernel) / Variant::ALL.len()].name,
-            variant: Variant::ALL[i % Variant::ALL.len()],
+            kernel,
+            config,
+            variant,
             cycles: r.cycles,
-            speedup: base as f64 / r.cycles as f64,
+            speedup: guarded_speedup(base, r.cycles, || {
+                format!("fig8 {}/{} on {config}", kernel.label(), variant.label())
+            })?,
+            breakdown: r.breakdown,
         });
     }
-    Fig8::from_points(execs, points)
+    Ok(Fig8::from_points(execs, points))
 }
 
 impl Fig8 {
@@ -168,23 +177,43 @@ impl Fig8 {
             let _ = writeln!(out, "{title}\n");
             let _ = writeln!(
                 out,
-                "{:<16} {:<6} {:>9} {:>9} {:>10} {:>12}",
-                "kernel", "config", "scalar", "altivec", "unaligned", "unal/altivec"
+                "{:<16} {:<6} {:>9} {:>9} {:>10} {:>12} {:>7} {:>7}",
+                "kernel",
+                "config",
+                "scalar",
+                "altivec",
+                "unaligned",
+                "unal/altivec",
+                "rlgn%",
+                "mem%"
             );
-            let _ = writeln!(out, "{}", "-".repeat(68));
+            let _ = writeln!(out, "{}", "-".repeat(84));
             for &kernel in kernels {
                 for config in ["2-way", "4-way", "8-way"] {
                     let s = |v| self.point(kernel, config, v).map(|p| p.speedup);
                     let gain = self.unaligned_gain(kernel, config).unwrap_or(f64::NAN);
+                    // Attribution of the unaligned replay: realign share
+                    // and memory-stall share of its cycles.
+                    let (rlgn, mem) = self.point(kernel, config, Variant::Unaligned).map_or(
+                        (f64::NAN, f64::NAN),
+                        |p| {
+                            (
+                                p.breakdown.share(Bucket::Realign, p.cycles) * 100.0,
+                                p.breakdown.memory_stall() as f64 * 100.0 / p.cycles.max(1) as f64,
+                            )
+                        },
+                    );
                     let _ = writeln!(
                         out,
-                        "{:<16} {:<6} {:>9.2} {:>9.2} {:>10.2} {:>11.2}x",
+                        "{:<16} {:<6} {:>9.2} {:>9.2} {:>10.2} {:>11.2}x {:>7.1} {:>7.1}",
                         kernel.label(),
                         config,
                         s(Variant::Scalar).unwrap_or(f64::NAN),
                         s(Variant::Altivec).unwrap_or(f64::NAN),
                         s(Variant::Unaligned).unwrap_or(f64::NAN),
                         gain,
+                        rlgn,
+                        mem,
                     );
                 }
             }
@@ -202,8 +231,21 @@ mod tests {
     #[test]
     fn speedups_have_the_paper_shape() {
         // Small run: shape checks only.
-        let f = run(12, 42);
+        let f = run(12, 42).unwrap();
         assert_eq!(f.points.len(), KernelId::ALL.len() * 9);
+
+        // Attribution is conserved on every point.
+        for p in &f.points {
+            assert!(
+                p.breakdown.conserves(p.cycles),
+                "{}/{}/{}: {} attributed vs {} cycles",
+                p.kernel,
+                p.config,
+                p.variant.label(),
+                p.breakdown.total(),
+                p.cycles
+            );
+        }
 
         // Scalar on 2-way is the 1.0 baseline by construction.
         for &k in KernelId::ALL {
@@ -240,7 +282,7 @@ mod tests {
 
     #[test]
     fn render_lists_all_panels() {
-        let f = run(4, 1);
+        let f = run(4, 1).unwrap();
         let s = f.render();
         for label in [
             "(a) Luma and chroma",
@@ -248,6 +290,8 @@ mod tests {
             "(c) SAD",
             "luma4x4",
             "idct4x4_matrix",
+            "rlgn%",
+            "mem%",
         ] {
             assert!(s.contains(label), "missing {label}");
         }

@@ -5,6 +5,7 @@
 //! aligned latency; speed-ups are reported relative to the *plain Altivec*
 //! implementation, as in the paper's figure.
 
+use super::ExperimentError;
 use crate::sim::{SimContext, SimJob, TraceKey};
 use crate::workload::KernelId;
 use std::collections::HashMap;
@@ -12,7 +13,7 @@ use std::fmt::Write as _;
 use valign_cache::RealignConfig;
 use valign_h264::BlockSize;
 use valign_kernels::util::Variant;
-use valign_pipeline::PipelineConfig;
+use valign_pipeline::{Bucket, PipelineConfig, StallBreakdown};
 
 /// The extra-latency sweep of the figure.
 pub const EXTRA_CYCLES: [u32; 5] = [0, 1, 2, 4, 6];
@@ -26,12 +27,19 @@ pub struct Sweep {
     pub altivec_cycles: u64,
     /// Unaligned-variant cycles per extra-latency step.
     pub unaligned_cycles: [u64; EXTRA_CYCLES.len()],
+    /// Cycle attribution of the unaligned replay per extra-latency step.
+    pub unaligned_breakdowns: [StallBreakdown; EXTRA_CYCLES.len()],
 }
 
 impl Sweep {
     /// Speed-up over plain Altivec at sweep step `i`.
     pub fn speedup(&self, i: usize) -> f64 {
         self.altivec_cycles as f64 / self.unaligned_cycles[i] as f64
+    }
+
+    /// Fraction of cycles the realignment network cost at sweep step `i`.
+    pub fn realign_share(&self, i: usize) -> f64 {
+        self.unaligned_breakdowns[i].share(Bucket::Realign, self.unaligned_cycles[i])
     }
 }
 
@@ -84,7 +92,7 @@ pub fn fig9_kernels() -> Vec<(&'static str, Vec<KernelId>)> {
 }
 
 /// Runs the Fig. 9 experiment on a private single-threaded context.
-pub fn run(execs: usize, seed: u64) -> Fig9 {
+pub fn run(execs: usize, seed: u64) -> Result<Fig9, ExperimentError> {
     run_with(&SimContext::new(1), execs, seed)
 }
 
@@ -92,7 +100,7 @@ pub fn run(execs: usize, seed: u64) -> Fig9 {
 ///
 /// Per kernel the batch holds the Altivec baseline replay followed by the
 /// unaligned replay at each extra-latency step — six jobs in a row.
-pub fn run_with(ctx: &SimContext, execs: usize, seed: u64) -> Fig9 {
+pub fn run_with(ctx: &SimContext, execs: usize, seed: u64) -> Result<Fig9, ExperimentError> {
     let kernels: Vec<KernelId> = fig9_kernels().into_iter().flat_map(|(_, ks)| ks).collect();
     let per_kernel = 1 + EXTRA_CYCLES.len();
     let mut jobs = Vec::with_capacity(kernels.len() * per_kernel);
@@ -116,22 +124,31 @@ pub fn run_with(ctx: &SimContext, execs: usize, seed: u64) -> Fig9 {
     }
     let results = ctx.run_batch("fig9", jobs);
 
-    let sweeps = kernels
-        .iter()
-        .zip(results.chunks_exact(per_kernel))
-        .map(|(&kernel, chunk)| {
-            let mut unaligned_cycles = [0u64; EXTRA_CYCLES.len()];
-            for (slot, r) in unaligned_cycles.iter_mut().zip(&chunk[1..]) {
-                *slot = r.cycles;
+    let mut sweeps = Vec::with_capacity(kernels.len());
+    for (&kernel, chunk) in kernels.iter().zip(results.chunks_exact(per_kernel)) {
+        let mut unaligned_cycles = [0u64; EXTRA_CYCLES.len()];
+        let mut unaligned_breakdowns = [StallBreakdown::default(); EXTRA_CYCLES.len()];
+        for (i, r) in chunk[1..].iter().enumerate() {
+            if r.cycles == 0 {
+                return Err(ExperimentError::EmptyReplay {
+                    context: format!(
+                        "fig9 {}/unaligned at +{} cycles",
+                        kernel.label(),
+                        EXTRA_CYCLES[i]
+                    ),
+                });
             }
-            Sweep {
-                kernel,
-                altivec_cycles: chunk[0].cycles,
-                unaligned_cycles,
-            }
-        })
-        .collect();
-    Fig9::from_sweeps(execs, sweeps)
+            unaligned_cycles[i] = r.cycles;
+            unaligned_breakdowns[i] = r.breakdown;
+        }
+        sweeps.push(Sweep {
+            kernel,
+            altivec_cycles: chunk[0].cycles,
+            unaligned_cycles,
+            unaligned_breakdowns,
+        });
+    }
+    Ok(Fig9::from_sweeps(execs, sweeps))
 }
 
 impl Fig9 {
@@ -173,14 +190,20 @@ impl Fig9 {
                 };
                 let _ = write!(out, " {label:>8}");
             }
+            let _ = write!(out, " {:>9}", "rlgn%@+6");
             out.push('\n');
-            let _ = writeln!(out, "{}", "-".repeat(16 + 9 * EXTRA_CYCLES.len()));
+            let _ = writeln!(out, "{}", "-".repeat(16 + 9 * EXTRA_CYCLES.len() + 10));
             for kernel in kernels {
                 if let Some(sweep) = self.sweep(kernel) {
                     let _ = write!(out, "{:<16}", kernel.label());
                     for i in 0..EXTRA_CYCLES.len() {
                         let _ = write!(out, " {:>8.3}", sweep.speedup(i));
                     }
+                    let _ = write!(
+                        out,
+                        " {:>9.1}",
+                        sweep.realign_share(EXTRA_CYCLES.len() - 1) * 100.0
+                    );
                     out.push('\n');
                 }
             }
@@ -196,9 +219,23 @@ mod tests {
 
     #[test]
     fn latency_sweep_is_monotonically_slower() {
-        let f = run(10, 42);
+        let f = run(10, 42).unwrap();
         assert_eq!(f.sweeps.len(), 11);
         for s in &f.sweeps {
+            // Attribution conserved at every step; the realign share does
+            // not shrink as the network gets slower.
+            for (i, bd) in s.unaligned_breakdowns.iter().enumerate() {
+                assert!(
+                    bd.conserves(s.unaligned_cycles[i]),
+                    "{}: step {i}",
+                    s.kernel
+                );
+            }
+            assert!(
+                s.realign_share(4) >= s.realign_share(0),
+                "{}: realign share must grow with latency",
+                s.kernel
+            );
             for w in s.unaligned_cycles.windows(2) {
                 // Allow sub-percent scheduling anomalies (greedy booking).
                 assert!(
@@ -221,7 +258,7 @@ mod tests {
 
     #[test]
     fn mc_kernels_keep_gains_at_moderate_latency() {
-        let f = run(16, 7);
+        let f = run(16, 7).unwrap();
         let luma = f.sweep(KernelId::Luma(BlockSize::B16x16)).unwrap();
         // The paper: luma is the least latency-sensitive kernel; even at
         // +6 cycles it retains a clear win over plain Altivec.
@@ -231,9 +268,15 @@ mod tests {
 
     #[test]
     fn render_contains_panels_and_steps() {
-        let f = run(4, 3);
+        let f = run(4, 3).unwrap();
         let s = f.render();
-        for label in ["(a) Luma kernel", "(d) sad kernel", "equal", "+6cyc"] {
+        for label in [
+            "(a) Luma kernel",
+            "(d) sad kernel",
+            "equal",
+            "+6cyc",
+            "rlgn%@+6",
+        ] {
             assert!(s.contains(label), "missing {label}");
         }
     }

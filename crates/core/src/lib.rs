@@ -13,6 +13,9 @@
 //!   drivers share so each kernel/variant is traced exactly once.
 //! * [`experiments`] — one driver per table/figure; see its module docs
 //!   for the mapping and the bench targets that regenerate each artefact.
+//! * [`explain`] — the `valign explain` cycle-attribution report: one
+//!   kernel/variant replayed across Table II with every cycle charged to a
+//!   stall bucket and the conservation invariant checked.
 //! * [`replay_bench`] — the replay-throughput harness comparing the
 //!   packed [`ReplayImage`](valign_pipeline::ReplayImage) hot path against
 //!   the record-form reference walker (`valign bench-replay`).
@@ -36,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod explain;
 pub mod replay_bench;
 pub mod sim;
 pub mod workload;

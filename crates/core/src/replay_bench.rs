@@ -29,7 +29,7 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use valign_cache::RealignConfig;
 use valign_kernels::util::Variant;
-use valign_pipeline::{PipelineConfig, SimResult, Simulator};
+use valign_pipeline::{Bucket, PipelineConfig, SimResult, Simulator, StallBreakdown};
 
 /// Wall time and derived throughput of one replay path over the batch.
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +83,12 @@ pub struct ReplayBench {
     pub bit_identical: bool,
     /// Per-kernel breakdown, in [`KernelId::ALL`] order.
     pub per_kernel: Vec<KernelMeasure>,
+    /// Stall attribution summed over every measured replay of the batch
+    /// (from the reference pass; the image pass is bit-identical).
+    pub attribution: StallBreakdown,
+    /// Simulated cycles summed over the same replays — the attribution's
+    /// conservation target.
+    pub attributed_cycles: u64,
 }
 
 impl ReplayBench {
@@ -141,6 +147,12 @@ pub fn run(execs: usize, seed: u64, repeats: usize) -> ReplayBench {
     let (ref_walls, ref_results) = best_pass(&jobs, repeats, Path::Reference);
     let (img_walls, img_results) = best_pass(&jobs, repeats, Path::Image);
     let bit_identical = ref_results == img_results;
+    let mut attribution = StallBreakdown::default();
+    let mut attributed_cycles = 0u64;
+    for r in &ref_results {
+        attribution.accumulate(&r.breakdown);
+        attributed_cycles += r.cycles;
+    }
 
     let per_kernel = KernelId::ALL
         .iter()
@@ -174,6 +186,8 @@ pub fn run(execs: usize, seed: u64, repeats: usize) -> ReplayBench {
         image: measure(&img_walls),
         bit_identical,
         per_kernel,
+        attribution,
+        attributed_cycles,
     }
 }
 
@@ -262,6 +276,17 @@ impl ReplayBench {
                 "DIVERGED between paths"
             },
         );
+        let _ = writeln!(
+            out,
+            "attribution over {} simulated cycles ({}): {}",
+            self.attributed_cycles,
+            if self.attribution.conserves(self.attributed_cycles) {
+                "conserved"
+            } else {
+                "NOT CONSERVED"
+            },
+            self.attribution,
+        );
         out
     }
 
@@ -289,6 +314,17 @@ impl ReplayBench {
             self.image.mips
         );
         let _ = writeln!(out, "  \"speedup\": {:.3},", self.speedup());
+        let buckets: Vec<String> = Bucket::ALL
+            .iter()
+            .map(|&b| format!("\"{}\": {}", b.label(), self.attribution.get(b)))
+            .collect();
+        let _ = writeln!(out, "  \"attribution\": {{{}}},", buckets.join(", "));
+        let _ = writeln!(
+            out,
+            "  \"attributed_cycles\": {},\n  \"attribution_conserved\": {},",
+            self.attributed_cycles,
+            self.attribution.conserves(self.attributed_cycles)
+        );
         out.push_str("  \"per_kernel\": [\n");
         for (i, k) in self.per_kernel.iter().enumerate() {
             let _ = write!(
@@ -328,13 +364,22 @@ mod tests {
             b.per_kernel.iter().map(|k| k.instructions).sum::<u64>()
         );
         assert!(b.instructions > 0);
+        assert!(
+            b.attribution.conserves(b.attributed_cycles),
+            "{} attributed vs {} cycles",
+            b.attribution.total(),
+            b.attributed_cycles
+        );
         let json = b.render_json();
         assert!(json.contains("\"bit_identical\": true"));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"attribution_conserved\": true"));
+        assert!(json.contains("\"useful\":"));
         assert_eq!(json.matches("\"kernel\":").count(), KernelId::ALL.len());
         let human = b.render();
         assert!(human.contains("bit-identical"));
         assert!(human.contains("MIPS"));
+        assert!(human.contains("conserved"));
     }
 
     #[test]

@@ -37,6 +37,21 @@ impl UnitPool {
     }
 }
 
+/// Cumulative issue-readiness milestones of one instruction, in the order
+/// the back end applies its constraints. Each field is the running maximum
+/// after that constraint, so the sequence is non-decreasing:
+/// `dispatch <= after_queue <= after_deps <= after_order`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Ready {
+    /// After issue-queue back-pressure.
+    pub after_queue: u64,
+    /// Then after operand readiness (RAW dependences).
+    pub after_deps: u64,
+    /// Then after in-order issue (equals `after_deps` on OoO machines).
+    /// This is the cycle the instruction is ready to contend for a unit.
+    pub after_order: u64,
+}
+
 /// Per-replay back-end state: queues, scoreboard rings and unit pools.
 #[derive(Debug)]
 pub(crate) struct Backend {
@@ -93,14 +108,17 @@ impl Backend {
     /// Earliest cycle `idx` can issue given dispatch time, issue-queue
     /// back-pressure, operand readiness and (for in-order machines)
     /// program order. `defs` are the packed producer slots of the record
-    /// ([`NO_DEF`] marks an absent or external producer).
+    /// ([`NO_DEF`] marks an absent or external producer). Returns the
+    /// per-constraint [`Ready`] milestones; `after_order` is the earliest
+    /// issue cycle callers previously received.
+    #[inline]
     pub(crate) fn ready_at(
         &mut self,
         idx: usize,
         is_branch: bool,
         defs: &[u32; 3],
         dispatch: u64,
-    ) -> u64 {
+    ) -> Ready {
         let mut earliest = dispatch;
 
         // Issue-queue back-pressure.
@@ -109,6 +127,7 @@ impl Backend {
             let oldest_issue = queue.pop_front().expect("queue non-empty");
             earliest = earliest.max(oldest_issue);
         }
+        let after_queue = earliest;
 
         // Operand readiness: true dataflow via producer indices (what the
         // renamed machine recovers); producers outside the in-flight window
@@ -122,11 +141,16 @@ impl Backend {
                 earliest = earliest.max(self.complete_ring[def % self.window]);
             }
         }
+        let after_deps = earliest;
 
         if self.in_order {
             earliest = earliest.max(self.last_issue);
         }
-        earliest
+        Ready {
+            after_queue,
+            after_deps,
+            after_order: earliest,
+        }
     }
 
     /// Books an instance of the execution unit with dense index `unit`.
@@ -152,6 +176,7 @@ impl Backend {
 
     /// Retires instruction `idx` in order and updates the scoreboard rings.
     /// Returns the retire cycle.
+    #[inline]
     pub(crate) fn retire(&mut self, idx: usize, complete: u64) -> u64 {
         let retire_cycle = self.retire.reserve(complete.max(self.last_retire));
         self.last_retire = retire_cycle;
@@ -161,6 +186,7 @@ impl Backend {
     }
 
     /// Retire cycle of the youngest retired instruction (total cycles).
+    #[inline]
     pub(crate) fn last_retire(&self) -> u64 {
         self.last_retire
     }

@@ -28,16 +28,68 @@
 //! single shared trace can be replayed concurrently by many simulators —
 //! the property the batch executor in `valign-core` relies on.
 
-use crate::backend::Backend;
+use crate::attribution::{Bucket, Timeline};
+use crate::backend::{Backend, Ready};
 use crate::config::PipelineConfig;
 use crate::frontend::Frontend;
 use crate::image::{dst_file_of, flags, ReplayImage, NO_DEF};
 use crate::latency::LatencyTable;
-use crate::lsu::Lsu;
+use crate::lsu::{Lsu, MemExec};
 use crate::predictor::BranchPredictor;
 use crate::result::SimResult;
 use valign_cache::{CacheConfig, Hierarchy, SetAssocCache};
 use valign_isa::{DynInstr, MemKind, Trace, Unit};
+
+/// Assembles the attribution [`Timeline`] of one instruction from the
+/// milestones both replay paths compute through the same stage calls —
+/// the single construction point that keeps attribution bit-identical
+/// between [`Simulator::run_image`] and [`Simulator::run_reference`].
+fn timeline_of(
+    redirect: u64,
+    dispatch: u64,
+    ready: Ready,
+    unit_at: u64,
+    port_at: u64,
+    mem: Option<MemExec>,
+    complete: u64,
+) -> Timeline {
+    let (after_store_dep, after_mshr, useful_end, extra_end, extra_bucket) = match mem {
+        Some(m) => {
+            let useful_end = m.after_mshr + u64::from(m.hit_cycles);
+            let bucket = if m.extra_is_miss {
+                Bucket::MissLatency
+            } else {
+                Bucket::DcachePort
+            };
+            (
+                m.after_store_dep,
+                m.after_mshr,
+                useful_end,
+                useful_end + u64::from(m.extra_cycles),
+                bucket,
+            )
+        }
+        // Non-memory: the LSU milestones collapse onto the issue cycle and
+        // the whole fixed latency is useful work, so the store-dep, MSHR,
+        // extra-latency and realign segments are empty and charge nothing.
+        None => (port_at, port_at, complete, complete, Bucket::MissLatency),
+    };
+    Timeline {
+        redirect,
+        dispatch,
+        after_queue: ready.after_queue,
+        after_deps: ready.after_deps,
+        after_order: ready.after_order,
+        unit_at,
+        port_at,
+        after_store_dep,
+        after_mshr,
+        useful_end,
+        extra_end,
+        extra_bucket,
+        complete,
+    }
+}
 
 /// The cycle-accurate simulator. Create one per run (it owns the cache and
 /// predictor state) and call [`Simulator::run`].
@@ -127,6 +179,7 @@ impl Simulator {
             let f = flag_bytes[idx];
 
             // ---- fetch ----
+            let redirect = frontend.redirect();
             let fetch_cycle = frontend.fetch(
                 sids[idx].pc(),
                 image.dst_file(idx),
@@ -136,24 +189,26 @@ impl Simulator {
             // ---- dispatch / issue readiness ----
             let dispatch = frontend.dispatch_at(fetch_cycle);
             let is_branch = f & flags::BRANCH != 0;
-            let earliest = backend.ready_at(idx, is_branch, &src_defs[idx], dispatch);
+            let ready = backend.ready_at(idx, is_branch, &src_defs[idx], dispatch);
 
             // ---- unit + ports ----
-            let mut issue_cycle = backend.acquire_unit(usize::from(units[idx]), earliest);
+            let unit_at = backend.acquire_unit(usize::from(units[idx]), ready.after_order);
             let touches_memory = f & flags::MEM != 0;
             let kind = if f & flags::STORE != 0 {
                 MemKind::Store
             } else {
                 MemKind::Load
             };
-            if touches_memory {
-                issue_cycle = lsu.acquire_port(kind, issue_cycle);
-            }
+            let issue_cycle = if touches_memory {
+                lsu.acquire_port(kind, unit_at)
+            } else {
+                unit_at
+            };
             backend.note_issue(is_branch, issue_cycle);
 
             // ---- execute ----
-            let complete = if touches_memory {
-                let complete = lsu.execute_prepared(
+            let (complete, mem_exec) = if touches_memory {
+                let exec = lsu.execute_prepared(
                     mem_addrs[mem_cursor],
                     mem_bytes[mem_cursor],
                     kind,
@@ -163,13 +218,13 @@ impl Simulator {
                     &mut result,
                 );
                 mem_cursor += 1;
-                complete
+                (exec.complete, Some(exec))
             } else {
                 let lat = self
                     .lat
                     .fixed(ops[idx])
                     .unwrap_or_else(|| panic!("no fixed latency entry for {}", ops[idx]));
-                issue_cycle + u64::from(lat)
+                (issue_cycle + u64::from(lat), None)
             };
 
             // ---- branch resolution ----
@@ -181,8 +236,21 @@ impl Simulator {
                 frontend.apply_branch(mispredicted, taken, complete);
             }
 
-            // ---- retire ----
+            // ---- retire + cycle attribution ----
+            let prev_retire = backend.last_retire();
             let retire_cycle = backend.retire(idx, complete);
+            if retire_cycle > prev_retire {
+                let t = timeline_of(
+                    redirect,
+                    dispatch,
+                    ready,
+                    unit_at,
+                    issue_cycle,
+                    mem_exec,
+                    complete,
+                );
+                result.breakdown.charge(prev_retire, retire_cycle, &t);
+            }
             frontend.release_dst(image.dst_file(idx), retire_cycle);
         }
 
@@ -190,6 +258,12 @@ impl Simulator {
         result.predictor = self.pred.stats();
         result.l1 = self.mem.l1_stats();
         result.l2 = self.mem.l2_stats();
+        debug_assert!(
+            result.breakdown.conserves(result.cycles),
+            "attribution lost cycles: {} attributed vs {} total",
+            result.breakdown.total(),
+            result.cycles
+        );
         result
     }
 
@@ -214,6 +288,7 @@ impl Simulator {
 
         for (idx, instr) in trace.iter().enumerate() {
             // ---- fetch ----
+            let redirect = frontend.redirect();
             let fetch_cycle = frontend.fetch(
                 instr.sid.pc(),
                 dst_file_of(instr),
@@ -229,32 +304,35 @@ impl Simulator {
                     *slot = d;
                 }
             }
-            let earliest = backend.ready_at(idx, is_branch, &defs, dispatch);
+            let ready = backend.ready_at(idx, is_branch, &defs, dispatch);
 
             // ---- unit + ports ----
-            let mut issue_cycle = backend.acquire_unit(instr.op.unit().index(), earliest);
-            if instr.op.touches_memory() {
+            let unit_at = backend.acquire_unit(instr.op.unit().index(), ready.after_order);
+            let issue_cycle = if instr.op.touches_memory() {
                 let kind = instr.mem.expect("memory op has a MemRef").kind;
-                issue_cycle = lsu.acquire_port(kind, issue_cycle);
-            }
+                lsu.acquire_port(kind, unit_at)
+            } else {
+                unit_at
+            };
             backend.note_issue(is_branch, issue_cycle);
 
             // ---- execute ----
-            let complete = if let Some(mem_ref) = instr.mem {
-                lsu.execute(
+            let (complete, mem_exec) = if let Some(mem_ref) = instr.mem {
+                let exec = lsu.execute(
                     mem_ref.addr,
                     mem_ref.bytes,
                     mem_ref.kind,
                     instr.is_unaligned_vector_access(),
                     issue_cycle,
                     &mut result,
-                )
+                );
+                (exec.complete, Some(exec))
             } else {
                 let lat = self
                     .lat
                     .fixed(instr.op)
                     .unwrap_or_else(|| panic!("no fixed latency entry for {}", instr.op));
-                issue_cycle + u64::from(lat)
+                (issue_cycle + u64::from(lat), None)
             };
 
             // ---- branch resolution ----
@@ -263,8 +341,21 @@ impl Simulator {
                 frontend.apply_branch(mispredicted, br.taken, complete);
             }
 
-            // ---- retire ----
+            // ---- retire + cycle attribution ----
+            let prev_retire = backend.last_retire();
             let retire_cycle = backend.retire(idx, complete);
+            if retire_cycle > prev_retire {
+                let t = timeline_of(
+                    redirect,
+                    dispatch,
+                    ready,
+                    unit_at,
+                    issue_cycle,
+                    mem_exec,
+                    complete,
+                );
+                result.breakdown.charge(prev_retire, retire_cycle, &t);
+            }
             frontend.release_dst(dst_file_of(instr), retire_cycle);
         }
 
@@ -272,6 +363,12 @@ impl Simulator {
         result.predictor = self.pred.stats();
         result.l1 = self.mem.l1_stats();
         result.l2 = self.mem.l2_stats();
+        debug_assert!(
+            result.breakdown.conserves(result.cycles),
+            "attribution lost cycles: {} attributed vs {} total",
+            result.breakdown.total(),
+            result.cycles
+        );
         result
     }
 
@@ -542,6 +639,58 @@ mod tests {
             n.cycles,
             w.cycles
         );
+    }
+
+    #[test]
+    fn attribution_conserves_and_reflects_behaviour() {
+        // Dependent chain: cycles dominated by useful + RAW wait, and the
+        // buckets sum exactly to the total.
+        let mut vm = Vm::new();
+        let mut x = vm.li(0);
+        for _ in 0..2000 {
+            x = vm.addi(x, 1);
+        }
+        let chain = vm.take_trace();
+        let r = run(PipelineConfig::eight_way(), &chain);
+        assert!(r.breakdown.conserves(r.cycles), "{:?}", r.breakdown);
+        assert!(r.breakdown.useful > 0);
+
+        // Unaligned dependent loads with an extra realign latency: the
+        // realign bucket picks up the penalty on the critical path.
+        let mut vm = Vm::new();
+        let buf = vm.mem_mut().alloc(4096, 16);
+        let p = vm.li((buf + 1) as i64);
+        let i0 = vm.li(0);
+        for _ in 0..200 {
+            let _ = vm.lvxu(i0, p);
+        }
+        let unaligned = vm.take_trace();
+        let r = run(
+            PipelineConfig::two_way().with_realign(valign_cache::RealignConfig::extra(6)),
+            &unaligned,
+        );
+        assert!(r.breakdown.conserves(r.cycles), "{:?}", r.breakdown);
+        assert!(r.breakdown.realign > 0, "{:?}", r.breakdown);
+
+        // Empty trace: empty breakdown, still conserved.
+        let empty = Simulator::new(PipelineConfig::four_way()).run(&Trace::new());
+        assert!(empty.breakdown.conserves(0));
+    }
+
+    #[test]
+    fn miss_latency_is_attributed_on_misses() {
+        let mut vm = Vm::new();
+        let buf = vm.mem_mut().alloc(16 << 20, 128);
+        let base = vm.li(buf as i64);
+        let mut acc = vm.li(0);
+        for i in 0..64 {
+            let v = vm.lwz(base, i64::from(i) * 131 * 128);
+            acc = vm.add(acc, v);
+        }
+        let trace = vm.take_trace();
+        let r = Simulator::simulate(PipelineConfig::two_way(), None, &trace);
+        assert!(r.breakdown.conserves(r.cycles), "{:?}", r.breakdown);
+        assert!(r.breakdown.miss_latency > 0, "{:?}", r.breakdown);
     }
 
     #[test]

@@ -138,6 +138,14 @@ impl<'a> Frontend<'a> {
         fetch_cycle + self.depth
     }
 
+    /// The pending branch-redirect floor on fetch. Cycle attribution reads
+    /// it before [`Frontend::fetch`] to charge redirect-bounded waits to
+    /// branch misprediction rather than to the front end at large.
+    #[inline]
+    pub(crate) fn redirect(&self) -> u64 {
+        self.redirect
+    }
+
     /// Steers fetch after a resolved branch: a misprediction redirects
     /// fetch past the branch's completion; a correctly predicted taken
     /// branch still ends the fetch group.

@@ -13,7 +13,10 @@
 //!   network latency for the paper's unaligned `lvxu`/`stvxu` accesses;
 //! * a packed structure-of-arrays [`ReplayImage`] (see [`image`]) that a
 //!   trace is compiled into once and replayed from many times — the
-//!   generate-once / replay-many hot path of the whole evaluation.
+//!   generate-once / replay-many hot path of the whole evaluation;
+//! * cycle attribution (see [`attribution`]): every replayed cycle charged
+//!   to exactly one stall bucket in the [`StallBreakdown`] carried by each
+//!   [`SimResult`], with `sum(buckets) == cycles` guaranteed.
 //!
 //! ## Example
 //!
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod attribution;
 mod backend;
 pub mod config;
 pub mod engine;
@@ -49,6 +53,7 @@ mod lsu;
 pub mod predictor;
 pub mod result;
 
+pub use attribution::{Bucket, StallBreakdown};
 pub use config::{IssuePolicy, PipelineConfig};
 pub use engine::{memory_ops, unit_histogram, Simulator};
 pub use image::ReplayImage;

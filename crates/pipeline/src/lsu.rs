@@ -25,6 +25,29 @@ struct PendingStore {
 /// audits traces against exactly this assumption.
 pub const STORE_QUEUE_TRACK: usize = 64;
 
+/// The timing decomposition of one executed memory access, consumed by
+/// the engine's cycle attribution. The milestones are non-decreasing and
+/// `complete - after_mshr == latency + realign penalty` with
+/// `latency == hit_cycles + extra_cycles`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MemExec {
+    /// Completion cycle of the access.
+    pub complete: u64,
+    /// Issue raised by store-to-load ordering (RAW through memory).
+    pub after_store_dep: u64,
+    /// Then raised by miss-queue (MSHR) admission.
+    pub after_mshr: u64,
+    /// The L1-hit portion of the access latency (useful work).
+    pub hit_cycles: u32,
+    /// Latency beyond the hit time: miss latency, or the serialised
+    /// second lookup of a split access when every line actually hit.
+    pub extra_cycles: u32,
+    /// Whether `extra_cycles` is miss latency (else split serialisation,
+    /// charged as D-cache port contention). The realignment penalty is the
+    /// remainder `complete - (after_mshr + hit_cycles + extra_cycles)`.
+    pub extra_is_miss: bool,
+}
+
 /// Per-replay load/store-unit state around the persistent cache hierarchy.
 #[derive(Debug)]
 pub(crate) struct Lsu<'a> {
@@ -73,9 +96,10 @@ impl<'a> Lsu<'a> {
     }
 
     /// Executes one memory access issued at `issue_cycle`; returns its
-    /// completion cycle and accumulates penalty statistics into `result`.
-    /// `unaligned` is the record's precomputed unaligned-vector-access
-    /// flag (unaligned-capable opcode with a non-zero quad offset).
+    /// timing decomposition (completion cycle plus attribution milestones)
+    /// and accumulates penalty statistics into `result`. `unaligned` is
+    /// the record's precomputed unaligned-vector-access flag
+    /// (unaligned-capable opcode with a non-zero quad offset).
     ///
     /// Store-to-load ordering scans the store queue per load — the
     /// reference-path behaviour. The image path uses
@@ -88,7 +112,7 @@ impl<'a> Lsu<'a> {
         unaligned: bool,
         issue_cycle: u64,
         result: &mut SimResult,
-    ) -> u64 {
+    ) -> MemExec {
         let mut start = issue_cycle;
         let is_store = kind == MemKind::Store;
 
@@ -101,7 +125,7 @@ impl<'a> Lsu<'a> {
             }
         }
 
-        let complete = self.access(addr, bytes, is_store, unaligned, start, result);
+        let exec = self.access(addr, bytes, is_store, unaligned, start, result);
         if is_store {
             if self.store_queue.len() == STORE_QUEUE_TRACK {
                 self.store_queue.pop_front();
@@ -109,10 +133,10 @@ impl<'a> Lsu<'a> {
             self.store_queue.push_back(PendingStore {
                 addr,
                 bytes: u64::from(bytes),
-                complete,
+                complete: exec.complete,
             });
         }
-        complete
+        exec
     }
 
     /// [`Lsu::execute`] with the store-queue scan replaced by the replay
@@ -124,6 +148,7 @@ impl<'a> Lsu<'a> {
     // fields of one memory record plus its dependence list, and bundling
     // them into a struct would just rebuild the record the image unpacked.
     #[allow(clippy::too_many_arguments)]
+    #[inline]
     pub(crate) fn execute_prepared(
         &mut self,
         addr: u64,
@@ -133,7 +158,7 @@ impl<'a> Lsu<'a> {
         deps: &[u32],
         issue_cycle: u64,
         result: &mut SimResult,
-    ) -> u64 {
+    ) -> MemExec {
         let mut start = issue_cycle;
         let is_store = kind == MemKind::Store;
 
@@ -141,25 +166,30 @@ impl<'a> Lsu<'a> {
             start = start.max(self.store_ring[ordinal as usize % STORE_QUEUE_TRACK]);
         }
 
-        let complete = self.access(addr, bytes, is_store, unaligned, start, result);
+        let exec = self.access(addr, bytes, is_store, unaligned, start, result);
         if is_store {
-            self.store_ring[self.stores_seen % STORE_QUEUE_TRACK] = complete;
+            self.store_ring[self.stores_seen % STORE_QUEUE_TRACK] = exec.complete;
             self.stores_seen += 1;
         }
-        complete
+        exec
     }
 
     /// The ordering-independent tail shared by both execute paths:
-    /// hierarchy access, bounded miss queue, realignment penalty.
+    /// hierarchy access, bounded miss queue, realignment penalty. `start`
+    /// is the issue cycle already raised by store-to-load ordering; it
+    /// becomes the returned [`MemExec::after_store_dep`] milestone.
+    #[inline]
     fn access(
         &mut self,
         addr: u64,
         bytes: u8,
         is_store: bool,
         unaligned: bool,
-        mut start: u64,
+        start: u64,
         result: &mut SimResult,
-    ) -> u64 {
+    ) -> MemExec {
+        let after_store_dep = start;
+        let mut start = start;
         let outcome = self
             .mem
             .access(addr, u32::from(bytes), is_store, self.banks);
@@ -181,6 +211,7 @@ impl<'a> Lsu<'a> {
                 self.miss_queue.swap_remove(i);
             }
         }
+        let after_mshr = start;
 
         // Realignment-network penalty for unaligned vector access.
         let penalty = self
@@ -195,15 +226,37 @@ impl<'a> Lsu<'a> {
         if !outcome.l1_hit {
             self.miss_queue.push(complete);
         }
-        complete
+        // Attribution split of the hierarchy latency: the L1-hit portion
+        // is useful work; anything beyond is miss latency, unless every
+        // line hit and the excess is the serialised split lookup (port
+        // contention on a single-banked L1).
+        let hit_cycles = outcome.latency.min(self.l1_latency);
+        MemExec {
+            complete,
+            after_store_dep,
+            after_mshr,
+            hit_cycles,
+            extra_cycles: outcome.latency - hit_cycles,
+            extra_is_miss: !outcome.l1_hit,
+        }
     }
 }
 
 /// Whether the byte ranges `[a, a+alen)` and `[b, b+blen)` overlap — the
 /// exact predicate the store queue uses for store-to-load ordering,
 /// exported so the static analyzer cross-checks against the same test.
+///
+/// Overflow-safe: ranges are compared by distance, never by computed end
+/// addresses, so effective addresses near the top of the 64-bit address
+/// space do not wrap (a wrapped end silently dropped store-to-load
+/// ordering for such accesses). A range whose unbounded end would pass
+/// `u64::MAX` is treated as clipped to the address-space top.
 pub fn ranges_overlap(a: u64, alen: u64, b: u64, blen: u64) -> bool {
-    a < b + blen && b < a + alen
+    if a <= b {
+        b - a < alen && blen > 0
+    } else {
+        a - b < blen && alen > 0
+    }
 }
 
 #[cfg(test)]
@@ -216,5 +269,27 @@ mod tests {
         assert!(ranges_overlap(3, 4, 0, 4));
         assert!(!ranges_overlap(0, 4, 4, 4));
         assert!(!ranges_overlap(4, 4, 0, 4));
+    }
+
+    #[test]
+    fn zero_length_ranges_never_overlap() {
+        assert!(!ranges_overlap(8, 0, 8, 4));
+        assert!(!ranges_overlap(8, 4, 8, 0));
+        assert!(!ranges_overlap(8, 0, 8, 0));
+    }
+
+    #[test]
+    fn top_of_address_space_does_not_wrap() {
+        let top = u64::MAX - 8;
+        // [MAX-8, MAX-8+16) vs [MAX-4, MAX-4+16): overlapping quadword
+        // stores whose unbounded ends pass u64::MAX. The old end-address
+        // form wrapped both ends to small values and reported disjoint.
+        assert!(ranges_overlap(top, 16, top + 4, 16));
+        assert!(ranges_overlap(top + 4, 16, top, 16));
+        // Adjacent-but-disjoint near the top stays disjoint.
+        assert!(!ranges_overlap(top, 4, top + 4, 4));
+        // A range ending exactly at u64::MAX vs one starting there.
+        assert!(ranges_overlap(u64::MAX, 1, u64::MAX, 16));
+        assert!(!ranges_overlap(u64::MAX - 1, 1, u64::MAX, 1));
     }
 }

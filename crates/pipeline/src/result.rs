@@ -1,5 +1,6 @@
 //! Simulation results and derived metrics.
 
+use crate::attribution::StallBreakdown;
 use crate::predictor::PredictorStats;
 use std::fmt;
 use valign_cache::CacheStats;
@@ -24,6 +25,9 @@ pub struct SimResult {
     pub realign_penalty_cycles: u64,
     /// Accesses that spanned two cache lines.
     pub split_accesses: u64,
+    /// Cycle attribution: every cycle of the run charged to exactly one
+    /// stall bucket, `breakdown.total() == cycles`.
+    pub breakdown: StallBreakdown,
 }
 
 impl SimResult {
@@ -37,14 +41,36 @@ impl SimResult {
     }
 
     /// Speed-up of this run relative to `baseline` (baseline cycles divided
+    /// by this run's cycles), or `None` when this run has zero cycles (an
+    /// empty trace) and the ratio is undefined. Drivers that can receive an
+    /// empty trace use this and surface a diagnostic error.
+    pub fn try_speedup_over(&self, baseline: &SimResult) -> Option<f64> {
+        if self.cycles == 0 {
+            None
+        } else {
+            Some(baseline.cycles as f64 / self.cycles as f64)
+        }
+    }
+
+    /// Speed-up of this run relative to `baseline` (baseline cycles divided
     /// by this run's cycles).
     ///
     /// # Panics
     ///
-    /// Panics if this run has zero cycles.
+    /// Panics if this run has zero cycles — call
+    /// [`SimResult::try_speedup_over`] where an empty run is reachable.
     pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
-        assert!(self.cycles > 0, "speedup of an empty run is undefined");
-        baseline.cycles as f64 / self.cycles as f64
+        self.try_speedup_over(baseline)
+            .expect("speedup of an empty run is undefined")
+    }
+
+    /// Mean realignment penalty per unaligned access, in cycles.
+    pub fn realign_per_access(&self) -> f64 {
+        if self.unaligned_accesses == 0 {
+            0.0
+        } else {
+            self.realign_penalty_cycles as f64 / self.unaligned_accesses as f64
+        }
     }
 }
 
@@ -52,14 +78,21 @@ impl fmt::Display for SimResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} cycles, {} instructions (IPC {:.2}), {:.2}% branch mispredicts, L1 {:.2}% miss, {} unaligned accesses (+{} realign cycles)",
+            "{} cycles, {} instructions (IPC {:.2}), {:.2}% branch mispredicts, \
+             L1 {:.2}% / L2 {:.2}% miss, {} unaligned accesses \
+             (+{} realign cycles, {:.2}/access), {} split accesses; \
+             breakdown: {}",
             self.cycles,
             self.instructions,
             self.ipc(),
             self.predictor.mispredict_ratio() * 100.0,
             self.l1.miss_ratio() * 100.0,
+            self.l2.miss_ratio() * 100.0,
             self.unaligned_accesses,
             self.realign_penalty_cycles,
+            self.realign_per_access(),
+            self.split_accesses,
+            self.breakdown,
         )
     }
 }
@@ -102,14 +135,44 @@ mod tests {
     }
 
     #[test]
-    fn display_has_key_numbers() {
-        let r = SimResult {
-            cycles: 123,
-            instructions: 456,
+    fn try_speedup_guards_empty_runs() {
+        let empty = SimResult::default();
+        let full = SimResult {
+            cycles: 10,
             ..Default::default()
         };
+        assert_eq!(empty.try_speedup_over(&full), None);
+        assert!((full.try_speedup_over(&full).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn realign_per_access_handles_zero() {
+        let mut r = SimResult::default();
+        assert_eq!(r.realign_per_access(), 0.0);
+        r.unaligned_accesses = 4;
+        r.realign_penalty_cycles = 10;
+        assert!((r.realign_per_access() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_has_key_numbers() {
+        let mut r = SimResult {
+            cycles: 123,
+            instructions: 456,
+            split_accesses: 7,
+            unaligned_accesses: 2,
+            realign_penalty_cycles: 6,
+            ..Default::default()
+        };
+        r.breakdown.useful = 100;
+        r.breakdown.raw_dependence = 23;
         let s = r.to_string();
         assert!(s.contains("123"));
         assert!(s.contains("456"));
+        assert!(s.contains("7 split accesses"));
+        assert!(s.contains("L2"));
+        assert!(s.contains("3.00/access"));
+        assert!(s.contains("useful 100"));
+        assert!(s.contains("raw-dep 23"));
     }
 }

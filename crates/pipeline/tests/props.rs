@@ -6,7 +6,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use valign_cache::RealignConfig;
 use valign_isa::Trace;
-use valign_pipeline::{IssuePolicy, PipelineConfig, ReplayImage, Simulator};
+use valign_pipeline::{ranges_overlap, IssuePolicy, PipelineConfig, ReplayImage, Simulator};
 use valign_vm::{Scalar, Vm};
 
 /// Generates a random but well-formed program: ALU work, loads/stores
@@ -183,5 +183,42 @@ proptest! {
         prop_assert!(r.predictor.mispredicts <= r.predictor.branches);
         prop_assert!(r.l1.miss_ratio() <= 1.0);
         prop_assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn attribution_conserves_on_every_config(seed in 0u64..5000) {
+        // The one-bucket-per-cycle invariant: on arbitrary programs and
+        // every Table II configuration, the attributed buckets sum exactly
+        // to the replay's cycle count, cold and warm.
+        let t = random_trace(seed, 300);
+        for cfg in PipelineConfig::table_ii() {
+            let mut sim = Simulator::new(cfg.clone());
+            for pass in 0..2 {
+                let r = sim.run(&t);
+                prop_assert!(
+                    r.breakdown.conserves(r.cycles),
+                    "{} pass {}: {} attributed vs {} cycles",
+                    cfg.name, pass, r.breakdown.total(), r.cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_overlap_matches_unbounded_arithmetic(
+        a in prop_oneof![0u64..512, u64::MAX - 512..=u64::MAX],
+        alen in 0u64..64,
+        b in prop_oneof![0u64..512, u64::MAX - 512..=u64::MAX],
+        blen in 0u64..64,
+    ) {
+        // Oracle in u128, where `a + alen` cannot wrap: intervals
+        // [a, a+alen) and [b, b+blen) intersect. Boundary addresses at the
+        // top of the 64-bit space are drawn explicitly — the case the old
+        // end-address formulation got wrong.
+        let (a128, b128) = (u128::from(a), u128::from(b));
+        let expected = a128 < b128 + u128::from(blen) && b128 < a128 + u128::from(alen)
+            && alen > 0 && blen > 0;
+        prop_assert_eq!(ranges_overlap(a, alen, b, blen), expected);
+        prop_assert_eq!(ranges_overlap(b, blen, a, alen), expected, "symmetry");
     }
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! valign table1|table2|table3|fig4|fig8|fig9|fig10|all [--execs N] [--seed S] [--threads T]
+//! valign explain --kernel K --variant V [--json] [--execs N] [--seed S] [--threads T]
 //! valign lint [--json] [--kernel K --variant V | --all] [--execs N] [--seed S]
 //! valign bench-replay [--quick] [--execs N] [--seed S] [--repeats R] [--out PATH]
 //! ```
@@ -15,6 +16,13 @@
 //! valign-bench`, this binary just makes the study runnable as a plain
 //! tool.
 //!
+//! `explain` replays one kernel/variant across the three Table II
+//! configurations and prints the cycle-attribution report: every replay
+//! cycle charged to exactly one stall bucket, with the conservation
+//! invariant (buckets sum to total cycles) checked per configuration.
+//! `--json` emits the machine-readable form the perf-smoke CI job greps
+//! for `"conserved":true`.
+//!
 //! `lint` runs the `valign-analyze` static checks over recorded traces
 //! and the pipeline latency tables, and exits 1 on any ERROR diagnostic —
 //! the trace gate CI enforces.
@@ -26,10 +34,10 @@
 //! drops to a small batch for CI smoke runs.
 
 use valign::analyze::{lint_all, lint_kernel, LintOptions};
-use valign::core::experiments::{fig10, fig4, fig8, fig9, table1, table2, table3};
-use valign::core::replay_bench;
+use valign::core::experiments::{fig10, fig4, fig8, fig9, table1, table2, table3, ExperimentError};
 use valign::core::workload::KernelId;
 use valign::core::SimContext;
+use valign::core::{explain, replay_bench};
 use valign::kernels::util::Variant;
 
 #[derive(Debug, Clone)]
@@ -127,12 +135,24 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: valign <table1|table2|table3|fig4|fig8|fig9|fig10|all> \
          [--execs N] [--seed S] [--threads T]\n       \
+         valign explain --kernel K --variant V [--json] \
+         [--execs N] [--seed S] [--threads T]\n       \
          valign lint [--json] [--kernel K --variant V | --all] \
          [--execs N] [--seed S]\n       \
          valign bench-replay [--quick] [--execs N] [--seed S] \
          [--repeats R] [--out PATH]"
     );
     std::process::exit(2);
+}
+
+/// Unwraps an experiment result, reporting the diagnostic error and
+/// exiting 1 — an empty replay or a broken conservation invariant is a
+/// reportable condition, not a panic.
+fn or_die<T>(result: Result<T, ExperimentError>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
 }
 
 /// Runs `valign bench-replay`: the replay-throughput comparison. Exits 1
@@ -184,6 +204,30 @@ fn run_lint(ctx: &SimContext, o: &Options) -> ! {
     std::process::exit(i32::from(!report.is_clean()));
 }
 
+/// Runs `valign explain`: the cycle-attribution report for one
+/// kernel/variant. Exits 1 with a diagnostic when the replay is empty or
+/// the attribution buckets fail to sum to the total cycles.
+fn run_explain(ctx: &SimContext, o: &Options) -> ! {
+    let (Some(k), Some(v)) = (&o.kernel, &o.variant) else {
+        usage("explain needs --kernel K and --variant V");
+    };
+    let kernel = KernelId::from_label(k).unwrap_or_else(|| usage(&format!("unknown kernel {k}")));
+    let variant = Variant::from_label(v).unwrap_or_else(|| usage(&format!("unknown variant {v}")));
+    let report = or_die(explain::run_with(
+        ctx,
+        kernel,
+        variant,
+        o.execs.max(2),
+        o.seed,
+    ));
+    if o.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render());
+    }
+    std::process::exit(0);
+}
+
 fn run_one(ctx: &SimContext, cmd: &str, o: &Options) {
     match cmd {
         "table1" => print!("{}", table1::render()),
@@ -193,11 +237,17 @@ fn run_one(ctx: &SimContext, cmd: &str, o: &Options) {
             "{}",
             fig4::run((o.execs / 50).max(1) as u32, o.seed).render()
         ),
-        "fig8" => print!("{}", fig8::run_with(ctx, o.execs.max(2), o.seed).render()),
-        "fig9" => print!("{}", fig9::run_with(ctx, o.execs.max(2), o.seed).render()),
+        "fig8" => print!(
+            "{}",
+            or_die(fig8::run_with(ctx, o.execs.max(2), o.seed)).render()
+        ),
+        "fig9" => print!(
+            "{}",
+            or_die(fig9::run_with(ctx, o.execs.max(2), o.seed)).render()
+        ),
         "fig10" => print!(
             "{}",
-            fig10::run_with(ctx, (o.execs / 2).max(4), 2, o.seed).render()
+            or_die(fig10::run_with(ctx, (o.execs / 2).max(4), 2, o.seed)).render()
         ),
         other => usage(&format!("unknown subcommand {other}")),
     }
@@ -211,6 +261,9 @@ fn main() {
     let ctx = SimContext::new(opts.threads);
     if cmd == "lint" {
         run_lint(&ctx, &opts);
+    }
+    if cmd == "explain" {
+        run_explain(&ctx, &opts);
     }
     if cmd == "all" {
         for c in [

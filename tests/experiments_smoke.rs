@@ -39,7 +39,7 @@ fn fig4_smoke() {
 
 #[test]
 fn fig8_smoke() {
-    let f = fig8::run(6, 5);
+    let f = fig8::run(6, 5).expect("non-empty replays");
     let s = f.render();
     assert!(s.contains("FIG. 8"));
     // 11 kernels x 3 configs x 3 variants.
@@ -55,9 +55,20 @@ fn fig8_smoke() {
     }
 }
 
+/// Regression: a zero-cycle replay (zero executions traced) used to panic
+/// inside `speedup_over`; it must now surface as a diagnostic
+/// `ExperimentError` naming the offending workload.
+#[test]
+fn zero_execution_replays_surface_a_diagnostic_error() {
+    let err = fig8::run(0, 5).expect_err("empty replays must not be silently accepted");
+    let msg = err.to_string();
+    assert!(msg.contains("fig8"), "{msg}");
+    assert!(msg.contains("zero cycles"), "{msg}");
+}
+
 #[test]
 fn fig9_smoke() {
-    let f = fig9::run(6, 5);
+    let f = fig9::run(6, 5).expect("non-empty replays");
     assert!(f.render().contains("FIG. 9"));
     for sweep in &f.sweeps {
         // Non-decreasing trend (sub-percent greedy-scheduling anomalies
@@ -70,7 +81,7 @@ fn fig9_smoke() {
 
 #[test]
 fn fig10_smoke() {
-    let f = fig10::run(4, 1, 5);
+    let f = fig10::run(4, 1, 5).expect("non-empty replays");
     let s = f.render();
     assert!(s.contains("FIG. 10"));
     assert_eq!(f.sequences.len(), 4);

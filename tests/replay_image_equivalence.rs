@@ -14,7 +14,10 @@ const SEED: u64 = 20070425;
 
 /// Cold and warm replays of `trace` on `cfg`, reference vs image, must
 /// match result-for-result (the warm pass also proves that persistent
-/// cache/predictor state evolves identically under both walks).
+/// cache/predictor state evolves identically under both walks). The
+/// stall attribution is held to the same standard explicitly: the two
+/// paths charge every cycle to the same bucket, and each path's buckets
+/// sum exactly to its cycle count.
 fn assert_equivalent(cfg: &PipelineConfig, trace: &valign::isa::Trace, label: &str) {
     let image = ReplayImage::build(trace);
     let mut reference = Simulator::new(cfg.clone());
@@ -23,6 +26,18 @@ fn assert_equivalent(cfg: &PipelineConfig, trace: &valign::isa::Trace, label: &s
         let r = reference.run_reference(trace);
         let i = packed.run_image(&image);
         assert_eq!(r, i, "{label} [{}] diverged on the {pass} pass", cfg.name);
+        assert_eq!(
+            r.breakdown, i.breakdown,
+            "{label} [{}] attribution diverged on the {pass} pass",
+            cfg.name
+        );
+        assert!(
+            r.breakdown.conserves(r.cycles),
+            "{label} [{}] {pass}: {} attributed vs {} cycles",
+            cfg.name,
+            r.breakdown.total(),
+            r.cycles
+        );
     }
 }
 

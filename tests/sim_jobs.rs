@@ -16,7 +16,9 @@ fn fig8_report_is_identical_across_thread_counts() {
         .iter()
         .map(|&threads| {
             let ctx = SimContext::new(threads);
-            fig8::run_with(&ctx, 4, 11).render()
+            fig8::run_with(&ctx, 4, 11)
+                .expect("non-empty replays")
+                .render()
         })
         .collect();
     assert_eq!(reports[0], reports[1], "2 threads diverged from serial");
@@ -25,8 +27,12 @@ fn fig8_report_is_identical_across_thread_counts() {
 
 #[test]
 fn fig9_report_is_identical_across_thread_counts() {
-    let serial = fig9::run_with(&SimContext::new(1), 3, 5).render();
-    let parallel = fig9::run_with(&SimContext::new(8), 3, 5).render();
+    let serial = fig9::run_with(&SimContext::new(1), 3, 5)
+        .expect("non-empty replays")
+        .render();
+    let parallel = fig9::run_with(&SimContext::new(8), 3, 5)
+        .expect("non-empty replays")
+        .render();
     assert_eq!(serial, parallel);
 }
 
