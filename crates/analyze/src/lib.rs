@@ -8,7 +8,7 @@
 //! against — so a modelling bug surfaces as a named diagnostic instead of
 //! a silently wrong cycle count.
 //!
-//! Six rules (see [`rules`]):
+//! Seven rules (see [`rules`]):
 //!
 //! | rule | checks | gate |
 //! |------|--------|------|
@@ -18,9 +18,11 @@
 //! | `memory-dependence` | store→load overlaps vs the LSU's ordering model | WARNING |
 //! | `latency-completeness` | every observed opcode in all Table II tables | ERROR |
 //! | `attribution-conservation` | stall buckets sum exactly to replay cycles | ERROR |
+//! | `outcome-consistency` | clean supervised replay: thread-count invariant, all Completed, `==` direct replay | ERROR |
 //!
-//! The conservation rule replays the trace (all Table II configurations),
-//! so it runs only on traces the structural rules passed clean.
+//! The conservation and outcome rules replay the trace (all Table II
+//! configurations), so they run only on traces the structural rules
+//! passed clean.
 //!
 //! The CLI front end is `valign lint` (see the repository README); the
 //! gate is **zero ERROR diagnostics across every kernel/variant pair**.
@@ -173,15 +175,20 @@ pub fn analyze_trace(ctx: &TraceCtx<'_>, tables: &[LatencyTable]) -> Vec<Diagnos
         rules::latency::RULE,
         rules::latency::check(ctx, tables),
     ));
-    // The conservation rule replays the trace through the engine, which a
-    // structurally broken trace (incomplete latency table, dangling
-    // producer index) could crash — run it only when every structural rule
-    // passed without an ERROR.
+    // The conservation and outcome rules replay the trace through the
+    // engine, which a structurally broken trace (incomplete latency table,
+    // dangling producer index) could crash — run them only when every
+    // structural rule passed without an ERROR.
     if out.iter().all(|d| d.severity < Severity::Error) {
         out.extend(cap_warnings(
             ctx,
             rules::conservation::RULE,
             rules::conservation::check(ctx),
+        ));
+        out.extend(cap_warnings(
+            ctx,
+            rules::outcome::RULE,
+            rules::outcome::check(ctx),
         ));
     }
     out

@@ -10,12 +10,13 @@ pub mod conservation;
 pub mod defuse;
 pub mod latency;
 pub mod memdep;
+pub mod outcome;
 pub mod wellformed;
 
 /// Stable names of all rules, in the order [`crate::analyze_trace`] runs
-/// them. The conservation rule runs last and only on traces the earlier
-/// rules passed without an ERROR (it replays the trace, which a malformed
-/// trace could crash).
+/// them. The conservation and outcome rules run last and only on traces
+/// the earlier rules passed without an ERROR (they replay the trace,
+/// which a malformed trace could crash).
 pub const ALL_RULES: &[&str] = &[
     wellformed::RULE,
     alignment::RULE,
@@ -23,4 +24,5 @@ pub const ALL_RULES: &[&str] = &[
     memdep::RULE,
     latency::RULE,
     conservation::RULE,
+    outcome::RULE,
 ];

@@ -19,6 +19,11 @@
 //! * [`replay_bench`] — the replay-throughput harness comparing the
 //!   packed [`ReplayImage`](valign_pipeline::ReplayImage) hot path against
 //!   the record-form reference walker (`valign bench-replay`).
+//! * [`faults`] / [`supervise`] — deterministic fault injection and the
+//!   supervised batch executor: per-job panic isolation, integrity-checked
+//!   replay images, a cycle-budget watchdog, bounded retries, quarantine,
+//!   and graceful degradation to the reference walker
+//!   (`valign run --supervised --inject`).
 //!
 //! ## Example: the headline measurement in five lines
 //!
@@ -40,9 +45,15 @@
 
 pub mod experiments;
 pub mod explain;
+pub mod faults;
 pub mod replay_bench;
 pub mod sim;
+pub mod supervise;
 pub mod workload;
 
-pub use sim::{BatchRunner, PreparedTrace, SimContext, SimJob, TraceKey, TraceSource, TraceStore};
+pub use faults::{FaultClass, FaultPlan, FaultSet, FaultSpec};
+pub use sim::{
+    BatchRunner, JobPanic, PreparedTrace, SimContext, SimJob, TraceKey, TraceSource, TraceStore,
+};
+pub use supervise::{JobFailure, JobOutcome, OutcomeTally, SupervisedRunner, SupervisorConfig};
 pub use workload::{trace_kernel, KernelId, Workload};

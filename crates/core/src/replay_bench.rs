@@ -17,7 +17,11 @@
 //!   paths (the packed image is a lossless re-encoding, not an
 //!   approximation);
 //! * trace generation and image compilation happen *outside* every timed
-//!   region, so the numbers isolate replay throughput.
+//!   region, so the numbers isolate replay throughput;
+//! * **image integrity** — before any timed pass, every prepared image is
+//!   re-checksummed against the checksum stored at compile time and run
+//!   through [`ReplayImage::validate`](valign_pipeline::ReplayImage::validate),
+//!   so a corrupted image can never masquerade as a throughput result.
 //!
 //! `valign bench-replay` drives this module and writes the JSON artifact
 //! (`BENCH_replay.json`); `cargo bench -p valign-bench --bench replay`
@@ -81,6 +85,9 @@ pub struct ReplayBench {
     pub image: PathMeasure,
     /// Whether every job's [`SimResult`] was `==` across the two paths.
     pub bit_identical: bool,
+    /// Distinct prepared images that passed the pre-bench integrity check
+    /// (checksum recomputation + static validation).
+    pub images_verified: usize,
     /// Per-kernel breakdown, in [`KernelId::ALL`] order.
     pub per_kernel: Vec<KernelMeasure>,
     /// Stall attribution summed over every measured replay of the batch
@@ -144,6 +151,28 @@ pub fn run(execs: usize, seed: u64, repeats: usize) -> ReplayBench {
     }
     let instructions: u64 = jobs.iter().map(|j| 2 * j.prepared.trace.len() as u64).sum();
 
+    // Integrity gate before anything is timed: recompute every distinct
+    // image's checksum against the one stored at compile time, then
+    // statically validate. The store shares one image per key, so verify
+    // per key rather than per job.
+    let mut images_verified = 0usize;
+    let mut seen = std::collections::HashSet::new();
+    for job in &jobs {
+        if !seen.insert(std::sync::Arc::as_ptr(&job.prepared.image)) {
+            continue;
+        }
+        let actual = job.prepared.image.checksum();
+        assert_eq!(
+            actual, job.prepared.image_checksum,
+            "image checksum rotted between compilation and bench"
+        );
+        job.prepared
+            .image
+            .validate()
+            .unwrap_or_else(|e| panic!("prepared image failed validation: {e}"));
+        images_verified += 1;
+    }
+
     let (ref_walls, ref_results) = best_pass(&jobs, repeats, Path::Reference);
     let (img_walls, img_results) = best_pass(&jobs, repeats, Path::Image);
     let bit_identical = ref_results == img_results;
@@ -185,6 +214,7 @@ pub fn run(execs: usize, seed: u64, repeats: usize) -> ReplayBench {
         reference: measure(&ref_walls),
         image: measure(&img_walls),
         bit_identical,
+        images_verified,
         per_kernel,
         attribution,
         attributed_cycles,
@@ -278,6 +308,11 @@ impl ReplayBench {
         );
         let _ = writeln!(
             out,
+            "{} images verified (checksum + validation) before timing",
+            self.images_verified,
+        );
+        let _ = writeln!(
+            out,
             "attribution over {} simulated cycles ({}): {}",
             self.attributed_cycles,
             if self.attribution.conserves(self.attributed_cycles) {
@@ -301,6 +336,7 @@ impl ReplayBench {
         let _ = writeln!(out, "  \"jobs_per_pass\": {},", self.jobs);
         let _ = writeln!(out, "  \"instructions_per_pass\": {},", self.instructions);
         let _ = writeln!(out, "  \"bit_identical\": {},", self.bit_identical);
+        let _ = writeln!(out, "  \"images_verified\": {},", self.images_verified);
         let _ = writeln!(
             out,
             "  \"reference\": {{\"wall_secs\": {:.6}, \"mips\": {:.3}}},",
@@ -370,14 +406,21 @@ mod tests {
             b.attribution.total(),
             b.attributed_cycles
         );
+        assert_eq!(
+            b.images_verified,
+            KernelId::ALL.len() * 3,
+            "one image per kernel/variant key"
+        );
         let json = b.render_json();
         assert!(json.contains("\"bit_identical\": true"));
+        assert!(json.contains("\"images_verified\""));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"attribution_conserved\": true"));
         assert!(json.contains("\"useful\":"));
         assert_eq!(json.matches("\"kernel\":").count(), KernelId::ALL.len());
         let human = b.render();
         assert!(human.contains("bit-identical"));
+        assert!(human.contains("images verified"));
         assert!(human.contains("MIPS"));
         assert!(human.contains("conserved"));
     }

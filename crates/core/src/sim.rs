@@ -21,17 +21,29 @@
 //!   results still come back in submission order, so batch output is
 //!   bit-identical at any thread count.
 //! * [`SimContext`] — bundles a store and a runner, and records per-batch
-//!   wall time for the summary scorecard.
+//!   wall time (and, for supervised batches, the outcome tally) for the
+//!   summary scorecard.
 //!
 //! Determinism argument: every job is an independent pure function of its
 //! `(trace, config)` inputs — a fresh [`Simulator`] per job, no state
 //! shared between jobs except the immutable traces — so the result vector
 //! depends only on the submitted job list, never on scheduling.
+//!
+//! Failure isolation: workers run every job under `catch_unwind`, so one
+//! panicking job surfaces as a [`JobPanic`] in its own slot while its
+//! siblings' results survive ([`BatchRunner::try_run`]). The panicking
+//! variant [`BatchRunner::run`] still aborts — but only after the whole
+//! batch has drained, never by poisoning the scoped-thread join. The
+//! [`crate::supervise`] layer builds retries, quarantine and degradation
+//! on top of this.
 
+use crate::faults::{FaultClass, FaultPlan};
+use crate::supervise::OutcomeTally;
 use crate::workload::{trace_kernel, KernelId};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 use std::time::Instant;
 use valign_isa::Trace;
@@ -64,13 +76,24 @@ pub struct PreparedTrace {
     pub trace: Arc<Trace>,
     /// The packed structure-of-arrays replay form of the same trace.
     pub image: Arc<ReplayImage>,
+    /// Checksum of `image` taken at compile time. A supervised replay
+    /// recomputes the checksum at load and treats a mismatch as
+    /// [`valign_pipeline::SimError::ChecksumMismatch`] — the first rung of
+    /// the integrity ladder, catching corruption that static validation
+    /// cannot see.
+    pub image_checksum: u64,
 }
 
 impl PreparedTrace {
-    /// Compiles `trace` into its replay image.
+    /// Compiles `trace` into its replay image and checksums it.
     pub fn new(trace: Arc<Trace>) -> Self {
         let image = ReplayImage::build(&trace).into_shared();
-        PreparedTrace { trace, image }
+        let image_checksum = image.checksum();
+        PreparedTrace {
+            trace,
+            image,
+            image_checksum,
+        }
     }
 }
 
@@ -132,7 +155,7 @@ impl TraceStore {
     /// one image per key.
     pub fn prepared(&self, key: TraceKey) -> PreparedTrace {
         let cell = {
-            let mut map = self.entries.lock().expect("trace store poisoned");
+            let mut map = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
             map.entry(key).or_default().clone()
         };
         let mut generated = false;
@@ -159,7 +182,7 @@ impl TraceStore {
     /// already generated. Used by the batch runner to order dispatch by
     /// estimated size without forcing generation.
     pub fn resident_len(&self, key: TraceKey) -> Option<usize> {
-        let map = self.entries.lock().expect("trace store poisoned");
+        let map = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         map.get(&key)
             .and_then(|cell| cell.get())
             .map(|p| p.trace.len())
@@ -167,7 +190,11 @@ impl TraceStore {
 
     /// Usage counters (hits, misses, residency).
     pub fn stats(&self) -> TraceStoreStats {
-        let entries = self.entries.lock().expect("trace store poisoned").len();
+        let entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len();
         TraceStoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -197,6 +224,11 @@ pub struct SimJob {
     pub cfg: PipelineConfig,
     /// Precede the measured replay with a warm-up replay (steady state).
     pub warm: bool,
+    /// Deterministic fault to inject into this job, if any. Plans are
+    /// normally resolved per job by the supervisor from a
+    /// [`crate::faults::FaultSet`]; attaching one directly is the test
+    /// hook for exercising unsupervised failure behaviour.
+    pub fault: Option<FaultPlan>,
 }
 
 impl SimJob {
@@ -206,6 +238,7 @@ impl SimJob {
             source: TraceSource::Key(key),
             cfg,
             warm: true,
+            fault: None,
         }
     }
 
@@ -215,6 +248,7 @@ impl SimJob {
             source: TraceSource::Shared(trace),
             cfg,
             warm: true,
+            fault: None,
         }
     }
 
@@ -224,14 +258,65 @@ impl SimJob {
         self
     }
 
+    /// Same job, with `plan` injected into every attempt.
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Fault-selector label of this job: `kernel.variant` for store keys
+    /// (e.g. `luma8x8.unaligned`), `shared` for store-bypassing traces.
+    pub fn label(&self) -> String {
+        match &self.source {
+            TraceSource::Key(key) => format!("{}.{}", key.kernel.label(), key.variant.label()),
+            TraceSource::Shared(_) => "shared".to_string(),
+        }
+    }
+
+    /// Workload seed the fault-site hash is keyed by (0 for shared
+    /// traces, which carry no key).
+    pub fn seed(&self) -> u64 {
+        match &self.source {
+            TraceSource::Key(key) => key.seed,
+            TraceSource::Shared(_) => 0,
+        }
+    }
+
+    /// The prepared (image + checksum + trace) form of this job's source.
+    /// Keys share the store's one prepared form per trace; shared traces
+    /// compile (and checksum) per call — they are the rare custom-program
+    /// path, not the generate-once/replay-many batch path.
+    pub(crate) fn prepared(&self, store: &TraceStore) -> PreparedTrace {
+        match &self.source {
+            TraceSource::Key(key) => store.prepared(*key),
+            TraceSource::Shared(trace) => PreparedTrace::new(Arc::clone(trace)),
+        }
+    }
+
     fn execute(&self, store: &TraceStore) -> SimResult {
-        let image = match &self.source {
-            TraceSource::Key(key) => store.prepared(*key).image,
-            // Shared traces bypass the store, so the image is compiled per
-            // job — they are the rare custom-program path, not the
-            // generate-once/replay-many batch path.
-            TraceSource::Shared(trace) => ReplayImage::build(trace).into_shared(),
-        };
+        let mut image = self.prepared(store).image;
+        if let Some(plan) = self.fault.as_ref().filter(|p| p.active(0)) {
+            match plan.class {
+                // The whole point of the panic class: abort the worker
+                // mid-batch and see what the executor does about it.
+                FaultClass::Panic => panic!(
+                    "injected fault: forced panic in job {} (site {:#018x})",
+                    self.label(),
+                    plan.site
+                ),
+                // Stalls ride on `RunGuards`, which the unsupervised hot
+                // path deliberately does not carry.
+                FaultClass::Stall => {}
+                class => {
+                    let kind = class
+                        .sabotage()
+                        .expect("image fault classes map to a sabotage");
+                    let mut copy = (*image).clone();
+                    copy.sabotage(kind, plan.site);
+                    image = Arc::new(copy);
+                }
+            }
+        }
         let warmup = self.warm.then_some(&*image);
         Simulator::simulate_image(self.cfg.clone(), warmup, &image)
     }
@@ -240,7 +325,7 @@ impl SimJob {
     /// to order dispatch (largest first). Exact for shared and resident
     /// traces; for not-yet-generated keys the kernel execution count is a
     /// monotone proxy.
-    fn size_estimate(&self, store: &TraceStore) -> u64 {
+    pub(crate) fn size_estimate(&self, store: &TraceStore) -> u64 {
         match &self.source {
             TraceSource::Key(key) => store
                 .resident_len(*key)
@@ -248,6 +333,41 @@ impl SimJob {
             TraceSource::Shared(trace) => trace.len() as u64,
         }
     }
+}
+
+/// A job attempt that panicked, as captured by the batch executor's
+/// per-job `catch_unwind`: the panic payload rendered to a message, with
+/// the process (and the sibling jobs) intact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Largest-estimated-trace-first dispatch order over `jobs`. Stable on
+/// the (deterministic) size estimates, so equal estimates stay in
+/// submission order and the dispatch order itself is deterministic.
+pub(crate) fn dispatch_order(store: &TraceStore, jobs: &[SimJob]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    let estimates: Vec<u64> = jobs.iter().map(|j| j.size_estimate(store)).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(estimates[i]));
+    order
 }
 
 /// Executes job batches on a scoped worker pool, returning results in
@@ -277,26 +397,74 @@ impl BatchRunner {
     /// pool, but each result lands in its submission-order slot, so the
     /// result vector is independent of dispatch order and thread count
     /// (every job is a pure function of its inputs).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first (by submission index) job panic — but only
+    /// after the whole batch has drained: a panicking job is isolated by
+    /// [`BatchRunner::try_run`], never allowed to poison the scoped-thread
+    /// join and take its siblings' finished results with it. Callers that
+    /// must survive job panics use [`BatchRunner::try_run`] or the
+    /// [`crate::supervise::SupervisedRunner`].
     pub fn run(&self, store: &TraceStore, jobs: &[SimJob]) -> Vec<SimResult> {
-        if self.threads == 1 || jobs.len() <= 1 {
-            return jobs.iter().map(|j| j.execute(store)).collect();
+        self.try_run(store, jobs)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|p| {
+                    panic!(
+                        "batch job {i} panicked (siblings completed first): {}",
+                        p.message
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// Panic-isolating counterpart of [`BatchRunner::run`]: every job runs
+    /// under `catch_unwind`, so `results[i]` is either `jobs[i]`'s result
+    /// or the [`JobPanic`] that job died with — one poisoned job cannot
+    /// cost the batch its other results.
+    pub fn try_run(&self, store: &TraceStore, jobs: &[SimJob]) -> Vec<Result<SimResult, JobPanic>> {
+        let order = dispatch_order(store, jobs);
+        self.scatter(jobs.len(), order, |i| jobs[i].execute(store))
+    }
+
+    /// The one dispatch loop behind every batch shape: runs `f(0..n)` on
+    /// the worker pool in the given dispatch `order`, catching each call's
+    /// unwind, and scatters results into submission-order slots.
+    ///
+    /// `f` must be a pure function of its index for the batch-determinism
+    /// guarantee to hold; the serial fast path also runs under
+    /// `catch_unwind` so outcomes are identical at any thread count.
+    pub(crate) fn scatter<R, F>(
+        &self,
+        n: usize,
+        order: Vec<usize>,
+        f: F,
+    ) -> Vec<Result<R, JobPanic>>
+    where
+        R: Send + Sync,
+        F: Fn(usize) -> R + Sync,
+    {
+        let run_one = |i: usize| {
+            catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| JobPanic {
+                message: panic_message(payload),
+            })
+        };
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(run_one).collect();
         }
-        // Stable sort on the (deterministic) size estimates keeps dispatch
-        // order itself deterministic: equal estimates stay in submission
-        // order.
-        let mut order: Vec<usize> = (0..jobs.len()).collect();
-        let estimates: Vec<u64> = jobs.iter().map(|j| j.size_estimate(store)).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(estimates[i]));
-        let slots: Vec<OnceLock<SimResult>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceLock<Result<R, JobPanic>>> = (0..n).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(jobs.len()) {
+            for _ in 0..self.threads.min(n) {
                 scope.spawn(|| loop {
                     let rank = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&i) = order.get(rank) else { break };
-                    slots[i]
-                        .set(jobs[i].execute(store))
-                        .expect("each slot is filled once");
+                    if slots[i].set(run_one(i)).is_err() {
+                        unreachable!("each slot is filled once");
+                    }
                 });
             }
         });
@@ -316,6 +484,8 @@ pub struct BatchRecord {
     pub jobs: usize,
     /// Wall time of the whole batch.
     pub wall: Duration,
+    /// Per-outcome tally for supervised batches; `None` for plain ones.
+    pub tally: Option<OutcomeTally>,
 }
 
 /// Shared driver context: one trace store plus one batch runner, with
@@ -366,20 +536,45 @@ impl SimContext {
         let started = Instant::now();
         let results = self.runner.run(&self.store, &jobs);
         let wall = started.elapsed();
+        self.record_batch(label, jobs.len(), wall, None);
+        results
+    }
+
+    /// Runs one batch under `supervisor` (fault injection, panic
+    /// isolation, retries, quarantine, degradation — see
+    /// [`crate::supervise`]), recording wall time *and* the outcome tally
+    /// under `label`. `outcomes[i]` corresponds to `jobs[i]`.
+    pub fn run_supervised(
+        &self,
+        label: &str,
+        jobs: Vec<SimJob>,
+        supervisor: &crate::supervise::SupervisedRunner,
+    ) -> Vec<crate::supervise::JobOutcome> {
+        let started = Instant::now();
+        let outcomes = supervisor.run(&self.store, &jobs);
+        let wall = started.elapsed();
+        self.record_batch(label, jobs.len(), wall, Some(OutcomeTally::of(&outcomes)));
+        outcomes
+    }
+
+    fn record_batch(&self, label: &str, jobs: usize, wall: Duration, tally: Option<OutcomeTally>) {
         self.batches
             .lock()
-            .expect("batch log poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(BatchRecord {
                 label: label.to_string(),
-                jobs: jobs.len(),
+                jobs,
                 wall,
+                tally,
             });
-        results
     }
 
     /// Executed batches so far, in submission order.
     pub fn batches(&self) -> Vec<BatchRecord> {
-        self.batches.lock().expect("batch log poisoned").clone()
+        self.batches
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Renders the trace-cache and batch-timing scorecard section.
@@ -401,11 +596,31 @@ impl SimContext {
             },
         ));
         out.push_str(&format!("batches ({} threads):\n", self.threads()));
+        let mut totals: Option<OutcomeTally> = None;
         for b in self.batches() {
-            out.push_str(&format!(
-                "  {:<18} {:>4} jobs  {:>9.2?}\n",
-                b.label, b.jobs, b.wall
-            ));
+            match b.tally {
+                Some(tally) => {
+                    out.push_str(&format!(
+                        "  {:<18} {:>4} jobs  {:>9.2?}  [{}c {}r {}d {}q]\n",
+                        b.label,
+                        b.jobs,
+                        b.wall,
+                        tally.completed,
+                        tally.retried,
+                        tally.degraded,
+                        tally.quarantined,
+                    ));
+                    totals = Some(totals.unwrap_or_default().merged(tally));
+                }
+                None => out.push_str(&format!(
+                    "  {:<18} {:>4} jobs  {:>9.2?}\n",
+                    b.label, b.jobs, b.wall
+                )),
+            }
+        }
+        if let Some(totals) = totals {
+            // Stable phrasing: CI's fault-matrix gate greps this line.
+            out.push_str(&format!("supervised totals: {totals}\n"));
         }
         out
     }
@@ -525,6 +740,58 @@ mod tests {
         let mut sorted = instr.clone();
         sorted.sort_unstable();
         assert_eq!(instr, sorted, "results must be in submission order");
+    }
+
+    #[test]
+    fn try_run_isolates_a_panicking_job() {
+        use crate::faults::{fault_site, FaultClass, FaultPlan};
+        let store = TraceStore::new();
+        let mut jobs: Vec<SimJob> = (1..=6)
+            .map(|e| SimJob::keyed(key(e), PipelineConfig::four_way()))
+            .collect();
+        let clean = BatchRunner::new(4).run(&store, &jobs);
+        jobs[2] = jobs[2].clone().with_fault(FaultPlan {
+            class: FaultClass::Panic,
+            site: fault_site(7, &jobs[2].label(), FaultClass::Panic),
+        });
+        for threads in [1, 4] {
+            let results = BatchRunner::new(threads).try_run(&store, &jobs);
+            for (i, result) in results.iter().enumerate() {
+                if i == 2 {
+                    let panic = result.as_ref().expect_err("job 2 must panic");
+                    assert!(panic.message.contains("injected fault"), "{panic}");
+                } else {
+                    assert_eq!(
+                        result.as_ref().ok(),
+                        Some(&clean[i]),
+                        "sibling {i} must survive the poisoned job untouched"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_drains_the_batch_before_reraising_a_job_panic() {
+        use crate::faults::{FaultClass, FaultPlan};
+        let store = TraceStore::new();
+        let jobs = vec![
+            SimJob::keyed(key(2), PipelineConfig::four_way()),
+            SimJob::keyed(key(3), PipelineConfig::four_way()).with_fault(FaultPlan {
+                class: FaultClass::Panic,
+                site: 0,
+            }),
+        ];
+        let err =
+            std::panic::catch_unwind(AssertUnwindSafe(|| BatchRunner::new(2).run(&store, &jobs)))
+                .expect_err("run re-raises the job panic");
+        let message = err
+            .downcast_ref::<String>()
+            .expect("re-raised panic carries a message");
+        assert!(
+            message.contains("batch job 1 panicked (siblings completed first)"),
+            "{message}"
+        );
     }
 
     #[test]

@@ -36,9 +36,36 @@ use crate::image::{dst_file_of, flags, ReplayImage, NO_DEF};
 use crate::latency::LatencyTable;
 use crate::lsu::{Lsu, MemExec};
 use crate::predictor::BranchPredictor;
-use crate::result::SimResult;
+use crate::result::{SimError, SimResult};
 use valign_cache::{CacheConfig, Hierarchy, SetAssocCache};
 use valign_isa::{DynInstr, MemKind, Trace, Unit};
+
+/// Integrity guards applied by the checked replay path
+/// ([`Simulator::try_run_image`]). Both guards are expressed in simulated
+/// cycles / record indices — never wall-clock — so a guarded replay is as
+/// deterministic as an unguarded one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunGuards {
+    /// Watchdog deadline: abort with [`SimError::BudgetExceeded`] as soon
+    /// as any instruction retires past this cycle. `None` disables it.
+    pub cycle_budget: Option<u64>,
+    /// Deterministic artificial stall injected at one record (fault
+    /// injection's per-job stall class). `None` injects nothing.
+    pub stall: Option<StallInjection>,
+}
+
+/// An artificial stall: the record at index `at` reaches dispatch `cycles`
+/// late. Dispatch is the injection point because every later milestone is
+/// a running maximum over it, and the attribution walk charges the
+/// inflated dispatch segment to the frontend bucket — so an injected
+/// stall slows the run without breaking cycle conservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallInjection {
+    /// Record index whose dispatch is delayed.
+    pub at: u64,
+    /// Extra cycles added to that record's dispatch.
+    pub cycles: u64,
+}
 
 /// Assembles the attribution [`Timeline`] of one instruction from the
 /// milestones both replay paths compute through the same stage calls —
@@ -149,14 +176,50 @@ impl Simulator {
     /// Replays a packed [`ReplayImage`] and returns the timing result —
     /// the engine's hot path. Bit-identical to
     /// [`Simulator::run_reference`] on the image's source trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`SimError`] (malformed image or missing latency
+    /// entry); use [`Simulator::try_run_image`] where a corrupt image is
+    /// reachable and the failure must be handled instead.
     pub fn run_image(&mut self, image: &ReplayImage) -> SimResult {
+        self.replay_image::<false>(image, &RunGuards::default())
+            .unwrap_or_else(|e| panic!("replay failed: {e}"))
+    }
+
+    /// The checked counterpart of [`Simulator::run_image`]: validates the
+    /// image up front, bounds-checks the dependence walk, applies the
+    /// [`RunGuards`] (cycle-budget watchdog, injected stall), and returns
+    /// a structured [`SimError`] instead of panicking. On a well-formed
+    /// image with default guards the result is bit-identical to
+    /// [`Simulator::run_image`].
+    pub fn try_run_image(
+        &mut self,
+        image: &ReplayImage,
+        guards: &RunGuards,
+    ) -> Result<SimResult, SimError> {
+        self.replay_image::<true>(image, guards)
+    }
+
+    /// The single replay walk behind both image paths. `GUARDED` is a
+    /// const so the unguarded hot path compiles with every integrity
+    /// check and guard branch removed — monomorphisation keeps the
+    /// supervision layer free for the measured sweeps.
+    fn replay_image<const GUARDED: bool>(
+        &mut self,
+        image: &ReplayImage,
+        guards: &RunGuards,
+    ) -> Result<SimResult, SimError> {
+        if GUARDED {
+            image.validate()?;
+        }
         let n = image.len();
         let mut result = SimResult {
             instructions: n as u64,
             ..Default::default()
         };
         if n == 0 {
-            return result;
+            return Ok(result);
         }
 
         let mut frontend = Frontend::new(&self.cfg, &mut self.icache);
@@ -187,7 +250,25 @@ impl Simulator {
             );
 
             // ---- dispatch / issue readiness ----
-            let dispatch = frontend.dispatch_at(fetch_cycle);
+            let mut dispatch = frontend.dispatch_at(fetch_cycle);
+            if GUARDED {
+                if let Some(stall) = guards.stall {
+                    if stall.at == idx as u64 {
+                        dispatch += stall.cycles;
+                    }
+                }
+                // A producer at or after its consumer is impossible in a
+                // recorded trace; catch it before the scoreboard's
+                // window-distance arithmetic would misread the rings.
+                for &def in &src_defs[idx] {
+                    if def != NO_DEF && def as usize >= idx {
+                        return Err(SimError::DanglingProducer {
+                            index: idx,
+                            producer: def,
+                        });
+                    }
+                }
+            }
             let is_branch = f & flags::BRANCH != 0;
             let ready = backend.ready_at(idx, is_branch, &src_defs[idx], dispatch);
 
@@ -208,22 +289,37 @@ impl Simulator {
 
             // ---- execute ----
             let (complete, mem_exec) = if touches_memory {
-                let exec = lsu.execute_prepared(
-                    mem_addrs[mem_cursor],
-                    mem_bytes[mem_cursor],
-                    kind,
-                    f & flags::UNALIGNED != 0,
-                    image.mem_deps_at(mem_cursor),
-                    issue_cycle,
-                    &mut result,
-                );
+                let exec = if GUARDED {
+                    lsu.execute_prepared_checked(
+                        mem_addrs[mem_cursor],
+                        mem_bytes[mem_cursor],
+                        kind,
+                        f & flags::UNALIGNED != 0,
+                        image.mem_deps_at(mem_cursor),
+                        idx,
+                        issue_cycle,
+                        &mut result,
+                    )?
+                } else {
+                    lsu.execute_prepared(
+                        mem_addrs[mem_cursor],
+                        mem_bytes[mem_cursor],
+                        kind,
+                        f & flags::UNALIGNED != 0,
+                        image.mem_deps_at(mem_cursor),
+                        issue_cycle,
+                        &mut result,
+                    )
+                };
                 mem_cursor += 1;
                 (exec.complete, Some(exec))
             } else {
-                let lat = self
-                    .lat
-                    .fixed(ops[idx])
-                    .unwrap_or_else(|| panic!("no fixed latency entry for {}", ops[idx]));
+                let Some(lat) = self.lat.fixed(ops[idx]) else {
+                    return Err(SimError::MissingLatency {
+                        op: ops[idx],
+                        index: idx,
+                    });
+                };
                 (issue_cycle + u64::from(lat), None)
             };
 
@@ -252,6 +348,19 @@ impl Simulator {
                 result.breakdown.charge(prev_retire, retire_cycle, &t);
             }
             frontend.release_dst(image.dst_file(idx), retire_cycle);
+
+            // ---- watchdog ----
+            if GUARDED {
+                if let Some(budget) = guards.cycle_budget {
+                    if retire_cycle > budget {
+                        return Err(SimError::BudgetExceeded {
+                            index: idx,
+                            cycles: retire_cycle,
+                            budget,
+                        });
+                    }
+                }
+            }
         }
 
         result.cycles = backend.last_retire();
@@ -264,7 +373,7 @@ impl Simulator {
             result.breakdown.total(),
             result.cycles
         );
-        result
+        Ok(result)
     }
 
     /// Replays `trace` record by record, straight off the AoS
@@ -407,6 +516,25 @@ impl Simulator {
             let _ = sim.run_image(w);
         }
         sim.run_image(image)
+    }
+
+    /// The checked counterpart of [`Simulator::simulate_image`]: both the
+    /// warm-up and the measured replay run through
+    /// [`Simulator::try_run_image`] under the same `guards`, and the
+    /// first [`SimError`] aborts the job. On a well-formed image with
+    /// default guards the result is bit-identical to
+    /// [`Simulator::simulate_image`].
+    pub fn try_simulate_image(
+        cfg: PipelineConfig,
+        warmup: Option<&ReplayImage>,
+        image: &ReplayImage,
+        guards: &RunGuards,
+    ) -> Result<SimResult, SimError> {
+        let mut sim = Simulator::new(cfg);
+        if let Some(w) = warmup {
+            let _ = sim.try_run_image(w, guards)?;
+        }
+        sim.try_run_image(image, guards)
     }
 }
 
@@ -691,6 +819,192 @@ mod tests {
         let r = Simulator::simulate(PipelineConfig::two_way(), None, &trace);
         assert!(r.breakdown.conserves(r.cycles), "{:?}", r.breakdown);
         assert!(r.breakdown.miss_latency > 0, "{:?}", r.breakdown);
+    }
+
+    #[test]
+    fn guarded_replay_is_bit_identical_to_the_hot_path() {
+        let mut vm = Vm::new();
+        let buf = vm.mem_mut().alloc(4096, 16);
+        let p = vm.li((buf + 3) as i64);
+        let i0 = vm.li(0);
+        for i in 0..300 {
+            let v = vm.lvxu(i0, p);
+            let _ = v;
+            if i % 7 == 0 {
+                let c = vm.cmpwi(i0, 0);
+                let top = vm.label();
+                vm.bc(c, i % 14 == 0, top);
+            }
+        }
+        let trace = vm.take_trace();
+        let image = ReplayImage::build(&trace);
+        for cfg in [PipelineConfig::two_way(), PipelineConfig::four_way()] {
+            let plain = Simulator::simulate_image(cfg.clone(), Some(&image), &image);
+            let guarded =
+                Simulator::try_simulate_image(cfg, Some(&image), &image, &RunGuards::default())
+                    .expect("clean image replays cleanly");
+            assert_eq!(plain, guarded);
+        }
+    }
+
+    #[test]
+    fn cycle_budget_watchdog_trips_deterministically() {
+        let mut vm = Vm::new();
+        let mut x = vm.li(0);
+        for _ in 0..500 {
+            x = vm.addi(x, 1);
+        }
+        let trace = vm.take_trace();
+        let image = ReplayImage::build(&trace);
+        let full = Simulator::try_simulate_image(
+            PipelineConfig::four_way(),
+            None,
+            &image,
+            &RunGuards::default(),
+        )
+        .expect("no budget, no abort");
+        let guards = RunGuards {
+            cycle_budget: Some(full.cycles / 2),
+            stall: None,
+        };
+        let err = Simulator::try_simulate_image(PipelineConfig::four_way(), None, &image, &guards)
+            .expect_err("half the budget must trip the watchdog");
+        match err {
+            SimError::BudgetExceeded { cycles, budget, .. } => {
+                assert!(cycles > budget);
+                assert_eq!(budget, full.cycles / 2);
+            }
+            other => panic!("expected BudgetExceeded, got {other}"),
+        }
+        // Determinism: the same budget trips at the same record.
+        let again =
+            Simulator::try_simulate_image(PipelineConfig::four_way(), None, &image, &guards)
+                .expect_err("same inputs, same abort");
+        assert_eq!(err, again);
+    }
+
+    #[test]
+    fn injected_stall_slows_the_run_and_conserves() {
+        let mut vm = Vm::new();
+        let mut x = vm.li(0);
+        for _ in 0..200 {
+            x = vm.addi(x, 1);
+        }
+        let trace = vm.take_trace();
+        let image = ReplayImage::build(&trace);
+        let clean = Simulator::try_simulate_image(
+            PipelineConfig::four_way(),
+            None,
+            &image,
+            &RunGuards::default(),
+        )
+        .expect("clean");
+        let guards = RunGuards {
+            cycle_budget: None,
+            stall: Some(StallInjection {
+                at: 100,
+                cycles: 5000,
+            }),
+        };
+        let stalled =
+            Simulator::try_simulate_image(PipelineConfig::four_way(), None, &image, &guards)
+                .expect("a stall is slow, not fatal");
+        // The stall lands on dispatch, so a few cycles that overlapped
+        // other work in the clean run are absorbed — the slowdown is just
+        // under the injected amount, never more than a pipeline's worth.
+        assert!(
+            stalled.cycles >= clean.cycles + 4500,
+            "stalled {} vs clean {}",
+            stalled.cycles,
+            clean.cycles
+        );
+        assert!(
+            stalled.breakdown.conserves(stalled.cycles),
+            "injected stall must not break conservation: {:?}",
+            stalled.breakdown
+        );
+        assert!(
+            stalled.breakdown.frontend >= 4000,
+            "{:?}",
+            stalled.breakdown
+        );
+    }
+
+    #[test]
+    fn runtime_sabotage_is_caught_mid_replay() {
+        use crate::image::Sabotage;
+        let mut vm = Vm::new();
+        let buf = vm.mem_mut().alloc(4096, 16);
+        let base = vm.li(buf as i64);
+        for i in 0..40 {
+            let v = vm.li(i);
+            vm.stw(v, base, i * 4);
+            let _ = vm.lwz(base, i * 4);
+        }
+        let trace = vm.take_trace();
+
+        let mut img = ReplayImage::build(&trace);
+        assert!(img.sabotage(Sabotage::DepOverflow, 11));
+        img.validate()
+            .expect("dep overflow passes static validation");
+        let err = Simulator::try_simulate_image(
+            PipelineConfig::four_way(),
+            None,
+            &img,
+            &RunGuards::default(),
+        )
+        .expect_err("the checked dependence walk must catch it");
+        assert!(matches!(err, SimError::DepOutOfWindow { .. }), "{err}");
+
+        let mut img = ReplayImage::build(&trace);
+        assert!(img.sabotage(Sabotage::DanglingDef, 23));
+        img.validate()
+            .expect("dangling def passes static validation");
+        let err = Simulator::try_simulate_image(
+            PipelineConfig::four_way(),
+            None,
+            &img,
+            &RunGuards::default(),
+        )
+        .expect_err("the producer check must catch it");
+        assert!(matches!(err, SimError::DanglingProducer { .. }), "{err}");
+    }
+
+    #[test]
+    fn static_sabotage_is_caught_before_the_walk() {
+        use crate::image::Sabotage;
+        let mut vm = Vm::new();
+        for _ in 0..20 {
+            let a = vm.li(1);
+            let _ = vm.addi(a, 2);
+        }
+        let trace = vm.take_trace();
+        let mut img = ReplayImage::build(&trace);
+        assert!(img.sabotage(Sabotage::Truncate, 9));
+        let err = Simulator::try_simulate_image(
+            PipelineConfig::two_way(),
+            None,
+            &img,
+            &RunGuards::default(),
+        )
+        .expect_err("truncated image must be rejected up front");
+        assert!(matches!(err, SimError::CorruptImage { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_image_replays_cleanly_under_guards() {
+        let image = ReplayImage::build(&Trace::new());
+        let r = Simulator::try_simulate_image(
+            PipelineConfig::four_way(),
+            None,
+            &image,
+            &RunGuards {
+                cycle_budget: Some(0),
+                stall: None,
+            },
+        )
+        .expect("nothing to replay, nothing to abort");
+        assert_eq!(r.cycles, 0);
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! XXH64-flavoured streaming word hash, used for [`crate::ReplayImage`]
+//! checksums and for deterministic fault-site keying in `valign-core`.
+//!
+//! This is a self-contained implementation in the style of xxHash64 — four
+//! accumulator lanes absorbing 64-bit words with the xxHash prime
+//! multiply-rotate round, merged and avalanched at the end. It is **not**
+//! wire-compatible with reference xxHash (input here is a word stream, not
+//! a byte stream), and it is not a cryptographic hash: the properties the
+//! repo needs are determinism across platforms/threads, sensitivity to
+//! any single flipped bit, and speed — exactly what an integrity checksum
+//! over packed replay arrays and a seed→site mixer require.
+
+/// xxHash64 primes.
+const P1: u64 = 0x9E37_79B1_85EB_CA87;
+const P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const P3: u64 = 0x1656_67B1_9E37_79F9;
+const P4: u64 = 0x85EB_CA77_C2B2_AE63;
+const P5: u64 = 0x27D4_EB2F_1654_67C5;
+
+/// One xxHash64 accumulator round.
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(P2))
+        .rotate_left(31)
+        .wrapping_mul(P1)
+}
+
+/// Streaming hasher over 64-bit words (see the module docs).
+#[derive(Debug, Clone)]
+pub struct WordHash {
+    lanes: [u64; 4],
+    next: usize,
+    words: u64,
+    seed: u64,
+}
+
+impl WordHash {
+    /// A fresh hasher; equal seeds and equal word streams hash equal.
+    pub fn new(seed: u64) -> Self {
+        WordHash {
+            lanes: [
+                seed.wrapping_add(P1).wrapping_add(P2),
+                seed.wrapping_add(P2),
+                seed,
+                seed.wrapping_sub(P1),
+            ],
+            next: 0,
+            words: 0,
+            seed,
+        }
+    }
+
+    /// Absorbs one 64-bit word.
+    #[inline]
+    pub fn write_u64(&mut self, word: u64) {
+        self.lanes[self.next] = round(self.lanes[self.next], word);
+        self.next = (self.next + 1) & 3;
+        self.words = self.words.wrapping_add(1);
+    }
+
+    /// Absorbs a byte string: packed little-endian into words (zero-padded
+    /// tail) followed by the byte length, so `"ab" + "c"` and `"a" + "bc"`
+    /// only collide when the concatenations are equal.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+        self.write_u64(bytes.len() as u64);
+    }
+
+    /// Merges the lanes and avalanches into the final 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        let mut h = if self.words == 0 {
+            // Nothing absorbed: the xxHash empty-input form.
+            self.seed.wrapping_add(P5)
+        } else {
+            let [a, b, c, d] = self.lanes;
+            let mut h = a
+                .rotate_left(1)
+                .wrapping_add(b.rotate_left(7))
+                .wrapping_add(c.rotate_left(12))
+                .wrapping_add(d.rotate_left(18));
+            for lane in self.lanes {
+                h = (h ^ round(0, lane)).wrapping_mul(P1).wrapping_add(P4);
+            }
+            h
+        };
+        h = h.wrapping_add(self.words.wrapping_mul(8));
+        h ^= h >> 33;
+        h = h.wrapping_mul(P2);
+        h ^= h >> 29;
+        h = h.wrapping_mul(P3);
+        h ^= h >> 32;
+        h
+    }
+}
+
+/// One-shot hash of a word slice.
+pub fn hash_words(seed: u64, words: &[u64]) -> u64 {
+    let mut h = WordHash::new(seed);
+    for &w in words {
+        h.write_u64(w);
+    }
+    h.finish()
+}
+
+/// One-shot hash of a byte string (labels, selectors).
+pub fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = WordHash::new(seed);
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = hash_words(7, &[1, 2, 3, 4, 5]);
+        let b = hash_words(7, &[1, 2, 3, 4, 5]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_and_order_and_value_all_matter() {
+        let base = hash_words(0, &[1, 2, 3]);
+        assert_ne!(base, hash_words(1, &[1, 2, 3]), "seed");
+        assert_ne!(base, hash_words(0, &[2, 1, 3]), "order");
+        assert_ne!(base, hash_words(0, &[1, 2, 4]), "value");
+        assert_ne!(base, hash_words(0, &[1, 2, 3, 0]), "length");
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let words = [0xDEAD_BEEF_u64, 0x1234_5678, 42, 0];
+        let base = hash_words(9, &words);
+        for i in 0..words.len() {
+            for bit in [0, 17, 40, 63] {
+                let mut flipped = words;
+                flipped[i] ^= 1 << bit;
+                assert_ne!(base, hash_words(9, &flipped), "word {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_strings_do_not_collide_on_chunk_boundaries() {
+        let mut a = WordHash::new(0);
+        a.write_bytes(b"luma16x16");
+        a.write_bytes(b"unaligned");
+        let mut b = WordHash::new(0);
+        b.write_bytes(b"luma16x16u");
+        b.write_bytes(b"naligned");
+        assert_ne!(a.finish(), b.finish());
+        assert_ne!(hash_bytes(0, b""), hash_bytes(0, b"\0"));
+    }
+
+    #[test]
+    fn empty_input_still_mixes_the_seed() {
+        assert_ne!(hash_words(1, &[]), hash_words(2, &[]));
+        assert_eq!(hash_words(3, &[]), WordHash::new(3).finish());
+    }
+}

@@ -56,9 +56,11 @@
 //!   would find overlapping — loads only, within the trailing
 //!   [`STORE_QUEUE_TRACK`]-store window; stores have empty lists.
 
+use crate::hash::WordHash;
 use crate::lsu::{ranges_overlap, STORE_QUEUE_TRACK};
+use crate::result::SimError;
 use std::collections::VecDeque;
-use valign_isa::{DynInstr, MemKind, Opcode, StaticId, Trace};
+use valign_isa::{DynInstr, MemKind, Opcode, StaticId, Trace, Unit};
 
 /// Sentinel producer index: the source slot is absent or its producer is
 /// outside the trace.
@@ -79,6 +81,27 @@ pub mod flags {
     /// The record is a vector memory access to a non-16-byte-aligned
     /// address (`lvxu`/`stvxu` with a non-zero quad offset).
     pub const UNALIGNED: u8 = 1 << 5;
+}
+
+/// A deterministic image corruption, applied by [`ReplayImage::sabotage`]
+/// for fault injection. The variants are chosen to land on *different*
+/// rungs of the integrity ladder (checksum → static validation → guarded
+/// replay), so the fault matrix exercises every detection layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sabotage {
+    /// Shortens the per-record arrays below `len` (trace truncation).
+    Truncate,
+    /// Flips a record's `MEM` flag so flags and presence mask disagree
+    /// (bit-flip).
+    FlagBitFlip,
+    /// Bends a dependence offset so the compact-array cursors misresolve
+    /// (cursor corruption).
+    CursorCorrupt,
+    /// Rewrites a store-to-load dependence ordinal to one far outside the
+    /// LSU's trailing store window.
+    DepOverflow,
+    /// Points a record's first source slot at a producer at/after itself.
+    DanglingDef,
 }
 
 /// Which physical-register file a record's destination belongs to — the
@@ -322,6 +345,227 @@ impl ReplayImage {
     /// Freezes the image behind an `Arc` for shared replay.
     pub fn into_shared(self) -> std::sync::Arc<ReplayImage> {
         std::sync::Arc::new(self)
+    }
+
+    /// Content checksum over every packed array (XXH64-style word hash,
+    /// see [`crate::hash`]), domain-separated per array so a value moving
+    /// between arrays changes the digest. `valign-core` stores this in
+    /// `PreparedTrace` at build time; the supervised load path recomputes
+    /// and compares before trusting the image.
+    pub fn checksum(&self) -> u64 {
+        // "valign-img" in the seed so image digests never collide with
+        // other WordHash users (fault-site keys) on equal word streams.
+        let mut h = WordHash::new(0x7661_6c69_676e_0001);
+        let mut section = |tag: u64, words: &mut dyn Iterator<Item = u64>| {
+            h.write_u64(tag);
+            let mut n = 0u64;
+            for w in words {
+                h.write_u64(w);
+                n += 1;
+            }
+            h.write_u64(n);
+        };
+        section(1, &mut std::iter::once(self.len as u64));
+        section(2, &mut self.ops.iter().map(|op| op.index() as u64));
+        section(3, &mut self.units.iter().map(|&u| u64::from(u)));
+        section(4, &mut self.flags.iter().map(|&f| u64::from(f)));
+        section(5, &mut self.sids.iter().map(|s| u64::from(s.0)));
+        section(
+            6,
+            &mut self
+                .src_defs
+                .iter()
+                .flat_map(|defs| defs.iter().map(|&d| u64::from(d))),
+        );
+        section(7, &mut self.mem_mask.iter().copied());
+        section(8, &mut self.branch_mask.iter().copied());
+        section(9, &mut self.mem_addrs.iter().copied());
+        section(10, &mut self.mem_bytes.iter().map(|&b| u64::from(b)));
+        section(11, &mut self.branch_taken.iter().copied());
+        section(12, &mut self.branch_uncond.iter().copied());
+        section(13, &mut self.mem_dep_offsets.iter().map(|&o| u64::from(o)));
+        section(14, &mut self.mem_deps.iter().map(|&d| u64::from(d)));
+        h.finish()
+    }
+
+    /// Checks the structural invariants [`ReplayImage::build`] establishes
+    /// (see the module docs): array lengths against `len`, presence-mask /
+    /// flag / compact-array consistency, dependence-offset monotonicity,
+    /// unit indices in range, and producer indices in bounds.
+    ///
+    /// Deliberately *not* checked here: whether dependence ordinals land
+    /// inside the LSU's trailing store window — that is the store ring's
+    /// runtime invariant, enforced by the guarded replay path itself
+    /// ([`SimError::DepOutOfWindow`]), so corruption the static pass
+    /// cannot see is still caught one rung later.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let n = self.len;
+        let whole = |detail: String| SimError::CorruptImage {
+            index: None,
+            detail,
+        };
+        let per_record: [(&str, usize); 5] = [
+            ("ops", self.ops.len()),
+            ("units", self.units.len()),
+            ("flags", self.flags.len()),
+            ("sids", self.sids.len()),
+            ("src_defs", self.src_defs.len()),
+        ];
+        for (name, len) in per_record {
+            if len != n {
+                return Err(whole(format!("{name} has {len} entries, expected {n}")));
+            }
+        }
+        let mask_words = n.div_ceil(64).max(1);
+        if self.mem_mask.len() != mask_words || self.branch_mask.len() != mask_words {
+            return Err(whole(format!(
+                "presence masks have {}/{} words, expected {mask_words}",
+                self.mem_mask.len(),
+                self.branch_mask.len()
+            )));
+        }
+        let tail_clean = |words: &[u64]| {
+            let spare = mask_words * 64 - n;
+            spare == 0 || words[mask_words - 1] >> (64 - spare) == 0
+        };
+        if !tail_clean(&self.mem_mask) || !tail_clean(&self.branch_mask) {
+            return Err(whole("presence mask has bits past the last record".into()));
+        }
+        let popcount = |words: &[u64]| words.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+        let mem_records = popcount(&self.mem_mask);
+        if self.mem_addrs.len() != mem_records || self.mem_bytes.len() != mem_records {
+            return Err(whole(format!(
+                "{mem_records} memory records but {}/{} compact address/width entries",
+                self.mem_addrs.len(),
+                self.mem_bytes.len()
+            )));
+        }
+        let branches = popcount(&self.branch_mask);
+        let branch_words = branches.div_ceil(64);
+        if self.branch_taken.len() != branch_words || self.branch_uncond.len() != branch_words {
+            return Err(whole(format!(
+                "{branches} branch records but {}/{} outcome words",
+                self.branch_taken.len(),
+                self.branch_uncond.len()
+            )));
+        }
+        if self.mem_dep_offsets.len() != mem_records + 1 {
+            return Err(whole(format!(
+                "{} dependence offsets for {mem_records} memory records",
+                self.mem_dep_offsets.len()
+            )));
+        }
+        let mut prev = 0u32;
+        for (c, &off) in self.mem_dep_offsets.iter().enumerate() {
+            if off < prev || off as usize > self.mem_deps.len() {
+                return Err(whole(format!(
+                    "dependence offset {off} at cursor {c} breaks monotonicity \
+                     (prev {prev}, {} deps)",
+                    self.mem_deps.len()
+                )));
+            }
+            prev = off;
+        }
+        if prev as usize != self.mem_deps.len() {
+            return Err(whole(format!(
+                "dependence offsets end at {prev}, but {} deps are stored",
+                self.mem_deps.len()
+            )));
+        }
+        for idx in 0..n {
+            let f = self.flags[idx];
+            let record = |detail: String| SimError::CorruptImage {
+                index: Some(idx),
+                detail,
+            };
+            if (f & flags::MEM != 0) != get_bit(&self.mem_mask, idx) {
+                return Err(record("MEM flag disagrees with the presence mask".into()));
+            }
+            if (f & flags::BRANCH != 0) != get_bit(&self.branch_mask, idx) {
+                return Err(record(
+                    "BRANCH flag disagrees with the presence mask".into(),
+                ));
+            }
+            if f & flags::STORE != 0 && f & flags::MEM == 0 {
+                return Err(record("STORE without MEM".into()));
+            }
+            if f & flags::UNALIGNED != 0 && f & flags::MEM == 0 {
+                return Err(record("UNALIGNED without MEM".into()));
+            }
+            if f & flags::DST_VPR != 0 && f & flags::HAS_DST == 0 {
+                return Err(record("DST_VPR without HAS_DST".into()));
+            }
+            if usize::from(self.units[idx]) >= Unit::COUNT {
+                return Err(record(format!(
+                    "unit index {} out of range",
+                    self.units[idx]
+                )));
+            }
+            for &def in &self.src_defs[idx] {
+                if def != NO_DEF && def as usize >= n {
+                    return Err(record(format!(
+                        "producer {def} out of bounds ({n} records)"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deterministically corrupts the image for fault injection — the
+    /// write half of the integrity story, used only by `valign-core`'s
+    /// fault injector (on a private clone; store-resident images stay
+    /// immutable). `site` selects the corrupted position; equal
+    /// `(kind, site)` on equal images produce equal corruption. Returns
+    /// `false` when the image is empty and there is nothing to corrupt.
+    ///
+    /// Each kind lands on a different detection rung: `Truncate`,
+    /// `FlagBitFlip` and `CursorCorrupt` are caught statically by
+    /// [`ReplayImage::validate`]; `DepOverflow` and `DanglingDef` pass
+    /// validation and are caught mid-replay by the guarded engine
+    /// ([`SimError::DepOutOfWindow`] / [`SimError::DanglingProducer`]).
+    pub fn sabotage(&mut self, kind: Sabotage, site: u64) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        let idx = (site % self.len as u64) as usize;
+        match kind {
+            Sabotage::Truncate => {
+                self.ops.truncate(idx);
+                self.units.truncate(idx);
+                self.flags.truncate(idx);
+                self.sids.truncate(idx);
+                self.src_defs.truncate(idx);
+            }
+            Sabotage::FlagBitFlip => self.flags[idx] ^= flags::MEM,
+            Sabotage::CursorCorrupt => {
+                if self.mem_dep_offsets.len() > 1 {
+                    let i = 1 + site as usize % (self.mem_dep_offsets.len() - 1);
+                    self.mem_dep_offsets[i] = self.mem_dep_offsets[i].wrapping_add(0x4000_0000);
+                } else {
+                    // No memory records to misdirect a cursor through; flip
+                    // a branch flag instead so the image is still corrupt.
+                    self.flags[idx] ^= flags::BRANCH;
+                }
+            }
+            Sabotage::DepOverflow => {
+                if self.mem_deps.is_empty() {
+                    // No dependence lists to overflow; fall back to the
+                    // other runtime-detected corruption.
+                    return self.sabotage(Sabotage::DanglingDef, site);
+                }
+                let i = site as usize % self.mem_deps.len();
+                self.mem_deps[i] = u32::MAX - 1;
+            }
+            Sabotage::DanglingDef => {
+                // A forward (or self) producer reference: in bounds, so it
+                // passes static validation, but impossible in a recorded
+                // trace — the guarded walk flags it at the consumer.
+                let def = if idx + 1 < self.len { idx + 1 } else { idx };
+                self.src_defs[idx][0] = def as u32;
+            }
+        }
+        true
     }
 
     // ---- crate-internal hot-path views -------------------------------
@@ -627,6 +871,98 @@ mod tests {
             stores as usize > STORE_QUEUE_TRACK,
             "the pattern must exercise window eviction"
         );
+    }
+
+    #[test]
+    fn clean_images_validate_and_checksum_stably() {
+        let t = sample_trace();
+        let img = ReplayImage::build(&t);
+        img.validate().expect("fresh images are well-formed");
+        assert_eq!(
+            img.checksum(),
+            img.checksum(),
+            "checksum is a pure function"
+        );
+        assert_eq!(
+            img.checksum(),
+            ReplayImage::build(&t).checksum(),
+            "equal traces build equal digests"
+        );
+        let empty = ReplayImage::build(&Trace::new());
+        empty.validate().expect("empty image is well-formed");
+        assert_ne!(empty.checksum(), img.checksum());
+    }
+
+    #[test]
+    fn every_sabotage_kind_changes_the_checksum() {
+        let t = sample_trace();
+        let clean = ReplayImage::build(&t);
+        let base = clean.checksum();
+        for kind in [
+            Sabotage::Truncate,
+            Sabotage::FlagBitFlip,
+            Sabotage::CursorCorrupt,
+            Sabotage::DepOverflow,
+            Sabotage::DanglingDef,
+        ] {
+            let mut img = clean.clone();
+            assert!(img.sabotage(kind, 7), "{kind:?} must apply");
+            assert_ne!(img.checksum(), base, "{kind:?} must perturb the digest");
+        }
+        let mut empty = ReplayImage::build(&Trace::new());
+        assert!(
+            !empty.sabotage(Sabotage::FlagBitFlip, 7),
+            "nothing to corrupt"
+        );
+    }
+
+    #[test]
+    fn static_sabotage_kinds_fail_validation() {
+        let t = sample_trace();
+        let clean = ReplayImage::build(&t);
+        for kind in [
+            Sabotage::Truncate,
+            Sabotage::FlagBitFlip,
+            Sabotage::CursorCorrupt,
+        ] {
+            for site in 0..8 {
+                let mut img = clean.clone();
+                img.sabotage(kind, site);
+                assert!(
+                    matches!(img.validate(), Err(SimError::CorruptImage { .. })),
+                    "{kind:?} at site {site} must fail validation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_sabotage_kinds_pass_static_validation() {
+        // DepOverflow and DanglingDef are the faults validate() deliberately
+        // leaves to the guarded replay walk (layered detection).
+        let t = sample_trace();
+        for kind in [Sabotage::DepOverflow, Sabotage::DanglingDef] {
+            let mut img = ReplayImage::build(&t);
+            // Site 1 lands DanglingDef mid-trace; DepOverflow rewrites a
+            // dep list entry when one exists, else falls back.
+            img.sabotage(kind, 1);
+            img.validate()
+                .unwrap_or_else(|e| panic!("{kind:?} must survive validate, got {e}"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_handmade_structural_damage() {
+        let t = sample_trace();
+        let mut img = ReplayImage::build(&t);
+        img.units[2] = 200; // out-of-range execution unit
+        assert!(img.validate().is_err());
+        let mut img = ReplayImage::build(&t);
+        img.src_defs[1][0] = img.len as u32 + 5; // out-of-bounds producer
+        assert!(img.validate().is_err());
+        let mut img = ReplayImage::build(&t);
+        img.mem_mask[0] |= 1 << 63; // presence bit past the last record
+        assert!(img.validate().is_err());
     }
 
     #[test]

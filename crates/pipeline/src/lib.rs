@@ -16,7 +16,13 @@
 //!   generate-once / replay-many hot path of the whole evaluation;
 //! * cycle attribution (see [`attribution`]): every replayed cycle charged
 //!   to exactly one stall bucket in the [`StallBreakdown`] carried by each
-//!   [`SimResult`], with `sum(buckets) == cycles` guaranteed.
+//!   [`SimResult`], with `sum(buckets) == cycles` guaranteed;
+//! * a guarded replay path ([`Simulator::try_run_image`]) that verifies
+//!   image integrity ([`ReplayImage::validate`], checksums via [`hash`]),
+//!   bounds-checks the pre-resolved dependence walk, and enforces a
+//!   deterministic cycle-budget watchdog plus injected stalls through
+//!   [`RunGuards`] — returning structured [`SimError`]s instead of
+//!   panicking, so a supervisor can retry or degrade.
 //!
 //! ## Example
 //!
@@ -47,6 +53,7 @@ mod backend;
 pub mod config;
 pub mod engine;
 mod frontend;
+pub mod hash;
 pub mod image;
 pub mod latency;
 mod lsu;
@@ -55,9 +62,10 @@ pub mod result;
 
 pub use attribution::{Bucket, StallBreakdown};
 pub use config::{IssuePolicy, PipelineConfig};
-pub use engine::{memory_ops, unit_histogram, Simulator};
-pub use image::ReplayImage;
+pub use engine::{memory_ops, unit_histogram, RunGuards, Simulator, StallInjection};
+pub use hash::WordHash;
+pub use image::{ReplayImage, Sabotage};
 pub use latency::{Latency, LatencyTable};
 pub use lsu::{ranges_overlap, STORE_QUEUE_TRACK};
 pub use predictor::{BranchPredictor, PredictorStats};
-pub use result::SimResult;
+pub use result::{SimError, SimResult};

@@ -7,7 +7,7 @@
 
 use crate::backend::UnitPool;
 use crate::config::PipelineConfig;
-use crate::result::SimResult;
+use crate::result::{SimError, SimResult};
 use std::collections::VecDeque;
 use valign_cache::{BankScheme, Hierarchy, RealignConfig};
 use valign_isa::MemKind;
@@ -172,6 +172,49 @@ impl<'a> Lsu<'a> {
             self.stores_seen += 1;
         }
         exec
+    }
+
+    /// [`Lsu::execute_prepared`] with the store-ring lookups bounds-checked
+    /// — the guarded replay path. A well-formed image only ever names
+    /// ordinals of already-executed stores within the trailing
+    /// [`STORE_QUEUE_TRACK`]-store window (the build-time resolver mirrors
+    /// the store queue exactly); an ordinal outside that window would read
+    /// a ring slot belonging to a *different* store, silently skewing the
+    /// timing, so the checked path reports it as
+    /// [`SimError::DepOutOfWindow`] with the record index for context.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn execute_prepared_checked(
+        &mut self,
+        addr: u64,
+        bytes: u8,
+        kind: MemKind,
+        unaligned: bool,
+        deps: &[u32],
+        index: usize,
+        issue_cycle: u64,
+        result: &mut SimResult,
+    ) -> Result<MemExec, SimError> {
+        let mut start = issue_cycle;
+        let is_store = kind == MemKind::Store;
+
+        for &ordinal in deps {
+            let o = ordinal as usize;
+            if o >= self.stores_seen || self.stores_seen - o > STORE_QUEUE_TRACK {
+                return Err(SimError::DepOutOfWindow {
+                    index,
+                    ordinal,
+                    stores_seen: self.stores_seen as u64,
+                });
+            }
+            start = start.max(self.store_ring[o % STORE_QUEUE_TRACK]);
+        }
+
+        let exec = self.access(addr, bytes, is_store, unaligned, start, result);
+        if is_store {
+            self.store_ring[self.stores_seen % STORE_QUEUE_TRACK] = exec.complete;
+            self.stores_seen += 1;
+        }
+        Ok(exec)
     }
 
     /// The ordering-independent tail shared by both execute paths:

@@ -1,9 +1,145 @@
-//! Simulation results and derived metrics.
+//! Simulation results, derived metrics, and the structured error taxonomy
+//! of the checked replay path.
 
 use crate::attribution::StallBreakdown;
 use crate::predictor::PredictorStats;
 use std::fmt;
 use valign_cache::CacheStats;
+use valign_isa::Opcode;
+
+/// A structured replay failure, produced by the guarded engine path
+/// ([`crate::Simulator::try_run_image`]) and by
+/// [`crate::ReplayImage::validate`] in place of the ad-hoc panics the
+/// unguarded hot path keeps.
+///
+/// Every variant carries enough context to locate the failure (the
+/// instruction index where applicable); callers add trace-level context
+/// (which `TraceKey`, which config) when they report it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The latency table has no fixed-latency entry for a non-memory op —
+    /// a configuration-level defect, not an image corruption.
+    MissingLatency {
+        /// The opcode without an entry.
+        op: Opcode,
+        /// Record index of the offending instruction.
+        index: usize,
+    },
+    /// The packed image violates a structural invariant (array lengths,
+    /// presence-mask consistency, dependence-cursor monotonicity, ...).
+    CorruptImage {
+        /// Record index when the defect is per-record, `None` for
+        /// whole-array defects.
+        index: Option<usize>,
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
+    /// The image's content hash does not match the checksum stored at
+    /// build time — the bytes changed after preparation.
+    ChecksumMismatch {
+        /// Checksum recorded when the image was prepared.
+        expected: u64,
+        /// Checksum of the image as loaded.
+        actual: u64,
+    },
+    /// A record names a producer at or after itself — impossible in a
+    /// recorded trace, so the dependence arrays are corrupt.
+    DanglingProducer {
+        /// Record index of the consumer.
+        index: usize,
+        /// The impossible producer index it names.
+        producer: u32,
+    },
+    /// A pre-resolved store-to-load dependence names a store ordinal
+    /// outside the LSU's trailing store window — the dependence lists
+    /// disagree with the store ring they index.
+    DepOutOfWindow {
+        /// Record index of the load.
+        index: usize,
+        /// The out-of-window store ordinal.
+        ordinal: u32,
+        /// Stores executed when the load was reached.
+        stores_seen: u64,
+    },
+    /// The replay blew through its cycle budget — the deterministic
+    /// watchdog's deadline, measured in simulated cycles, not wall-clock.
+    BudgetExceeded {
+        /// Record index that retired past the deadline.
+        index: usize,
+        /// Its retire cycle.
+        cycles: u64,
+        /// The budget it exceeded.
+        budget: u64,
+    },
+}
+
+impl SimError {
+    /// Whether the failure indicts only the *packed image* — in which case
+    /// a supervisor can degrade to the record-form reference walker and
+    /// still produce a trustworthy result. [`SimError::MissingLatency`]
+    /// and [`SimError::BudgetExceeded`] indict the configuration or the
+    /// workload itself, which the reference walker shares, so they are not
+    /// degradable.
+    pub fn degradable(&self) -> bool {
+        matches!(
+            self,
+            SimError::CorruptImage { .. }
+                | SimError::ChecksumMismatch { .. }
+                | SimError::DanglingProducer { .. }
+                | SimError::DepOutOfWindow { .. }
+        )
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingLatency { op, index } => {
+                write!(f, "no fixed latency entry for {op} (record {index})")
+            }
+            SimError::CorruptImage {
+                index: Some(i),
+                detail,
+            } => {
+                write!(f, "corrupt replay image at record {i}: {detail}")
+            }
+            SimError::CorruptImage {
+                index: None,
+                detail,
+            } => {
+                write!(f, "corrupt replay image: {detail}")
+            }
+            SimError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "image checksum mismatch: expected {expected:#018x}, found {actual:#018x}"
+            ),
+            SimError::DanglingProducer { index, producer } => write!(
+                f,
+                "record {index} names producer {producer} at or after itself"
+            ),
+            SimError::DepOutOfWindow {
+                index,
+                ordinal,
+                stores_seen,
+            } => write!(
+                f,
+                "record {index} depends on store ordinal {ordinal} outside the \
+                 store window ({stores_seen} stores seen)"
+            ),
+            SimError::BudgetExceeded {
+                index,
+                cycles,
+                budget,
+            } => write!(
+                f,
+                "cycle budget exceeded: record {index} retired at cycle {cycles} \
+                 past the {budget}-cycle deadline"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// The outcome of replaying one trace through the cycle-accurate model.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -174,5 +310,74 @@ mod tests {
         assert!(s.contains("3.00/access"));
         assert!(s.contains("useful 100"));
         assert!(s.contains("raw-dep 23"));
+    }
+
+    #[test]
+    fn sim_error_degradability_splits_image_from_config_faults() {
+        let image_faults = [
+            SimError::CorruptImage {
+                index: Some(3),
+                detail: "x".into(),
+            },
+            SimError::ChecksumMismatch {
+                expected: 1,
+                actual: 2,
+            },
+            SimError::DanglingProducer {
+                index: 5,
+                producer: 9,
+            },
+            SimError::DepOutOfWindow {
+                index: 7,
+                ordinal: 1000,
+                stores_seen: 3,
+            },
+        ];
+        for e in image_faults {
+            assert!(e.degradable(), "{e}");
+        }
+        let config_faults = [
+            SimError::MissingLatency {
+                op: Opcode::Add,
+                index: 0,
+            },
+            SimError::BudgetExceeded {
+                index: 11,
+                cycles: 500,
+                budget: 100,
+            },
+        ];
+        for e in config_faults {
+            assert!(!e.degradable(), "{e}");
+        }
+    }
+
+    #[test]
+    fn sim_error_display_carries_context() {
+        let e = SimError::DepOutOfWindow {
+            index: 42,
+            ordinal: 7,
+            stores_seen: 3,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("42") && s.contains("ordinal 7") && s.contains("3 stores"),
+            "{s}"
+        );
+        let e = SimError::BudgetExceeded {
+            index: 8,
+            cycles: 999,
+            budget: 100,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("record 8") && s.contains("999") && s.contains("100"),
+            "{s}"
+        );
+        let e = SimError::CorruptImage {
+            index: None,
+            detail: "ops array short".into(),
+        };
+        assert!(e.to_string().contains("ops array short"));
     }
 }

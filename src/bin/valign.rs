@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! valign table1|table2|table3|fig4|fig8|fig9|fig10|all [--execs N] [--seed S] [--threads T]
+//! valign run [--supervised] [--inject CLASS:SELECTOR]... [--execs N] [--seed S] [--threads T]
 //! valign explain --kernel K --variant V [--json] [--execs N] [--seed S] [--threads T]
 //! valign lint [--json] [--kernel K --variant V | --all] [--execs N] [--seed S]
 //! valign bench-replay [--quick] [--execs N] [--seed S] [--repeats R] [--out PATH]
@@ -23,6 +24,17 @@
 //! `--json` emits the machine-readable form the perf-smoke CI job greps
 //! for `"conserved":true`.
 //!
+//! `run` replays the full kernel × variant × Table II batch and prints one
+//! row per job. With `--supervised` the batch goes through the
+//! `SupervisedRunner`: per-job panic isolation, integrity-checked replay
+//! images, a cycle-budget watchdog, bounded retries, quarantine, and
+//! graceful degradation to the reference walker — the scorecard then
+//! carries per-outcome tallies and a `supervised totals` line CI greps.
+//! `--inject CLASS:SELECTOR` (repeatable, requires `--supervised`) plants
+//! deterministic faults — `panic:luma8x8.unaligned`, `image-corrupt:*`,
+//! `stall:chroma`, … — to exercise those paths; a quarantined injection
+//! still exits 0, because surviving the fault *is* the contract.
+//!
 //! `lint` runs the `valign-analyze` static checks over recorded traces
 //! and the pipeline latency tables, and exits 1 on any ERROR diagnostic —
 //! the trace gate CI enforces.
@@ -34,11 +46,14 @@
 //! drops to a small batch for CI smoke runs.
 
 use valign::analyze::{lint_all, lint_kernel, LintOptions};
+use valign::cache::RealignConfig;
 use valign::core::experiments::{fig10, fig4, fig8, fig9, table1, table2, table3, ExperimentError};
 use valign::core::workload::KernelId;
 use valign::core::SimContext;
 use valign::core::{explain, replay_bench};
+use valign::core::{FaultSet, JobOutcome, SimJob, SupervisedRunner, TraceKey};
 use valign::kernels::util::Variant;
+use valign::pipeline::PipelineConfig;
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -51,6 +66,8 @@ struct Options {
     repeats: usize,
     quick: bool,
     out: Option<String>,
+    supervised: bool,
+    inject: Vec<String>,
 }
 
 fn parse_args() -> (String, Options) {
@@ -66,11 +83,20 @@ fn parse_args() -> (String, Options) {
         repeats: 3,
         quick: false,
         out: None,
+        supervised: false,
+        inject: Vec::new(),
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--json" => opts.json = true,
             "--quick" => opts.quick = true,
+            "--supervised" => opts.supervised = true,
+            "--inject" => {
+                opts.inject.push(
+                    args.next()
+                        .unwrap_or_else(|| usage("--inject needs a value")),
+                );
+            }
             "--out" => {
                 opts.out = Some(args.next().unwrap_or_else(|| usage("--out needs a value")));
             }
@@ -135,6 +161,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: valign <table1|table2|table3|fig4|fig8|fig9|fig10|all> \
          [--execs N] [--seed S] [--threads T]\n       \
+         valign run [--supervised] [--inject CLASS:SELECTOR]... \
+         [--execs N] [--seed S] [--threads T]\n       \
          valign explain --kernel K --variant V [--json] \
          [--execs N] [--seed S] [--threads T]\n       \
          valign lint [--json] [--kernel K --variant V | --all] \
@@ -175,6 +203,99 @@ fn run_bench_replay(o: &Options) -> ! {
         eprintln!("error: packed-image replay diverged from the reference walker");
         std::process::exit(1);
     }
+    std::process::exit(0);
+}
+
+/// Runs `valign run`: the full kernel × variant × Table II sweep, plain
+/// or supervised, one row per job. Injection faults are survived by
+/// design (quarantine/degradation are reported outcomes), so the command
+/// exits 0 unless the batch machinery itself is broken.
+fn run_run(ctx: &SimContext, o: &Options) -> ! {
+    if !o.inject.is_empty() && !o.supervised {
+        usage("--inject requires --supervised");
+    }
+    let faults = FaultSet::parse(&o.inject).unwrap_or_else(|e| usage(&e.to_string()));
+    let execs = o.execs.max(2);
+    let configs: Vec<PipelineConfig> = PipelineConfig::table_ii()
+        .into_iter()
+        .map(|cfg| cfg.with_realign(RealignConfig::equal_latency()))
+        .collect();
+    let mut jobs = Vec::new();
+    for &kernel in KernelId::ALL {
+        for &variant in Variant::ALL {
+            for cfg in &configs {
+                jobs.push(SimJob::keyed(
+                    TraceKey {
+                        kernel,
+                        variant,
+                        execs,
+                        seed: o.seed,
+                    },
+                    cfg.clone(),
+                ));
+            }
+        }
+    }
+    println!(
+        "RUN SWEEP: {} jobs ({} kernels x {} variants x {} configs, \
+         {execs} executions, seed {}){}\n",
+        jobs.len(),
+        KernelId::ALL.len(),
+        Variant::ALL.len(),
+        configs.len(),
+        o.seed,
+        if o.supervised { ", supervised" } else { "" },
+    );
+    for spec in &o.inject {
+        println!("injecting: {spec}");
+    }
+    if !o.inject.is_empty() {
+        println!();
+    }
+    println!(
+        "{:<22} {:<7} {:>12} {:<12} detail",
+        "job", "config", "cycles", "outcome"
+    );
+    println!("{}", "-".repeat(72));
+    if o.supervised {
+        let supervisor = SupervisedRunner::new(o.threads).with_faults(faults);
+        let outcomes = ctx.run_supervised("run", jobs.clone(), &supervisor);
+        for (job, outcome) in jobs.iter().zip(&outcomes) {
+            let cycles = outcome
+                .result()
+                .map_or_else(|| "-".to_string(), |r| r.cycles.to_string());
+            let detail = match outcome {
+                JobOutcome::Completed { .. } => String::new(),
+                JobOutcome::Retried { attempts, .. } => format!("{attempts} attempts"),
+                JobOutcome::Degraded {
+                    reason, attempts, ..
+                } => format!("reference walker after: {reason} ({attempts} attempt(s))"),
+                JobOutcome::Quarantined { failure, attempts } => {
+                    format!("{failure} ({attempts} attempts)")
+                }
+            };
+            println!(
+                "{:<22} {:<7} {:>12} {:<12} {detail}",
+                job.label(),
+                job.cfg.name,
+                cycles,
+                outcome.kind(),
+            );
+        }
+    } else {
+        let results = ctx.run_batch("run", jobs.clone());
+        for (job, result) in jobs.iter().zip(&results) {
+            println!(
+                "{:<22} {:<7} {:>12} {:<12}",
+                job.label(),
+                job.cfg.name,
+                result.cycles,
+                "completed",
+            );
+        }
+    }
+    println!("\n== simulation scorecard ==\n");
+    print!("{}", ctx.scorecard());
     std::process::exit(0);
 }
 
@@ -259,6 +380,9 @@ fn main() {
         run_bench_replay(&opts);
     }
     let ctx = SimContext::new(opts.threads);
+    if cmd == "run" {
+        run_run(&ctx, &opts);
+    }
     if cmd == "lint" {
         run_lint(&ctx, &opts);
     }
