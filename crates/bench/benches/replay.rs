@@ -10,7 +10,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .filter(|&r| r > 0)
         .unwrap_or(3);
-    let b = valign_core::replay_bench::run(execs, valign_bench::SEED, repeats);
+    let b = valign_core::replay_bench::run(execs, valign_bench::SEED, repeats, None);
     println!("{}", b.render());
     assert!(
         b.bit_identical,

@@ -22,6 +22,7 @@
 //! | `bitflip`      | flag byte flipped                       | static validation |
 //! | `image-corrupt`| dependence cursor bent, stale checksum  | checksum verification |
 //! | `lsu-overflow` | dependence ordinal outside store window | guarded replay walk |
+//! | `disk-corrupt` | stored image file bytes corrupted       | store integrity ladder (`valign-store`) |
 
 use std::fmt;
 use valign_pipeline::hash::WordHash;
@@ -46,6 +47,12 @@ pub enum FaultClass {
     /// LSU-ring overflow: a store-to-load dependence ordinal far outside
     /// the trailing store window.
     LsuOverflow,
+    /// On-disk corruption of the persistent store tier: the job's image
+    /// is pushed through the `valign-store` container encode, its file
+    /// bytes are deterministically damaged, and the decode must climb the
+    /// integrity ladder and reject — the job then degrades to the
+    /// reference walker. Never touches the in-memory image.
+    DiskCorrupt,
 }
 
 impl FaultClass {
@@ -57,6 +64,7 @@ impl FaultClass {
         FaultClass::BitFlip,
         FaultClass::ImageCorrupt,
         FaultClass::LsuOverflow,
+        FaultClass::DiskCorrupt,
     ];
 
     /// The spec name used by `--inject class:selector`.
@@ -68,6 +76,7 @@ impl FaultClass {
             FaultClass::BitFlip => "bitflip",
             FaultClass::ImageCorrupt => "image-corrupt",
             FaultClass::LsuOverflow => "lsu-overflow",
+            FaultClass::DiskCorrupt => "disk-corrupt",
         }
     }
 
@@ -77,10 +86,11 @@ impl FaultClass {
     }
 
     /// The image corruption this class applies, `None` for the classes
-    /// that never touch the image (`panic`, `stall`).
+    /// that never touch the in-memory image (`panic`, `stall`,
+    /// `disk-corrupt` — the latter damages the *file* form instead).
     pub fn sabotage(self) -> Option<Sabotage> {
         match self {
-            FaultClass::Panic | FaultClass::Stall => None,
+            FaultClass::Panic | FaultClass::Stall | FaultClass::DiskCorrupt => None,
             FaultClass::Truncate => Some(Sabotage::Truncate),
             FaultClass::BitFlip => Some(Sabotage::FlagBitFlip),
             FaultClass::ImageCorrupt => Some(Sabotage::CursorCorrupt),

@@ -8,9 +8,15 @@
 //!
 //! * [`workload`] — turns kernels plus synthetic content into dynamic
 //!   instruction traces ("1000 executions of each kernel").
-//! * [`sim`] — the simulation-job layer: a content-addressed trace store,
-//!   a deterministic parallel batch executor, and the [`SimContext`] all
-//!   drivers share so each kernel/variant is traced exactly once.
+//! * [`sim`] — the simulation-job layer: a two-tier content-addressed
+//!   trace store (in-memory, optionally backed by `valign-store`'s
+//!   persistent image cache, `--store-dir`), a deterministic parallel
+//!   batch executor, and the [`SimContext`] all drivers share so each
+//!   kernel/variant is materialized exactly once.
+//! * [`store_ops`] — the persistent-tier drivers behind `valign pack`
+//!   (pre-populate a store directory with every image of the standard
+//!   evaluation matrix) and `valign verify-image` (walk a directory and
+//!   verify every file against the full integrity ladder).
 //! * [`experiments`] — one driver per table/figure; see its module docs
 //!   for the mapping and the bench targets that regenerate each artefact.
 //! * [`explain`] — the `valign explain` cycle-attribution report: one
@@ -48,12 +54,15 @@ pub mod explain;
 pub mod faults;
 pub mod replay_bench;
 pub mod sim;
+pub mod store_ops;
 pub mod supervise;
 pub mod workload;
 
 pub use faults::{FaultClass, FaultPlan, FaultSet, FaultSpec};
 pub use sim::{
-    BatchRunner, JobPanic, PreparedTrace, SimContext, SimJob, TraceKey, TraceSource, TraceStore,
+    BatchRunner, ImageProvenance, JobPanic, PreparedTrace, SimContext, SimJob, TraceKey,
+    TraceSource, TraceStore,
 };
+pub use store_ops::{PackEntry, PackReport};
 pub use supervise::{JobFailure, JobOutcome, OutcomeTally, SupervisedRunner, SupervisorConfig};
 pub use workload::{trace_kernel, KernelId, Workload};

@@ -27,13 +27,16 @@
 //! (`BENCH_replay.json`); `cargo bench -p valign-bench --bench replay`
 //! prints the human-readable report.
 
-use crate::sim::{PreparedTrace, TraceKey, TraceStore};
+use crate::sim::{TraceKey, TraceStore};
 use crate::workload::KernelId;
 use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use valign_cache::RealignConfig;
+use valign_isa::Trace;
 use valign_kernels::util::Variant;
-use valign_pipeline::{Bucket, PipelineConfig, SimResult, Simulator, StallBreakdown};
+use valign_pipeline::{Bucket, PipelineConfig, ReplayImage, SimResult, Simulator, StallBreakdown};
 
 /// Wall time and derived throughput of one replay path over the batch.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +59,11 @@ pub struct KernelMeasure {
     pub reference_wall: Duration,
     /// Image-path wall over this kernel's jobs (from the best pass).
     pub image_wall: Duration,
+    /// Stall attribution summed over this kernel's measured replays.
+    pub attribution: StallBreakdown,
+    /// Simulated cycles over the same replays — this kernel's
+    /// conservation target.
+    pub attributed_cycles: u64,
 }
 
 impl KernelMeasure {
@@ -96,6 +104,39 @@ pub struct ReplayBench {
     /// Simulated cycles summed over the same replays — the attribution's
     /// conservation target.
     pub attributed_cycles: u64,
+    /// Persistent-store timing: cold rebuild vs warm disk load of the
+    /// whole matrix.
+    pub store: StoreMeasure,
+}
+
+/// Cold-vs-warm comparison of the persistent image store over the bench's
+/// key matrix: how long materializing every prepared image takes when
+/// rebuilt from source versus loaded (and fully verified) from container
+/// files — the number the warm-start story rests on.
+#[derive(Debug, Clone)]
+pub struct StoreMeasure {
+    /// Distinct keys (= image files) in the matrix.
+    pub entries: usize,
+    /// Total bytes across the packed image files.
+    pub total_bytes: u64,
+    /// Wall time to trace + compile every key from source (fresh
+    /// memory-only store — the cold process start).
+    pub cold_build: Duration,
+    /// Best-of-repeats wall time to load every key from a packed store
+    /// directory through the full integrity ladder (the warm start).
+    pub warm_load: Duration,
+    /// Disk hits of the warm pass (must equal `entries`).
+    pub disk_hits: u64,
+    /// Whether replaying every disk-loaded image reproduced the built
+    /// images' results bit-for-bit.
+    pub bit_identical: bool,
+}
+
+impl StoreMeasure {
+    /// Warm-start speed-up over the cold rebuild.
+    pub fn speedup(&self) -> f64 {
+        self.cold_build.as_secs_f64() / self.warm_load.as_secs_f64().max(f64::EPSILON)
+    }
 }
 
 impl ReplayBench {
@@ -107,22 +148,29 @@ impl ReplayBench {
 
 /// Which replay path one timed pass exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Path {
+enum BenchPath {
     Reference,
     Image,
 }
 
-/// One job of the fig8-style batch, with its trace prepared up front.
+/// One job of the fig8-style batch, with its trace and image prepared
+/// (and, for disk-loaded entries, materialized) up front.
 struct BenchJob {
     kernel_idx: usize,
+    key: TraceKey,
     cfg: PipelineConfig,
-    prepared: PreparedTrace,
+    trace: Arc<Trace>,
+    image: Arc<ReplayImage>,
+    image_checksum: u64,
 }
 
 /// Runs the comparison: the fig8-style batch (every kernel × Table II
 /// config at equal unaligned latency × variant, warm-up + measured replay
-/// each), `repeats` passes per path, walls best-of-repeats.
-pub fn run(execs: usize, seed: u64, repeats: usize) -> ReplayBench {
+/// each), `repeats` passes per path, walls best-of-repeats. With
+/// `store_dir` the persistent tier's cold/warm comparison packs into (and
+/// reuses) that directory; without it an ephemeral directory is used and
+/// removed.
+pub fn run(execs: usize, seed: u64, repeats: usize, store_dir: Option<&Path>) -> ReplayBench {
     let repeats = repeats.max(1);
     let store = TraceStore::new();
     let configs: Vec<PipelineConfig> = PipelineConfig::table_ii()
@@ -130,26 +178,32 @@ pub fn run(execs: usize, seed: u64, repeats: usize) -> ReplayBench {
         .map(|cfg| cfg.with_realign(RealignConfig::equal_latency()))
         .collect();
 
-    // Generate and image every trace before any timing.
+    // Generate and image every trace before any timing. `trace()` here
+    // pins the canonical trace eagerly so the reference pass never pays
+    // materialization inside a timed region.
     let mut jobs = Vec::with_capacity(KernelId::ALL.len() * configs.len() * Variant::ALL.len());
     for (kernel_idx, &kernel) in KernelId::ALL.iter().enumerate() {
         for cfg in &configs {
             for &variant in Variant::ALL {
-                let prepared = store.prepared(TraceKey {
+                let key = TraceKey {
                     kernel,
                     variant,
                     execs,
                     seed,
-                });
+                };
+                let prepared = store.prepared(key);
                 jobs.push(BenchJob {
                     kernel_idx,
+                    key,
                     cfg: cfg.clone(),
-                    prepared,
+                    trace: prepared.trace(),
+                    image: Arc::clone(&prepared.image),
+                    image_checksum: prepared.image_checksum,
                 });
             }
         }
     }
-    let instructions: u64 = jobs.iter().map(|j| 2 * j.prepared.trace.len() as u64).sum();
+    let instructions: u64 = jobs.iter().map(|j| 2 * j.image.len() as u64).sum();
 
     // Integrity gate before anything is timed: recompute every distinct
     // image's checksum against the one stored at compile time, then
@@ -158,29 +212,32 @@ pub fn run(execs: usize, seed: u64, repeats: usize) -> ReplayBench {
     let mut images_verified = 0usize;
     let mut seen = std::collections::HashSet::new();
     for job in &jobs {
-        if !seen.insert(std::sync::Arc::as_ptr(&job.prepared.image)) {
+        if !seen.insert(Arc::as_ptr(&job.image)) {
             continue;
         }
-        let actual = job.prepared.image.checksum();
+        let actual = job.image.checksum();
         assert_eq!(
-            actual, job.prepared.image_checksum,
+            actual, job.image_checksum,
             "image checksum rotted between compilation and bench"
         );
-        job.prepared
-            .image
+        job.image
             .validate()
             .unwrap_or_else(|e| panic!("prepared image failed validation: {e}"));
         images_verified += 1;
     }
 
-    let (ref_walls, ref_results) = best_pass(&jobs, repeats, Path::Reference);
-    let (img_walls, img_results) = best_pass(&jobs, repeats, Path::Image);
+    let (ref_walls, ref_results) = best_pass(&jobs, repeats, BenchPath::Reference);
+    let (img_walls, img_results) = best_pass(&jobs, repeats, BenchPath::Image);
     let bit_identical = ref_results == img_results;
     let mut attribution = StallBreakdown::default();
     let mut attributed_cycles = 0u64;
-    for r in &ref_results {
+    let mut kernel_attr = vec![(StallBreakdown::default(), 0u64); KernelId::ALL.len()];
+    for (job, r) in jobs.iter().zip(&ref_results) {
         attribution.accumulate(&r.breakdown);
         attributed_cycles += r.cycles;
+        let (ka, kc) = &mut kernel_attr[job.kernel_idx];
+        ka.accumulate(&r.breakdown);
+        *kc += r.cycles;
     }
 
     let per_kernel = KernelId::ALL
@@ -191,12 +248,16 @@ pub fn run(execs: usize, seed: u64, repeats: usize) -> ReplayBench {
             instructions: jobs
                 .iter()
                 .filter(|j| j.kernel_idx == kernel_idx)
-                .map(|j| 2 * j.prepared.trace.len() as u64)
+                .map(|j| 2 * j.image.len() as u64)
                 .sum(),
             reference_wall: ref_walls[kernel_idx],
             image_wall: img_walls[kernel_idx],
+            attribution: kernel_attr[kernel_idx].0,
+            attributed_cycles: kernel_attr[kernel_idx].1,
         })
         .collect();
+
+    let store_measure = measure_store(repeats, store_dir, &jobs, &img_results);
 
     let measure = |walls: &[Duration]| {
         let wall: Duration = walls.iter().sum();
@@ -218,13 +279,111 @@ pub fn run(execs: usize, seed: u64, repeats: usize) -> ReplayBench {
         per_kernel,
         attribution,
         attributed_cycles,
+        store: store_measure,
+    }
+}
+
+/// The persistent-tier comparison: cold rebuild of the key matrix from
+/// source vs warm load from packed container files, plus a bit-identity
+/// check of every job replayed on the disk-loaded images.
+fn measure_store(
+    repeats: usize,
+    store_dir: Option<&Path>,
+    jobs: &[BenchJob],
+    img_results: &[SimResult],
+) -> StoreMeasure {
+    let mut keys: Vec<TraceKey> = Vec::new();
+    for job in jobs {
+        if !keys.contains(&job.key) {
+            keys.push(job.key);
+        }
+    }
+
+    // Cold half: a fresh memory-only store re-traces and re-compiles
+    // everything — what a process start costs without the disk tier.
+    let cold_store = TraceStore::new();
+    let started = Instant::now();
+    for &key in &keys {
+        let _ = cold_store.prepared(key);
+    }
+    let cold_build = started.elapsed();
+
+    // Pack (untimed) into the requested or an ephemeral directory.
+    let (root, ephemeral) = match store_dir {
+        Some(p) => (p.to_path_buf(), false),
+        None => (
+            std::env::temp_dir().join(format!("valign-bench-store-{}", std::process::id())),
+            true,
+        ),
+    };
+    {
+        let packer = TraceStore::with_disk(&root).expect("bench store dir must be usable");
+        for &key in &keys {
+            let _ = packer.prepared(key);
+        }
+    }
+
+    // Warm half, best of `repeats`: every key comes off disk through the
+    // full integrity ladder, no tracing, no image compilation.
+    let mut warm_load = Duration::MAX;
+    let mut disk_hits = 0u64;
+    let mut warm_store = None;
+    for _ in 0..repeats {
+        let fresh = TraceStore::with_disk(&root).expect("bench store dir must be usable");
+        let started = Instant::now();
+        for &key in &keys {
+            let _ = fresh.prepared(key);
+        }
+        warm_load = warm_load.min(started.elapsed());
+        disk_hits = fresh.stats().disk_hits;
+        warm_store = Some(fresh);
+    }
+    let warm_store = warm_store.expect("at least one warm pass");
+    assert_eq!(
+        disk_hits,
+        keys.len() as u64,
+        "every warm materialization must be a disk hit"
+    );
+
+    // Identity: the disk-loaded images replay bit-identically to the
+    // freshly built ones on every job of the batch.
+    let bit_identical = jobs.iter().zip(img_results).all(|(job, expected)| {
+        let image = warm_store.prepared(job.key).image;
+        let mut sim = Simulator::new(job.cfg.clone());
+        let _ = sim.run_image(&image);
+        sim.run_image(&image) == *expected
+    });
+
+    let total_bytes = warm_store
+        .disk()
+        .expect("warm store has a disk tier")
+        .entries()
+        .expect("store dir is listable")
+        .iter()
+        .filter_map(|p| std::fs::metadata(p).ok())
+        .map(|m| m.len())
+        .sum();
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    StoreMeasure {
+        entries: keys.len(),
+        total_bytes,
+        cold_build,
+        warm_load,
+        disk_hits,
+        bit_identical,
     }
 }
 
 /// Runs `repeats` full passes of one path and keeps the per-kernel walls
 /// of the fastest pass (results are identical every pass — the engine is
 /// deterministic — so they are taken from the last one).
-fn best_pass(jobs: &[BenchJob], repeats: usize, path: Path) -> (Vec<Duration>, Vec<SimResult>) {
+fn best_pass(
+    jobs: &[BenchJob],
+    repeats: usize,
+    path: BenchPath,
+) -> (Vec<Duration>, Vec<SimResult>) {
     let mut best: Option<Vec<Duration>> = None;
     let mut results = Vec::new();
     for _ in 0..repeats {
@@ -234,13 +393,13 @@ fn best_pass(jobs: &[BenchJob], repeats: usize, path: Path) -> (Vec<Duration>, V
             let started = Instant::now();
             let mut sim = Simulator::new(job.cfg.clone());
             let result = match path {
-                Path::Reference => {
-                    let _ = sim.run_reference(&job.prepared.trace);
-                    sim.run_reference(&job.prepared.trace)
+                BenchPath::Reference => {
+                    let _ = sim.run_reference(&job.trace);
+                    sim.run_reference(&job.trace)
                 }
-                Path::Image => {
-                    let _ = sim.run_image(&job.prepared.image);
-                    sim.run_image(&job.prepared.image)
+                BenchPath::Image => {
+                    let _ = sim.run_image(&job.image);
+                    sim.run_image(&job.image)
                 }
             };
             walls[job.kernel_idx] += started.elapsed();
@@ -322,6 +481,23 @@ impl ReplayBench {
             },
             self.attribution,
         );
+        let s = &self.store;
+        let _ = writeln!(
+            out,
+            "store: {} images, {} bytes on disk; cold rebuild {:.2?}, \
+             warm load {:.2?} ({:.1}x faster), {} disk hits, warm replays {}",
+            s.entries,
+            s.total_bytes,
+            s.cold_build,
+            s.warm_load,
+            s.speedup(),
+            s.disk_hits,
+            if s.bit_identical {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            },
+        );
         out
     }
 
@@ -361,18 +537,40 @@ impl ReplayBench {
             self.attributed_cycles,
             self.attribution.conserves(self.attributed_cycles)
         );
+        let s = &self.store;
+        let _ = writeln!(
+            out,
+            "  \"store\": {{\"entries\": {}, \"total_bytes\": {}, \
+             \"cold_build_secs\": {:.6}, \"warm_load_secs\": {:.6}, \
+             \"speedup\": {:.3}, \"disk_hits\": {}, \"bit_identical\": {}}},",
+            s.entries,
+            s.total_bytes,
+            s.cold_build.as_secs_f64(),
+            s.warm_load.as_secs_f64(),
+            s.speedup(),
+            s.disk_hits,
+            s.bit_identical,
+        );
         out.push_str("  \"per_kernel\": [\n");
         for (i, k) in self.per_kernel.iter().enumerate() {
+            let kbuckets: Vec<String> = Bucket::ALL
+                .iter()
+                .map(|&b| format!("\"{}\": {}", b.label(), k.attribution.get(b)))
+                .collect();
             let _ = write!(
                 out,
                 "    {{\"kernel\": \"{}\", \"instructions_per_pass\": {}, \
                  \"reference_wall_secs\": {:.6}, \"image_wall_secs\": {:.6}, \
-                 \"speedup\": {:.3}}}",
+                 \"speedup\": {:.3}, \"attribution\": {{{}}}, \
+                 \"attributed_cycles\": {}, \"attribution_conserved\": {}}}",
                 k.kernel.label(),
                 k.instructions,
                 k.reference_wall.as_secs_f64(),
                 k.image_wall.as_secs_f64(),
                 k.speedup(),
+                kbuckets.join(", "),
+                k.attributed_cycles,
+                k.attribution.conserves(k.attributed_cycles),
             );
             out.push_str(if i + 1 < self.per_kernel.len() {
                 ",\n"
@@ -391,7 +589,7 @@ mod tests {
 
     #[test]
     fn tiny_run_is_bit_identical_and_wellformed() {
-        let b = run(3, 7, 1);
+        let b = run(3, 7, 1, None);
         assert!(b.bit_identical, "paths diverged on the tiny batch");
         assert_eq!(b.jobs, KernelId::ALL.len() * 9);
         assert_eq!(b.per_kernel.len(), KernelId::ALL.len());
@@ -411,25 +609,74 @@ mod tests {
             KernelId::ALL.len() * 3,
             "one image per kernel/variant key"
         );
+        // Store block: every key comes off disk on the warm pass and the
+        // loaded images replay bit-identically.
+        assert_eq!(b.store.entries, KernelId::ALL.len() * 3);
+        assert_eq!(b.store.disk_hits, b.store.entries as u64);
+        assert!(b.store.bit_identical, "disk-loaded images diverged");
+        assert!(b.store.total_bytes > 0);
+        assert!(b.store.warm_load > Duration::ZERO);
+        // Per-kernel attribution conserves against per-kernel cycles and
+        // sums to the batch totals.
+        let mut summed = StallBreakdown::default();
+        let mut cycles = 0u64;
+        for k in &b.per_kernel {
+            assert!(
+                k.attribution.conserves(k.attributed_cycles),
+                "{}: {} attributed vs {} cycles",
+                k.kernel.label(),
+                k.attribution.total(),
+                k.attributed_cycles
+            );
+            summed.accumulate(&k.attribution);
+            cycles += k.attributed_cycles;
+        }
+        assert_eq!(cycles, b.attributed_cycles);
+        assert_eq!(summed.total(), b.attribution.total());
         let json = b.render_json();
         assert!(json.contains("\"bit_identical\": true"));
         assert!(json.contains("\"images_verified\""));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"attribution_conserved\": true"));
         assert!(json.contains("\"useful\":"));
+        assert!(json.contains("\"store\": {"));
+        assert!(json.contains("\"cold_build_secs\""));
+        assert!(json.contains("\"warm_load_secs\""));
+        assert!(json.contains("\"disk_hits\": 33"));
         assert_eq!(json.matches("\"kernel\":").count(), KernelId::ALL.len());
+        assert_eq!(
+            json.matches("\"attribution\":").count(),
+            KernelId::ALL.len() + 1,
+            "one attribution block per kernel plus the batch total"
+        );
         let human = b.render();
         assert!(human.contains("bit-identical"));
         assert!(human.contains("images verified"));
         assert!(human.contains("MIPS"));
         assert!(human.contains("conserved"));
+        assert!(human.contains("store:"));
+        assert!(human.contains("disk hits"));
     }
 
     #[test]
     fn repeats_are_clamped_to_at_least_one() {
-        let b = run(2, 1, 0);
+        let b = run(2, 1, 0, None);
         assert_eq!(b.repeats, 1);
         assert!(b.reference.wall > Duration::ZERO);
         assert!(b.image.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn explicit_store_dir_is_reused_across_runs() {
+        let root =
+            std::env::temp_dir().join(format!("valign-benchtest-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cold = run(2, 5, 1, Some(&root));
+        assert!(root.is_dir(), "explicit store dir persists");
+        let warm = run(2, 5, 1, Some(&root));
+        assert_eq!(warm.store.entries, cold.store.entries);
+        assert_eq!(warm.store.total_bytes, cold.store.total_bytes);
+        assert!(warm.store.bit_identical);
+        std::fs::remove_dir_all(&root).expect("cleanup");
     }
 }

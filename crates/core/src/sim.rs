@@ -7,13 +7,23 @@
 //! {machine configs × realignment latencies}. This module makes that
 //! structure explicit:
 //!
-//! * [`TraceStore`] — content-addressed cache keyed by
+//! * [`TraceStore`] — two-tier content-addressed cache keyed by
 //!   [`TraceKey`]`(kernel, variant, execs, seed)` holding
-//!   [`PreparedTrace`]s: the `Arc<Trace>`-shared immutable trace *plus*
-//!   its packed [`ReplayImage`], compiled once right after tracing and
-//!   shared across every config and thread that replays the key. Distinct
-//!   keys trace in parallel; each key is traced (and imaged) exactly once
-//!   no matter how many jobs or threads request it.
+//!   [`PreparedTrace`]s: the packed [`ReplayImage`] plus (lazily) the
+//!   `Arc<Trace>`-shared canonical trace, shared across every config and
+//!   thread that replays the key. The memory tier works exactly as
+//!   before: distinct keys materialize in parallel; each key is
+//!   materialized exactly once no matter how many jobs or threads request
+//!   it. With [`TraceStore::with_disk`] a persistent tier sits behind it:
+//!   a memory miss first tries the content-addressed image file
+//!   (`{content_hash:016x}.vimg` under the store directory, see
+//!   `valign-store`), and only a disk miss traces and compiles the
+//!   image — then writes it back, so the next process starts warm. Every
+//!   disk load climbs `valign-store`'s full integrity ladder; a file that
+//!   fails any rung is evicted and rebuilt from source, the rebuild
+//!   recorded in the entry's [`ImageProvenance`] so supervised replays
+//!   degrade that key's jobs instead of silently trusting a
+//!   once-corrupt file.
 //! * [`SimJob`] / [`BatchRunner`] — a replay expressed as
 //!   `(trace source, PipelineConfig)` and executed on a scoped-thread
 //!   worker pool (std only). Jobs are dispatched largest-estimated-trace
@@ -42,13 +52,18 @@ use crate::supervise::OutcomeTally;
 use crate::workload::{trace_kernel, KernelId};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 use std::time::Instant;
 use valign_isa::Trace;
 use valign_kernels::util::Variant;
-use valign_pipeline::{PipelineConfig, ReplayImage, SimResult, Simulator};
+use valign_pipeline::{PipelineConfig, ReplayImage, SimResult, Simulator, WordHash};
+use valign_store::{StoreDir, StoreError};
+
+/// Domain-separation seed of [`TraceKey::content_hash`].
+const KEY_HASH_SEED: u64 = 0x7661_6c69_676e_0003;
 
 /// Content address of a workload trace: everything `trace_kernel` takes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,25 +78,74 @@ pub struct TraceKey {
     pub seed: u64,
 }
 
-/// A trace together with its packed replay image, ready to be replayed on
-/// any machine configuration.
+impl TraceKey {
+    /// Stable 64-bit content address of this key, naming its image file
+    /// in the persistent store tier. Hashes the kernel and variant
+    /// *labels* (not enum discriminants), so the address survives enum
+    /// reordering and two builds agree on file names.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = WordHash::new(KEY_HASH_SEED);
+        h.write_bytes(self.kernel.label().as_bytes());
+        h.write_bytes(self.variant.label().as_bytes());
+        h.write_u64(self.execs as u64);
+        h.write_u64(self.seed);
+        h.finish()
+    }
+}
+
+/// How a store entry's replay image came to be — the disk tier's
+/// provenance record, consulted by the supervisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageProvenance {
+    /// Traced and compiled in this process (memory-only store, or a clean
+    /// disk miss).
+    Built,
+    /// Loaded from the persistent tier and fully verified.
+    DiskLoaded,
+    /// A disk file existed but failed the integrity ladder; it was
+    /// evicted and the image rebuilt from source. Supervised replays of
+    /// this key degrade to the reference walker — a store that served
+    /// corrupt bytes once is not trusted with the hot path until the
+    /// operator re-verifies it.
+    DiskRebuilt {
+        /// The rung the stored file failed.
+        error: StoreError,
+    },
+}
+
+/// The canonical trace behind a prepared entry: materialized eagerly when
+/// the image was built from source (tracing produces it anyway), lazily
+/// when the image came off disk — the whole point of the persistent tier
+/// is that a warm replay never pays for trace generation.
+#[derive(Debug, Clone)]
+enum TraceHandle {
+    Eager(Arc<Trace>),
+    Lazy {
+        key: TraceKey,
+        cell: Arc<OnceLock<Arc<Trace>>>,
+    },
+}
+
+/// A replay image together with (possibly lazy) access to its canonical
+/// trace, ready to be replayed on any machine configuration.
 ///
 /// The canonical [`Trace`] stays authoritative for everything that wants
 /// records (`valign-analyze`, trace statistics); the [`ReplayImage`] is
 /// the form the engine's hot loop actually iterates. Both are `Arc`-shared
-/// so cloning a `PreparedTrace` is two refcount bumps.
+/// so cloning a `PreparedTrace` is refcount bumps.
 #[derive(Debug, Clone)]
 pub struct PreparedTrace {
-    /// The canonical record-form trace.
-    pub trace: Arc<Trace>,
-    /// The packed structure-of-arrays replay form of the same trace.
+    trace: TraceHandle,
+    /// The packed structure-of-arrays replay form of the trace.
     pub image: Arc<ReplayImage>,
-    /// Checksum of `image` taken at compile time. A supervised replay
-    /// recomputes the checksum at load and treats a mismatch as
-    /// [`valign_pipeline::SimError::ChecksumMismatch`] — the first rung of
-    /// the integrity ladder, catching corruption that static validation
-    /// cannot see.
+    /// Checksum of `image` taken at compile (or verified load) time. A
+    /// supervised replay recomputes the checksum at load and treats a
+    /// mismatch as [`valign_pipeline::SimError::ChecksumMismatch`] — the
+    /// first rung of the integrity ladder, catching corruption that
+    /// static validation cannot see.
     pub image_checksum: u64,
+    /// Where the image came from (built, disk, rebuilt-after-eviction).
+    pub provenance: ImageProvenance,
 }
 
 impl PreparedTrace {
@@ -90,87 +154,168 @@ impl PreparedTrace {
         let image = ReplayImage::build(&trace).into_shared();
         let image_checksum = image.checksum();
         PreparedTrace {
-            trace,
+            trace: TraceHandle::Eager(trace),
             image,
             image_checksum,
+            provenance: ImageProvenance::Built,
+        }
+    }
+
+    /// Wraps a disk-loaded (already verified) image; the canonical trace
+    /// is re-traced from `key` only if someone asks for records.
+    fn from_disk(
+        key: TraceKey,
+        image: Arc<ReplayImage>,
+        image_checksum: u64,
+        provenance: ImageProvenance,
+    ) -> Self {
+        PreparedTrace {
+            trace: TraceHandle::Lazy {
+                key,
+                cell: Arc::new(OnceLock::new()),
+            },
+            image,
+            image_checksum,
+            provenance,
+        }
+    }
+
+    /// The canonical record-form trace, generating it on first call for
+    /// disk-loaded entries. All clones of one entry share the generated
+    /// `Arc`.
+    pub fn trace(&self) -> Arc<Trace> {
+        match &self.trace {
+            TraceHandle::Eager(trace) => Arc::clone(trace),
+            TraceHandle::Lazy { key, cell } => Arc::clone(cell.get_or_init(|| {
+                trace_kernel(key.kernel, key.variant, key.execs, key.seed).into_shared()
+            })),
+        }
+    }
+
+    /// Whether the canonical trace is materialized (always true for
+    /// built entries; true for disk-loaded ones only after someone
+    /// called [`PreparedTrace::trace`]).
+    pub fn trace_materialized(&self) -> bool {
+        match &self.trace {
+            TraceHandle::Eager(_) => true,
+            TraceHandle::Lazy { cell, .. } => cell.get().is_some(),
         }
     }
 }
 
-/// Counters describing how a [`TraceStore`] was used.
+/// Counters describing how a [`TraceStore`] was used, tier by tier.
+///
+/// `hits`/`misses` are the **memory** tier (the historical counters —
+/// their names are stable because reports serialize them): a miss is the
+/// first materialization of a key in this process, however it was
+/// satisfied. The `disk_*` counters then split those memory misses by
+/// how the persistent tier answered.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceStoreStats {
-    /// Lookups served from an already-generated trace.
+    /// Memory-tier hits: lookups served from an already-materialized
+    /// entry.
     pub hits: u64,
-    /// Lookups that generated the trace (first request for the key).
+    /// Memory-tier misses: first request for the key in this process.
     pub misses: u64,
-    /// Distinct keys resident in the store.
+    /// Distinct keys resident in the memory tier.
     pub entries: usize,
-    /// Total dynamic instructions across all cached traces.
+    /// Total dynamic instructions across all cached images.
     pub instructions: u64,
+    /// Whether a persistent tier is attached.
+    pub disk_enabled: bool,
+    /// Disk-tier hits: memory misses satisfied by a verified image file.
+    pub disk_hits: u64,
+    /// Disk-tier misses: no file for the key; the image was built from
+    /// source (and written back).
+    pub disk_misses: u64,
+    /// Disk-tier integrity failures: a file existed but failed the
+    /// integrity ladder and was evicted and rebuilt from source.
+    pub disk_invalid: u64,
 }
 
 impl TraceStoreStats {
-    /// True when every resident trace was generated exactly once — the
-    /// invariant the full evaluation asserts: misses happen only on first
-    /// contact, one per distinct key.
+    /// True when every resident entry was materialized exactly once — the
+    /// invariant the full evaluation asserts: memory misses happen only
+    /// on first contact, one per distinct key, whether the miss was
+    /// filled by tracing or by a disk load.
     pub fn traced_exactly_once(&self) -> bool {
         self.misses == self.entries as u64
     }
 }
 
-/// Content-addressed store of immutable, `Arc`-shared prepared traces
-/// (canonical trace + packed replay image).
+/// Two-tier content-addressed store of immutable, `Arc`-shared prepared
+/// traces (packed replay image + lazily materialized canonical trace).
 ///
 /// Thread-safe: the map lock is held only to find or create a key's cell,
-/// never while tracing or imaging, so distinct keys generate concurrently
-/// while a second requester of the same key blocks on that key's
-/// `OnceLock` and then shares the existing `Arc`s.
+/// never while tracing, imaging or touching disk, so distinct keys
+/// materialize concurrently while a second requester of the same key
+/// blocks on that key's `OnceLock` and then shares the existing `Arc`s.
 #[derive(Debug, Default)]
 pub struct TraceStore {
     entries: Mutex<HashMap<TraceKey, Arc<OnceLock<PreparedTrace>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
-    // Running total of dynamic instructions across resident traces,
-    // bumped once per generated key so `stats()` never scans the map
+    // Running total of dynamic instructions across resident images,
+    // bumped once per materialized key so `stats()` never scans the map
     // under its lock.
     instructions: AtomicU64,
+    // The persistent tier, if attached.
+    disk: Option<StoreDir>,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    disk_invalid: AtomicU64,
 }
 
 impl TraceStore {
-    /// An empty store.
+    /// An empty memory-only store (no persistent tier).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The trace for `key`, generating it on first request. Repeated calls
-    /// return clones of the same `Arc`.
-    pub fn get(&self, key: TraceKey) -> Arc<Trace> {
-        self.prepared(key).trace
+    /// A store backed by the persistent image cache at `root`, created if
+    /// absent. Memory misses load from disk when a verified file exists;
+    /// built images are written back so the next process starts warm.
+    pub fn with_disk(root: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Ok(TraceStore {
+            disk: Some(StoreDir::create(root)?),
+            ..Self::default()
+        })
     }
 
-    /// The prepared (trace + replay image) form of `key`, tracing and
-    /// compiling the image on first request. Repeated calls share the same
-    /// `Arc`s, so every machine configuration and worker thread replays
-    /// one image per key.
+    /// The persistent tier's directory, if one is attached.
+    pub fn disk(&self) -> Option<&StoreDir> {
+        self.disk.as_ref()
+    }
+
+    /// The trace for `key`, generating it on first request. Repeated calls
+    /// return clones of the same `Arc`. Note this materializes the
+    /// *canonical trace* even when the image came off disk — replay-only
+    /// callers want [`TraceStore::prepared`].
+    pub fn get(&self, key: TraceKey) -> Arc<Trace> {
+        self.prepared(key).trace()
+    }
+
+    /// The prepared (replay image + trace handle) form of `key`,
+    /// materializing it on first request: from the persistent tier when a
+    /// verified image file exists, else by tracing and compiling from
+    /// source. Repeated calls share the same `Arc`s, so every machine
+    /// configuration and worker thread replays one image per key.
     pub fn prepared(&self, key: TraceKey) -> PreparedTrace {
         let cell = {
             let mut map = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
             map.entry(key).or_default().clone()
         };
-        let mut generated = false;
+        let mut materialized = false;
         let prepared = cell
             .get_or_init(|| {
-                generated = true;
-                let prepared = PreparedTrace::new(
-                    trace_kernel(key.kernel, key.variant, key.execs, key.seed).into_shared(),
-                );
+                materialized = true;
+                let prepared = self.materialize(key);
                 self.instructions
-                    .fetch_add(prepared.trace.len() as u64, Ordering::Relaxed);
+                    .fetch_add(prepared.image.len() as u64, Ordering::Relaxed);
                 prepared
             })
             .clone();
-        if generated {
+        if materialized {
             self.misses.fetch_add(1, Ordering::Relaxed);
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -178,17 +323,61 @@ impl TraceStore {
         prepared
     }
 
+    /// Fills a memory miss: disk load when possible, else build from
+    /// source (writing the fresh image back, best-effort). Every rung
+    /// failure on a stored file evicts it and rebuilds — recorded in the
+    /// provenance so supervised replays of the key degrade rather than
+    /// trust a store that served corrupt bytes.
+    fn materialize(&self, key: TraceKey) -> PreparedTrace {
+        let Some(dir) = &self.disk else {
+            return self.build(key, ImageProvenance::Built);
+        };
+        let hash = key.content_hash();
+        match dir.load(hash) {
+            Ok(stored) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                PreparedTrace::from_disk(
+                    key,
+                    Arc::new(stored.image),
+                    stored.checksum,
+                    ImageProvenance::DiskLoaded,
+                )
+            }
+            Err(StoreError::Missing) => {
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                let prepared = self.build(key, ImageProvenance::Built);
+                let _ = dir.save(hash, &prepared.image, prepared.image_checksum);
+                prepared
+            }
+            Err(error) => {
+                self.disk_invalid.fetch_add(1, Ordering::Relaxed);
+                dir.evict(hash);
+                let prepared = self.build(key, ImageProvenance::DiskRebuilt { error });
+                let _ = dir.save(hash, &prepared.image, prepared.image_checksum);
+                prepared
+            }
+        }
+    }
+
+    fn build(&self, key: TraceKey, provenance: ImageProvenance) -> PreparedTrace {
+        let mut prepared = PreparedTrace::new(
+            trace_kernel(key.kernel, key.variant, key.execs, key.seed).into_shared(),
+        );
+        prepared.provenance = provenance;
+        prepared
+    }
+
     /// Dynamic instruction count of `key`'s trace if it is resident, i.e.
-    /// already generated. Used by the batch runner to order dispatch by
-    /// estimated size without forcing generation.
+    /// already materialized. Used by the batch runner to order dispatch by
+    /// estimated size without forcing materialization.
     pub fn resident_len(&self, key: TraceKey) -> Option<usize> {
         let map = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         map.get(&key)
             .and_then(|cell| cell.get())
-            .map(|p| p.trace.len())
+            .map(|p| p.image.len())
     }
 
-    /// Usage counters (hits, misses, residency).
+    /// Usage counters (per-tier hits and misses, residency).
     pub fn stats(&self) -> TraceStoreStats {
         let entries = self
             .entries
@@ -200,6 +389,10 @@ impl TraceStore {
             misses: self.misses.load(Ordering::Relaxed),
             entries,
             instructions: self.instructions.load(Ordering::Relaxed),
+            disk_enabled: self.disk.is_some(),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            disk_invalid: self.disk_invalid.load(Ordering::Relaxed),
         }
     }
 }
@@ -305,8 +498,9 @@ impl SimJob {
                     plan.site
                 ),
                 // Stalls ride on `RunGuards`, which the unsupervised hot
-                // path deliberately does not carry.
-                FaultClass::Stall => {}
+                // path deliberately does not carry; disk corruption lives
+                // in the store file form, which this path never reads.
+                FaultClass::Stall | FaultClass::DiskCorrupt => {}
                 class => {
                     let kind = class
                         .sabotage()
@@ -504,8 +698,14 @@ pub struct SimContext {
 impl SimContext {
     /// A fresh context executing batches on `threads` workers.
     pub fn new(threads: usize) -> Self {
+        Self::with_store(threads, TraceStore::new())
+    }
+
+    /// A context around an existing store — the way the CLI attaches a
+    /// persistent tier (`TraceStore::with_disk`) to a run.
+    pub fn with_store(threads: usize, store: TraceStore) -> Self {
         SimContext {
-            store: TraceStore::new(),
+            store,
             runner: BatchRunner::new(threads),
             batches: Mutex::new(Vec::new()),
         }
@@ -583,16 +783,25 @@ impl SimContext {
     pub fn scorecard(&self) -> String {
         let stats = self.store.stats();
         let mut out = String::new();
+        let disk = if stats.disk_enabled {
+            format!(
+                "disk {} hits / {} misses / {} invalid",
+                stats.disk_hits, stats.disk_misses, stats.disk_invalid
+            )
+        } else {
+            "disk tier off".to_string()
+        };
         out.push_str(&format!(
-            "trace store: {} traces ({} instructions), {} hits / {} misses — {}\n",
+            "trace store: {} traces ({} instructions), memory {} hits / {} misses, {} — {}\n",
             stats.entries,
             stats.instructions,
             stats.hits,
             stats.misses,
+            disk,
             if stats.traced_exactly_once() {
-                "each kernel/variant traced exactly once"
+                "each kernel/variant materialized exactly once"
             } else {
-                "RETRACE DETECTED (misses != resident traces)"
+                "RETRACE DETECTED (memory misses != resident traces)"
             },
         ));
         out.push_str(&format!("batches ({} threads):\n", self.threads()));
@@ -658,11 +867,105 @@ mod tests {
         let store = TraceStore::new();
         let a = store.prepared(key(3));
         let b = store.prepared(key(3));
-        assert!(Arc::ptr_eq(&a.trace, &b.trace));
+        assert!(Arc::ptr_eq(&a.trace(), &b.trace()));
         assert!(Arc::ptr_eq(&a.image, &b.image), "one image per key");
-        assert_eq!(a.image.len(), a.trace.len());
+        assert_eq!(a.image.len(), a.trace().len());
+        assert_eq!(a.provenance, ImageProvenance::Built);
+        assert!(a.trace_materialized(), "built entries carry their trace");
         // `get` shares the same trace Arc as `prepared`.
-        assert!(Arc::ptr_eq(&store.get(key(3)), &a.trace));
+        assert!(Arc::ptr_eq(&store.get(key(3)), &a.trace()));
+    }
+
+    /// A scratch on-disk tier under the system temp dir, removed on drop.
+    struct DiskTier(std::path::PathBuf);
+
+    impl DiskTier {
+        fn new(tag: &str) -> DiskTier {
+            let root = std::env::temp_dir()
+                .join(format!("valign-sim-disktest-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            DiskTier(root)
+        }
+    }
+
+    impl Drop for DiskTier {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn disk_tier_round_trips_across_store_instances() {
+        let tier = DiskTier::new("roundtrip");
+
+        // Cold store: every key is a disk miss, built and written back.
+        let cold = TraceStore::with_disk(&tier.0).expect("attach tier");
+        let built = cold.prepared(key(3));
+        let s = cold.stats();
+        assert!(s.disk_enabled);
+        assert_eq!((s.disk_hits, s.disk_misses, s.disk_invalid), (0, 1, 0));
+        assert_eq!(built.provenance, ImageProvenance::Built);
+
+        // Warm store (fresh process stand-in): served from disk, image
+        // bit-identical, canonical trace not regenerated until asked.
+        let warm = TraceStore::with_disk(&tier.0).expect("attach tier");
+        let loaded = warm.prepared(key(3));
+        let s = warm.stats();
+        assert_eq!((s.disk_hits, s.disk_misses, s.disk_invalid), (1, 0, 0));
+        assert!(s.traced_exactly_once());
+        assert_eq!(loaded.provenance, ImageProvenance::DiskLoaded);
+        assert!(
+            !loaded.trace_materialized(),
+            "warm loads must not pay for trace generation"
+        );
+        assert_eq!(loaded.image.checksum(), built.image.checksum());
+        assert_eq!(loaded.image_checksum, built.image_checksum);
+        assert_eq!(warm.resident_len(key(3)), Some(loaded.image.len()));
+
+        // Asking for records materializes the same trace lazily.
+        let trace = loaded.trace();
+        assert!(loaded.trace_materialized());
+        assert_eq!(trace.len(), built.trace().len());
+    }
+
+    #[test]
+    fn corrupt_disk_file_is_evicted_and_rebuilt() {
+        let tier = DiskTier::new("corrupt");
+        let hash = key(3).content_hash();
+        {
+            let cold = TraceStore::with_disk(&tier.0).expect("attach tier");
+            let _ = cold.prepared(key(3));
+        }
+        let path = tier.0.join(valign_store::StoreDir::file_name(hash));
+        let mut bytes = std::fs::read(&path).expect("stored file exists");
+        valign_store::sabotage_file_bytes(&mut bytes, 11);
+        std::fs::write(&path, &bytes).expect("corrupt in place");
+
+        let store = TraceStore::with_disk(&tier.0).expect("attach tier");
+        let rebuilt = store.prepared(key(3));
+        let s = store.stats();
+        assert_eq!((s.disk_hits, s.disk_misses, s.disk_invalid), (0, 0, 1));
+        assert!(
+            matches!(rebuilt.provenance, ImageProvenance::DiskRebuilt { .. }),
+            "{:?}",
+            rebuilt.provenance
+        );
+        // The rebuild healed the file: a third store loads it cleanly.
+        let healed = TraceStore::with_disk(&tier.0).expect("attach tier");
+        let loaded = healed.prepared(key(3));
+        assert_eq!(loaded.provenance, ImageProvenance::DiskLoaded);
+        assert_eq!(loaded.image.checksum(), rebuilt.image.checksum());
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_key_sensitive() {
+        let a = key(3).content_hash();
+        assert_eq!(a, key(3).content_hash(), "pure function of the key");
+        let mut other = key(3);
+        other.seed = 8;
+        for b in [key(4).content_hash(), other.content_hash()] {
+            assert_ne!(a, b, "distinct keys must address distinct files");
+        }
     }
 
     #[test]
@@ -803,6 +1106,11 @@ mod tests {
         assert_eq!(batches.len(), 1);
         assert_eq!(batches[0].label, "unit");
         assert_eq!(batches[0].jobs, 1);
-        assert!(ctx.scorecard().contains("traced exactly once"));
+        let scorecard = ctx.scorecard();
+        assert!(
+            scorecard.contains("materialized exactly once"),
+            "{scorecard}"
+        );
+        assert!(scorecard.contains("disk tier off"), "{scorecard}");
     }
 }

@@ -11,6 +11,11 @@
 //! Every job attempt climbs an integrity ladder before its result is
 //! trusted:
 //!
+//! 0. **Provenance** — if the entry's image came from a persistent-store
+//!    file that failed `valign-store`'s integrity ladder (evicted and
+//!    rebuilt, [`ImageProvenance::DiskRebuilt`]), the attempt degrades
+//!    immediately: the rebuilt bytes are fine, but a store that served
+//!    corrupt bytes is surfaced as a degraded outcome, never silently.
 //! 1. **Checksum** — the replay image's stored checksum (taken at compile
 //!    time, [`PreparedTrace`](crate::sim::PreparedTrace)) is recomputed
 //!    at load; a mismatch means the bytes changed since compilation.
@@ -45,7 +50,7 @@
 //! [`JobOutcome`] sequence is identical at any worker-thread count.
 
 use crate::faults::{FaultClass, FaultPlan, FaultSet};
-use crate::sim::{dispatch_order, BatchRunner, SimJob, TraceStore};
+use crate::sim::{dispatch_order, BatchRunner, ImageProvenance, SimJob, TraceStore};
 use std::cell::Cell;
 use std::fmt;
 use std::sync::{Arc, Once};
@@ -431,9 +436,19 @@ impl SupervisedRunner {
         attempt: u32,
     ) -> AttemptOutcome {
         let prepared = job.prepared(store);
-        let trace = prepared.trace;
-        let mut image = prepared.image;
+        let mut image = Arc::clone(&prepared.image);
         let mut expected = prepared.image_checksum;
+        // Rung 0: a persistent-tier file failed the store's integrity
+        // ladder and the image was rebuilt from source. The rebuilt bytes
+        // are trustworthy, but silent self-healing would hide the
+        // corruption — degrade so the outcome tally shows it.
+        if let ImageProvenance::DiskRebuilt { error } = &prepared.provenance {
+            let reason = SimError::CorruptImage {
+                index: None,
+                detail: format!("stored image evicted and rebuilt: {error}"),
+            };
+            return self.degrade(job, &prepared.trace(), reason);
+        }
         let budget = self.cfg.budget_for(image.len());
         let mut guards = RunGuards {
             cycle_budget: Some(budget),
@@ -446,6 +461,25 @@ impl SupervisedRunner {
                     job.label(),
                     plan.site
                 ),
+                FaultClass::DiskCorrupt => {
+                    // Round-trip the image through the real container
+                    // encode, damage the *file bytes*, and make the real
+                    // decoder climb its ladder. In-memory, so parallel
+                    // jobs sharing one key never race on a real file.
+                    let mut bytes = valign_store::encode_file(&image, expected);
+                    valign_store::sabotage_file_bytes(&mut bytes, plan.site);
+                    let error = match valign_store::decode_file(&bytes) {
+                        Err(e) => e,
+                        Ok(_) => {
+                            unreachable!("sabotaged store file must fail the integrity ladder")
+                        }
+                    };
+                    let reason = SimError::CorruptImage {
+                        index: None,
+                        detail: format!("stored image file corrupt: {error}"),
+                    };
+                    return self.degrade(job, &prepared.trace(), reason);
+                }
                 FaultClass::Stall => {
                     let at = plan.site % (image.len().max(1) as u64);
                     // One stall larger than the whole budget: guaranteed
@@ -476,7 +510,11 @@ impl SupervisedRunner {
         }
         let actual = image.checksum();
         if actual != expected {
-            return self.degrade(job, &trace, SimError::ChecksumMismatch { expected, actual });
+            return self.degrade(
+                job,
+                &prepared.trace(),
+                SimError::ChecksumMismatch { expected, actual },
+            );
         }
         match Simulator::try_simulate_image(
             job.cfg.clone(),
@@ -485,7 +523,7 @@ impl SupervisedRunner {
             &guards,
         ) {
             Ok(result) => AttemptOutcome::Done(result),
-            Err(reason) if reason.degradable() => self.degrade(job, &trace, reason),
+            Err(reason) if reason.degradable() => self.degrade(job, &prepared.trace(), reason),
             Err(error) => AttemptOutcome::Failed(error),
         }
     }
@@ -602,6 +640,7 @@ mod tests {
             ("bitflip:*", false),
             ("image-corrupt:*", true),
             ("lsu-overflow:*", false),
+            ("disk-corrupt:*", false),
         ] {
             let outcomes = SupervisedRunner::new(2)
                 .with_faults(faults(spec))
@@ -621,7 +660,7 @@ mod tests {
                     want_checksum,
                     "{spec} must land on its designed rung, got {reason}"
                 );
-                let trace = job.prepared(&store).trace;
+                let trace = job.prepared(&store).trace();
                 let mut sim = Simulator::new(job.cfg.clone());
                 let _ = sim.run_reference(&trace);
                 assert_eq!(
@@ -631,6 +670,46 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn rebuilt_disk_entries_degrade_without_any_injection() {
+        let root =
+            std::env::temp_dir().join(format!("valign-supervise-rebuilt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        {
+            let seeder = TraceStore::with_disk(&root).expect("attach tier");
+            for variant in Variant::ALL {
+                let _ = seeder.prepared(key(*variant));
+            }
+        }
+        // Corrupt exactly the scalar variant's stored file.
+        let hash = key(Variant::Scalar).content_hash();
+        let path = root.join(valign_store::StoreDir::file_name(hash));
+        let mut bytes = std::fs::read(&path).expect("stored file exists");
+        valign_store::sabotage_file_bytes(&mut bytes, 5);
+        std::fs::write(&path, &bytes).expect("corrupt in place");
+
+        let store = TraceStore::with_disk(&root).expect("attach tier");
+        let outcomes = SupervisedRunner::new(2).run(&store, &jobs());
+        std::fs::remove_dir_all(&root).expect("cleanup");
+        let tally = OutcomeTally::of(&outcomes);
+        assert_eq!(
+            (tally.degraded, tally.completed),
+            (1, 2),
+            "exactly the corrupted key degrades: {outcomes:?}"
+        );
+        let JobOutcome::Degraded { reason, .. } = &outcomes[0] else {
+            panic!("scalar job must degrade, got {:?}", outcomes[0]);
+        };
+        let SimError::CorruptImage { detail, .. } = reason else {
+            panic!("unexpected degrade reason {reason}");
+        };
+        assert!(
+            detail.contains("stored image evicted and rebuilt"),
+            "{detail}"
+        );
+        assert_eq!(store.stats().disk_invalid, 1);
     }
 
     #[test]

@@ -83,6 +83,93 @@ pub mod flags {
     pub const UNALIGNED: u8 = 1 << 5;
 }
 
+/// Wire-format description of the packed arrays, shared with the
+/// `valign-store` on-disk container.
+///
+/// Each of the image's thirteen arrays is one *section*: a little-endian
+/// byte payload of fixed-width elements. Section ids match the
+/// domain-separation tags of [`ReplayImage::checksum`] — tag 1, the
+/// record count, is not a section; it travels in the container header
+/// next to the image checksum.
+pub mod wire {
+    /// Opcode per record, `u16` ([`valign_isa::Opcode::index`]).
+    pub const OPS: u32 = 2;
+    /// Execution-unit index per record, `u8`.
+    pub const UNITS: u32 = 3;
+    /// Flag byte per record, `u8` (see [`super::flags`]).
+    pub const FLAGS: u32 = 4;
+    /// Static site per record, `u32`.
+    pub const SIDS: u32 = 5;
+    /// Producer indices, three `u32` per record (12-byte elements).
+    pub const SRC_DEFS: u32 = 6;
+    /// Memory-presence bitset, `u64` words.
+    pub const MEM_MASK: u32 = 7;
+    /// Branch-presence bitset, `u64` words.
+    pub const BRANCH_MASK: u32 = 8;
+    /// Effective addresses, `u64` per memory record.
+    pub const MEM_ADDRS: u32 = 9;
+    /// Access widths, `u8` per memory record.
+    pub const MEM_BYTES: u32 = 10;
+    /// Taken bitset over branch ordinals, `u64` words.
+    pub const BRANCH_TAKEN: u32 = 11;
+    /// Unconditional bitset over branch ordinals, `u64` words.
+    pub const BRANCH_UNCOND: u32 = 12;
+    /// Cumulative dependence offsets, `u32` per memory record + 1.
+    pub const MEM_DEP_OFFSETS: u32 = 13;
+    /// Store-to-load dependence ordinals, `u32` each.
+    pub const MEM_DEPS: u32 = 14;
+
+    /// Every section id, in file order.
+    pub const ALL: &[u32] = &[
+        OPS,
+        UNITS,
+        FLAGS,
+        SIDS,
+        SRC_DEFS,
+        MEM_MASK,
+        BRANCH_MASK,
+        MEM_ADDRS,
+        MEM_BYTES,
+        BRANCH_TAKEN,
+        BRANCH_UNCOND,
+        MEM_DEP_OFFSETS,
+        MEM_DEPS,
+    ];
+
+    /// Element width in bytes of a section's payload, `None` for ids this
+    /// format version does not define.
+    pub fn elem_bytes(id: u32) -> Option<u32> {
+        match id {
+            UNITS | FLAGS | MEM_BYTES => Some(1),
+            OPS => Some(2),
+            SIDS | MEM_DEP_OFFSETS | MEM_DEPS => Some(4),
+            MEM_MASK | BRANCH_MASK | MEM_ADDRS | BRANCH_TAKEN | BRANCH_UNCOND => Some(8),
+            SRC_DEFS => Some(12),
+            _ => None,
+        }
+    }
+
+    /// Human name of a section id, for diagnostics.
+    pub fn name(id: u32) -> &'static str {
+        match id {
+            OPS => "ops",
+            UNITS => "units",
+            FLAGS => "flags",
+            SIDS => "sids",
+            SRC_DEFS => "src_defs",
+            MEM_MASK => "mem_mask",
+            BRANCH_MASK => "branch_mask",
+            MEM_ADDRS => "mem_addrs",
+            MEM_BYTES => "mem_bytes",
+            BRANCH_TAKEN => "branch_taken",
+            BRANCH_UNCOND => "branch_uncond",
+            MEM_DEP_OFFSETS => "mem_dep_offsets",
+            MEM_DEPS => "mem_deps",
+            _ => "unknown",
+        }
+    }
+}
+
 /// A deterministic image corruption, applied by [`ReplayImage::sabotage`]
 /// for fault injection. The variants are chosen to land on *different*
 /// rungs of the integrity ladder (checksum → static validation → guarded
@@ -568,6 +655,142 @@ impl ReplayImage {
         true
     }
 
+    /// Serializes every packed array into its wire section —
+    /// `(section id, little-endian payload)` in [`wire::ALL`] order — for
+    /// the `valign-store` on-disk container. The record count is not a
+    /// section; the container carries it in its header. Inverse of
+    /// [`ReplayImage::from_sections`].
+    pub fn encode_sections(&self) -> Vec<(u32, Vec<u8>)> {
+        fn le16(vals: impl Iterator<Item = u16>) -> Vec<u8> {
+            vals.flat_map(u16::to_le_bytes).collect()
+        }
+        fn le32(vals: impl Iterator<Item = u32>) -> Vec<u8> {
+            vals.flat_map(u32::to_le_bytes).collect()
+        }
+        fn le64(vals: impl Iterator<Item = u64>) -> Vec<u8> {
+            vals.flat_map(u64::to_le_bytes).collect()
+        }
+        vec![
+            (wire::OPS, le16(self.ops.iter().map(|op| op.index() as u16))),
+            (wire::UNITS, self.units.clone()),
+            (wire::FLAGS, self.flags.clone()),
+            (wire::SIDS, le32(self.sids.iter().map(|s| s.0))),
+            (
+                wire::SRC_DEFS,
+                le32(self.src_defs.iter().flatten().copied()),
+            ),
+            (wire::MEM_MASK, le64(self.mem_mask.iter().copied())),
+            (wire::BRANCH_MASK, le64(self.branch_mask.iter().copied())),
+            (wire::MEM_ADDRS, le64(self.mem_addrs.iter().copied())),
+            (wire::MEM_BYTES, self.mem_bytes.clone()),
+            (wire::BRANCH_TAKEN, le64(self.branch_taken.iter().copied())),
+            (
+                wire::BRANCH_UNCOND,
+                le64(self.branch_uncond.iter().copied()),
+            ),
+            (
+                wire::MEM_DEP_OFFSETS,
+                le32(self.mem_dep_offsets.iter().copied()),
+            ),
+            (wire::MEM_DEPS, le32(self.mem_deps.iter().copied())),
+        ]
+    }
+
+    /// Rebuilds an image from its wire sections (`len` is the record
+    /// count from the container header). Whole-section reads into owned
+    /// dense arrays — no `unsafe`, no per-element parsing beyond the
+    /// little-endian chunking.
+    ///
+    /// This only decodes *shape*: payload widths, element divisibility
+    /// and opcode range. Structural consistency (array lengths against
+    /// `len`, mask/cursor agreement, producer bounds) is
+    /// [`ReplayImage::validate`]'s job, and content integrity is the
+    /// checksum's — the store's load path runs all three rungs.
+    pub fn from_sections(len: usize, sections: &[(u32, &[u8])]) -> Result<ReplayImage, String> {
+        fn de16(bytes: &[u8], what: &str) -> Result<Vec<u16>, String> {
+            if !bytes.len().is_multiple_of(2) {
+                return Err(format!("{what}: {} bytes is not u16-aligned", bytes.len()));
+            }
+            Ok(bytes
+                .chunks_exact(2)
+                .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                .collect())
+        }
+        fn de32(bytes: &[u8], what: &str) -> Result<Vec<u32>, String> {
+            if !bytes.len().is_multiple_of(4) {
+                return Err(format!("{what}: {} bytes is not u32-aligned", bytes.len()));
+            }
+            Ok(bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect())
+        }
+        fn de64(bytes: &[u8], what: &str) -> Result<Vec<u64>, String> {
+            if !bytes.len().is_multiple_of(8) {
+                return Err(format!("{what}: {} bytes is not u64-aligned", bytes.len()));
+            }
+            Ok(bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+                .collect())
+        }
+        let mut payloads: Vec<Option<&[u8]>> = vec![None; wire::ALL.len()];
+        for &(id, bytes) in sections {
+            let pos = wire::ALL
+                .iter()
+                .position(|&w| w == id)
+                .ok_or_else(|| format!("unknown section id {id}"))?;
+            if payloads[pos].replace(bytes).is_some() {
+                return Err(format!("duplicate section {}", wire::name(id)));
+            }
+        }
+        let get = |id: u32| -> Result<&[u8], String> {
+            let pos = wire::ALL
+                .iter()
+                .position(|&w| w == id)
+                .expect("ids above come from wire::ALL");
+            payloads[pos].ok_or_else(|| format!("missing section {}", wire::name(id)))
+        };
+        let ops = de16(get(wire::OPS)?, "ops")?
+            .into_iter()
+            .map(|i| {
+                Opcode::ALL
+                    .get(usize::from(i))
+                    .copied()
+                    .ok_or_else(|| format!("ops: opcode index {i} out of range"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let src_defs_raw = de32(get(wire::SRC_DEFS)?, "src_defs")?;
+        if src_defs_raw.len() % 3 != 0 {
+            return Err(format!(
+                "src_defs: {} words is not a whole number of 3-slot records",
+                src_defs_raw.len()
+            ));
+        }
+        Ok(ReplayImage {
+            len,
+            ops,
+            units: get(wire::UNITS)?.to_vec(),
+            flags: get(wire::FLAGS)?.to_vec(),
+            sids: de32(get(wire::SIDS)?, "sids")?
+                .into_iter()
+                .map(StaticId)
+                .collect(),
+            src_defs: src_defs_raw
+                .chunks_exact(3)
+                .map(|c| [c[0], c[1], c[2]])
+                .collect(),
+            mem_mask: de64(get(wire::MEM_MASK)?, "mem_mask")?,
+            branch_mask: de64(get(wire::BRANCH_MASK)?, "branch_mask")?,
+            mem_addrs: de64(get(wire::MEM_ADDRS)?, "mem_addrs")?,
+            mem_bytes: get(wire::MEM_BYTES)?.to_vec(),
+            branch_taken: de64(get(wire::BRANCH_TAKEN)?, "branch_taken")?,
+            branch_uncond: de64(get(wire::BRANCH_UNCOND)?, "branch_uncond")?,
+            mem_dep_offsets: de32(get(wire::MEM_DEP_OFFSETS)?, "mem_dep_offsets")?,
+            mem_deps: de32(get(wire::MEM_DEPS)?, "mem_deps")?,
+        })
+    }
+
     // ---- crate-internal hot-path views -------------------------------
 
     pub(crate) fn ops(&self) -> &[Opcode] {
@@ -963,6 +1186,72 @@ mod tests {
         let mut img = ReplayImage::build(&t);
         img.mem_mask[0] |= 1 << 63; // presence bit past the last record
         assert!(img.validate().is_err());
+    }
+
+    #[test]
+    fn wire_sections_round_trip_bit_identically() {
+        for trace in [sample_trace(), Trace::new()] {
+            let img = ReplayImage::build(&trace);
+            let sections = img.encode_sections();
+            assert_eq!(sections.len(), wire::ALL.len());
+            for ((id, payload), &want_id) in sections.iter().zip(wire::ALL) {
+                assert_eq!(*id, want_id, "sections come in wire::ALL order");
+                let elem = wire::elem_bytes(*id).expect("known id") as usize;
+                assert_eq!(payload.len() % elem, 0, "{}", wire::name(*id));
+            }
+            let refs: Vec<(u32, &[u8])> = sections
+                .iter()
+                .map(|(id, bytes)| (*id, bytes.as_slice()))
+                .collect();
+            let back = ReplayImage::from_sections(img.len(), &refs).expect("round trip");
+            back.validate().expect("decoded image is well-formed");
+            assert_eq!(back.len(), img.len());
+            assert_eq!(
+                back.checksum(),
+                img.checksum(),
+                "decode must reproduce every array bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn from_sections_rejects_malformed_wire_data() {
+        let img = ReplayImage::build(&sample_trace());
+        let sections = img.encode_sections();
+        let refs =
+            |s: &[(u32, Vec<u8>)]| s.iter().map(|(id, b)| (*id, b.clone())).collect::<Vec<_>>();
+        fn as_slices(s: &[(u32, Vec<u8>)]) -> Vec<(u32, &[u8])> {
+            s.iter().map(|(id, b)| (*id, b.as_slice())).collect()
+        }
+
+        // Unknown section id.
+        let mut bad = refs(&sections);
+        bad.push((99, Vec::new()));
+        let err = ReplayImage::from_sections(img.len(), &as_slices(&bad)).expect_err("unknown id");
+        assert!(err.contains("unknown section id 99"), "{err}");
+
+        // Duplicate section.
+        let mut bad = refs(&sections);
+        bad.push(bad[0].clone());
+        let err = ReplayImage::from_sections(img.len(), &as_slices(&bad)).expect_err("duplicate");
+        assert!(err.contains("duplicate section ops"), "{err}");
+
+        // Missing section.
+        let bad = refs(&sections[1..]);
+        let err = ReplayImage::from_sections(img.len(), &as_slices(&bad)).expect_err("missing");
+        assert!(err.contains("missing section ops"), "{err}");
+
+        // Mis-aligned payload.
+        let mut bad = refs(&sections);
+        bad[0].1.push(0xFF);
+        let err = ReplayImage::from_sections(img.len(), &as_slices(&bad)).expect_err("odd bytes");
+        assert!(err.contains("not u16-aligned"), "{err}");
+
+        // Out-of-range opcode index.
+        let mut bad = refs(&sections);
+        bad[0].1[..2].copy_from_slice(&u16::MAX.to_le_bytes());
+        let err = ReplayImage::from_sections(img.len(), &as_slices(&bad)).expect_err("bad opcode");
+        assert!(err.contains("opcode index"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! End-to-end persistence property: build → save → load → simulate is
+//! bit-identical to simulating the freshly built image — cycles, stall
+//! attribution and all — across randomly generated programs and every
+//! Table II configuration.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use valign_isa::Trace;
+use valign_pipeline::{PipelineConfig, ReplayImage, Simulator};
+use valign_store::{decode_file, encode_file, StoreDir};
+use valign_vm::{Scalar, Vm};
+
+/// Random but well-formed program: ALU work, loads/stores into a private
+/// buffer, unaligned vector accesses and loop-like branches (same shape
+/// as the pipeline property suite).
+fn random_trace(seed: u64, len: usize) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut vm = Vm::new();
+    let buf = vm.mem_mut().alloc(1 << 16, 16);
+    let base = vm.li(buf as i64);
+    let i0 = vm.li(0);
+    vm.clear_trace();
+    let mut regs: Vec<Scalar> = vec![base, i0];
+    let top = vm.label();
+    while vm.instr_count() < len {
+        match rng.gen_range(0..10) {
+            0..=3 => {
+                let a = regs[rng.gen_range(0..regs.len())];
+                let b = regs[rng.gen_range(0..regs.len())];
+                regs.push(vm.add(a, b));
+            }
+            4 | 5 => {
+                let off = rng.gen_range(0..(1 << 15)) & !3;
+                let p = vm.addi(base, off);
+                regs.push(vm.lwz(p, 0));
+            }
+            6 => {
+                let off = rng.gen_range(0..(1 << 15)) & !3;
+                let p = vm.addi(base, off);
+                let v = regs[rng.gen_range(0..regs.len())];
+                vm.stw(v, p, 0);
+            }
+            7 => {
+                let off = rng.gen_range(0..((1 << 15) - 16));
+                let p = vm.addi(base, off);
+                let _ = vm.lvxu(i0, p);
+            }
+            8 => {
+                let a = regs[rng.gen_range(0..regs.len())];
+                let c = vm.cmpwi(a, 0);
+                vm.bc(c, rng.gen_bool(0.8), top);
+            }
+            _ => {
+                let a = regs[rng.gen_range(0..regs.len())];
+                regs.push(vm.slwi(a, rng.gen_range(0..8)));
+            }
+        }
+        if regs.len() > 24 {
+            regs.drain(0..8);
+        }
+    }
+    vm.take_trace()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The core persistence contract: a file round trip changes nothing
+    /// observable — not the checksum, not a single simulated cycle, not
+    /// the stall attribution.
+    #[test]
+    fn file_round_trip_simulates_bit_identically(seed in 0u64..5000) {
+        let trace = random_trace(seed, 300);
+        let built = ReplayImage::build(&trace);
+        let checksum = built.checksum();
+
+        let bytes = encode_file(&built, checksum);
+        let stored = decode_file(&bytes).expect("clean file decodes");
+        prop_assert_eq!(stored.checksum, checksum);
+        prop_assert_eq!(stored.image.checksum(), checksum);
+        stored.image.validate().expect("decoded image is well-formed");
+
+        for cfg in PipelineConfig::table_ii() {
+            let name = cfg.name;
+            let fresh = Simulator::simulate_image(cfg.clone(), Some(&built), &built);
+            let loaded = Simulator::simulate_image(cfg, Some(&stored.image), &stored.image);
+            prop_assert_eq!(fresh, loaded, "config {} diverged after round trip", name);
+            prop_assert_eq!(
+                fresh.breakdown, loaded.breakdown,
+                "attribution diverged after round trip on {}", name
+            );
+        }
+    }
+
+    /// Same contract through the directory layer (save → load from disk).
+    #[test]
+    fn directory_round_trip_is_lossless(seed in 0u64..5000) {
+        let trace = random_trace(seed, 200);
+        let built = ReplayImage::build(&trace);
+        let checksum = built.checksum();
+
+        let root = std::env::temp_dir().join(format!(
+            "valign-store-prop-{}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let dir = StoreDir::create(&root).expect("create store dir");
+        dir.save(checksum, &built, checksum).expect("save");
+        let stored = dir.load(checksum).expect("load");
+        std::fs::remove_dir_all(&root).expect("cleanup");
+
+        prop_assert_eq!(stored.checksum, checksum);
+        prop_assert_eq!(stored.image.checksum(), checksum);
+        let cfg = PipelineConfig::table_ii().remove(0);
+        let fresh = Simulator::simulate_image(cfg.clone(), None, &built);
+        let loaded = Simulator::simulate_image(cfg, None, &stored.image);
+        prop_assert_eq!(fresh, loaded);
+    }
+}

@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! valign table1|table2|table3|fig4|fig8|fig9|fig10|all [--execs N] [--seed S] [--threads T]
-//! valign run [--supervised] [--inject CLASS:SELECTOR]... [--execs N] [--seed S] [--threads T]
+//! valign run [--supervised] [--inject CLASS:SELECTOR]... [--execs N] [--seed S] [--threads T] [--store-dir DIR]
 //! valign explain --kernel K --variant V [--json] [--execs N] [--seed S] [--threads T]
 //! valign lint [--json] [--kernel K --variant V | --all] [--execs N] [--seed S]
-//! valign bench-replay [--quick] [--execs N] [--seed S] [--repeats R] [--out PATH]
+//! valign bench-replay [--quick] [--execs N] [--seed S] [--repeats R] [--out PATH] [--store-dir DIR]
+//! valign pack --store-dir DIR [--execs N] [--seed S] [--threads T]
+//! valign verify-image --store-dir DIR
 //! ```
 //!
 //! Each experiment subcommand prints the corresponding table/figure of
@@ -43,15 +45,28 @@
 //! hot path against the record-form reference walker over the full
 //! fig8-style batch, asserts the two produce bit-identical results, and
 //! writes the JSON artifact (default `BENCH_replay.json`). `--quick`
-//! drops to a small batch for CI smoke runs.
+//! drops to a small batch for CI smoke runs. With `--store-dir` the
+//! cold-vs-warm store comparison packs into (and reuses) that directory
+//! instead of an ephemeral one.
+//!
+//! `pack` pre-populates a persistent store directory with the packed
+//! replay image of every kernel × variant of the standard matrix —
+//! already-present verified files are reused, corrupt ones evicted and
+//! rebuilt — so later `run`/`bench-replay` invocations with the same
+//! `--store-dir` warm-start off disk instead of re-tracing. `verify-image`
+//! walks such a directory and climbs the full integrity ladder for every
+//! file, printing one OK/INVALID verdict per file; it exits 1 if anything
+//! is invalid. `run` and the experiment sweep accept `--store-dir` too,
+//! routing every trace materialization through the two-tier store (the
+//! scorecard then reports memory and disk tiers separately).
 
 use valign::analyze::{lint_all, lint_kernel, LintOptions};
 use valign::cache::RealignConfig;
 use valign::core::experiments::{fig10, fig4, fig8, fig9, table1, table2, table3, ExperimentError};
 use valign::core::workload::KernelId;
 use valign::core::SimContext;
-use valign::core::{explain, replay_bench};
-use valign::core::{FaultSet, JobOutcome, SimJob, SupervisedRunner, TraceKey};
+use valign::core::{explain, replay_bench, store_ops};
+use valign::core::{FaultSet, JobOutcome, SimJob, SupervisedRunner, TraceKey, TraceStore};
 use valign::kernels::util::Variant;
 use valign::pipeline::PipelineConfig;
 
@@ -68,6 +83,7 @@ struct Options {
     out: Option<String>,
     supervised: bool,
     inject: Vec<String>,
+    store_dir: Option<String>,
 }
 
 fn parse_args() -> (String, Options) {
@@ -85,6 +101,7 @@ fn parse_args() -> (String, Options) {
         out: None,
         supervised: false,
         inject: Vec::new(),
+        store_dir: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -99,6 +116,12 @@ fn parse_args() -> (String, Options) {
             }
             "--out" => {
                 opts.out = Some(args.next().unwrap_or_else(|| usage("--out needs a value")));
+            }
+            "--store-dir" => {
+                opts.store_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--store-dir needs a value")),
+                );
             }
             "--repeats" => {
                 let v = args
@@ -162,13 +185,15 @@ fn usage(err: &str) -> ! {
         "usage: valign <table1|table2|table3|fig4|fig8|fig9|fig10|all> \
          [--execs N] [--seed S] [--threads T]\n       \
          valign run [--supervised] [--inject CLASS:SELECTOR]... \
-         [--execs N] [--seed S] [--threads T]\n       \
+         [--execs N] [--seed S] [--threads T] [--store-dir DIR]\n       \
          valign explain --kernel K --variant V [--json] \
          [--execs N] [--seed S] [--threads T]\n       \
          valign lint [--json] [--kernel K --variant V | --all] \
          [--execs N] [--seed S]\n       \
          valign bench-replay [--quick] [--execs N] [--seed S] \
-         [--repeats R] [--out PATH]"
+         [--repeats R] [--out PATH] [--store-dir DIR]\n       \
+         valign pack --store-dir DIR [--execs N] [--seed S] [--threads T]\n       \
+         valign verify-image --store-dir DIR"
     );
     std::process::exit(2);
 }
@@ -191,7 +216,12 @@ fn run_bench_replay(o: &Options) -> ! {
     } else {
         (o.execs.max(2), o.repeats)
     };
-    let bench = replay_bench::run(execs, o.seed, repeats);
+    let bench = replay_bench::run(
+        execs,
+        o.seed,
+        repeats,
+        o.store_dir.as_deref().map(std::path::Path::new),
+    );
     print!("{}", bench.render());
     let path = o.out.as_deref().unwrap_or("BENCH_replay.json");
     if let Err(e) = std::fs::write(path, bench.render_json()) {
@@ -204,6 +234,44 @@ fn run_bench_replay(o: &Options) -> ! {
         std::process::exit(1);
     }
     std::process::exit(0);
+}
+
+/// Runs `valign pack`: pre-populates `--store-dir` with the packed image
+/// of every kernel × variant of the standard matrix. Exits 1 when the
+/// directory cannot be created or a packed file goes missing.
+fn run_pack(o: &Options) -> ! {
+    let Some(dir) = o.store_dir.as_deref() else {
+        usage("pack needs --store-dir DIR");
+    };
+    match store_ops::pack(dir, o.execs.max(2), o.seed, o.threads) {
+        Ok(report) => {
+            print!("{}", report.render());
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs `valign verify-image`: walks `--store-dir` and verifies every
+/// image file against the full integrity ladder. Exits 0 only when every
+/// file verifies.
+fn run_verify_image(o: &Options) -> ! {
+    let Some(dir) = o.store_dir.as_deref() else {
+        usage("verify-image needs --store-dir DIR");
+    };
+    match store_ops::verify_image(dir) {
+        Ok(report) => {
+            print!("{}", report.render());
+            std::process::exit(i32::from(!report.all_ok()));
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Runs `valign run`: the full kernel × variant × Table II sweep, plain
@@ -379,7 +447,22 @@ fn main() {
     if cmd == "bench-replay" {
         run_bench_replay(&opts);
     }
-    let ctx = SimContext::new(opts.threads);
+    if cmd == "pack" {
+        run_pack(&opts);
+    }
+    if cmd == "verify-image" {
+        run_verify_image(&opts);
+    }
+    let ctx = match opts.store_dir.as_deref() {
+        Some(dir) => match TraceStore::with_disk(dir) {
+            Ok(store) => SimContext::with_store(opts.threads, store),
+            Err(e) => {
+                eprintln!("error: cannot open store dir: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => SimContext::new(opts.threads),
+    };
     if cmd == "run" {
         run_run(&ctx, &opts);
     }

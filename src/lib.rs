@@ -20,6 +20,9 @@
 //! * [`h264`] — golden kernels, synthetic sequences, decoder model
 //! * [`kernels`] — the scalar / Altivec / unaligned kernel triples
 //! * [`core`] — workloads and the per-table/figure experiment drivers
+//! * [`store`] — the persistent content-addressed replay-image store:
+//!   on-disk container format, integrity ladder, and store directory
+//!   (`valign pack` / `valign verify-image` / `--store-dir`)
 //! * [`analyze`] — static analysis over traces and model metadata
 //!   (the `valign lint` gate)
 //!
@@ -50,4 +53,5 @@ pub use valign_h264 as h264;
 pub use valign_isa as isa;
 pub use valign_kernels as kernels;
 pub use valign_pipeline as pipeline;
+pub use valign_store as store;
 pub use valign_vm as vm;

@@ -8,6 +8,9 @@
 //!   bit-identical to an uninjected run;
 //! * `image-corrupt:*` degrades every job to the reference walker,
 //!   bit-identical to running the reference walker directly;
+//! * `disk-corrupt:<selector>` pushes the selected job's image through
+//!   the persistent container's encode → damage → decode path and
+//!   degrades exactly that job, with the decode error in the reason;
 //! * a panicking job cannot poison the plain batch runner's
 //!   scoped-thread join ([`BatchRunner::try_run`] keeps siblings);
 //! * property: for every fault class, the full [`JobOutcome`] sequence
@@ -141,6 +144,37 @@ fn image_corruption_degrades_every_job_to_the_reference_walker() {
             "{}: degraded result must be bit-identical to run_reference",
             job.label()
         );
+    }
+}
+
+#[test]
+fn disk_corruption_degrades_only_the_selected_job() {
+    let store = TraceStore::new();
+    let jobs = eight_jobs();
+    let clean = SupervisedRunner::new(4).run(&store, &jobs);
+    let outcomes = SupervisedRunner::new(4)
+        .with_faults(faults("disk-corrupt:sad8x8.altivec"))
+        .run(&store, &jobs);
+    let tally = OutcomeTally::of(&outcomes);
+    assert_eq!(tally.degraded, 1);
+    assert_eq!(tally.completed, 7);
+    for (i, (outcome, clean_outcome)) in outcomes.iter().zip(&clean).enumerate() {
+        if jobs[i].label() == "sad8x8.altivec" {
+            let JobOutcome::Degraded { result, reason, .. } = outcome else {
+                panic!("selected job must degrade, got {outcome:?}");
+            };
+            assert!(
+                reason.to_string().contains("stored image file corrupt"),
+                "the container decode rung must name the fault: {reason}"
+            );
+            assert_eq!(
+                result,
+                &reference_result(&store, &jobs[i]),
+                "degraded result must be bit-identical to run_reference"
+            );
+        } else {
+            assert_eq!(outcome, clean_outcome, "job {i} must be untouched");
+        }
     }
 }
 
