@@ -1,6 +1,101 @@
 //! Diagnostics: what every rule emits, and how findings are rendered.
+//!
+//! The JSON renderings form a versioned schema (see [`SCHEMA_VERSION`]
+//! and DESIGN.md §15): report objects carry `schema_version`, and the
+//! `rule` field of every diagnostic is drawn from the closed
+//! [`RuleName`] set, so downstream tooling can match on rule names
+//! without breaking when rules are added (additions bump nothing; only
+//! renaming or removing a rule, or changing field layout, bumps the
+//! version).
 
 use std::fmt;
+
+/// Version of the JSON diagnostic schema (`valign lint --json`,
+/// `valign audit --json`). Bumped only on breaking changes: renaming or
+/// removing a [`RuleName`], or changing the field layout of the report
+/// or diagnostic objects. Adding rules or report fields is
+/// backwards-compatible and does not bump it.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The closed set of stable rule names, one per module of
+/// [`crate::rules`] and in the same run order as
+/// [`crate::rules::ALL_RULES`] (a unit test keeps them in lock step).
+/// Downstream tooling should match on this enum (via [`RuleName::parse`])
+/// rather than raw strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleName {
+    /// `trace-wellformed`
+    TraceWellformed,
+    /// `alignment-invariant`
+    AlignmentInvariant,
+    /// `register-def-use`
+    RegisterDefUse,
+    /// `memory-dependence`
+    MemoryDependence,
+    /// `latency-completeness`
+    LatencyCompleteness,
+    /// `image-bitset`
+    ImageBitset,
+    /// `image-deps`
+    ImageDeps,
+    /// `image-dep-oracle`
+    ImageDepOracle,
+    /// `image-sidearray`
+    ImageSidearray,
+    /// `attribution-conservation`
+    AttributionConservation,
+    /// `outcome-consistency`
+    OutcomeConsistency,
+    /// `costmodel-soundness`
+    CostmodelSoundness,
+}
+
+impl RuleName {
+    /// Every rule, in [`crate::rules::ALL_RULES`] order.
+    pub const ALL: &'static [RuleName] = &[
+        RuleName::TraceWellformed,
+        RuleName::AlignmentInvariant,
+        RuleName::RegisterDefUse,
+        RuleName::MemoryDependence,
+        RuleName::LatencyCompleteness,
+        RuleName::ImageBitset,
+        RuleName::ImageDeps,
+        RuleName::ImageDepOracle,
+        RuleName::ImageSidearray,
+        RuleName::AttributionConservation,
+        RuleName::OutcomeConsistency,
+        RuleName::CostmodelSoundness,
+    ];
+
+    /// The stable wire name of this rule.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            RuleName::TraceWellformed => "trace-wellformed",
+            RuleName::AlignmentInvariant => "alignment-invariant",
+            RuleName::RegisterDefUse => "register-def-use",
+            RuleName::MemoryDependence => "memory-dependence",
+            RuleName::LatencyCompleteness => "latency-completeness",
+            RuleName::ImageBitset => "image-bitset",
+            RuleName::ImageDeps => "image-deps",
+            RuleName::ImageDepOracle => "image-dep-oracle",
+            RuleName::ImageSidearray => "image-sidearray",
+            RuleName::AttributionConservation => "attribution-conservation",
+            RuleName::OutcomeConsistency => "outcome-consistency",
+            RuleName::CostmodelSoundness => "costmodel-soundness",
+        }
+    }
+
+    /// Parses a wire name back into the enum; `None` for unknown names.
+    pub fn parse(name: &str) -> Option<RuleName> {
+        RuleName::ALL.iter().copied().find(|r| r.as_str() == name)
+    }
+}
+
+impl fmt::Display for RuleName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// How serious a finding is.
 ///
@@ -151,6 +246,15 @@ mod tests {
             ..sample()
         };
         assert!(none.render_json().contains(r#""instr_index":null"#));
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for &rule in RuleName::ALL {
+            assert_eq!(RuleName::parse(rule.as_str()), Some(rule));
+            assert_eq!(rule.to_string(), rule.as_str());
+        }
+        assert_eq!(RuleName::parse("ALIGNMENT-INVARIANT"), None, "case-exact");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! against — so a modelling bug surfaces as a named diagnostic instead of
 //! a silently wrong cycle count.
 //!
-//! Seven rules (see [`rules`]):
+//! Twelve rules (see [`rules`]):
 //!
 //! | rule | checks | gate |
 //! |------|--------|------|
@@ -17,15 +17,27 @@
 //! | `register-def-use` | read-before-write, producer wiring, dead vector defs | mixed |
 //! | `memory-dependence` | store→load overlaps vs the LSU's ordering model | WARNING |
 //! | `latency-completeness` | every observed opcode in all Table II tables | ERROR |
+//! | `image-bitset` | presence-bitset popcounts, tail bits, dependence cursors | ERROR |
+//! | `image-deps` | dependence lists acyclic, in bounds, inside the LSU window | ERROR |
+//! | `image-dep-oracle` | dependence lists == recomputed store-queue oracle | ERROR |
+//! | `image-sidearray` | side-array lengths, opcode/unit/flag domain agreement | ERROR |
 //! | `attribution-conservation` | stall buckets sum exactly to replay cycles | ERROR |
 //! | `outcome-consistency` | clean supervised replay: thread-count invariant, all Completed, `==` direct replay | ERROR |
+//! | `costmodel-soundness` | measured attribution inside the static cost-model bounds | ERROR |
 //!
-//! The conservation and outcome rules replay the trace (all Table II
-//! configurations), so they run only on traces the structural rules
-//! passed clean.
+//! The four `image-*` rules are *static audit* rules over a packed
+//! [`ReplayImage`] — they need no trace and run equally on images decoded
+//! from `.vimg` store files ([`audit`], the engine of `valign audit`).
+//! The conservation, outcome and costmodel-soundness rules replay the
+//! trace (all Table II configurations), so they run only on traces the
+//! structural rules passed clean; costmodel-soundness compares the
+//! measured attribution against the zero-simulation bounds of
+//! [`costmodel`].
 //!
-//! The CLI front end is `valign lint` (see the repository README); the
-//! gate is **zero ERROR diagnostics across every kernel/variant pair**.
+//! The CLI front ends are `valign lint` and `valign audit` (see the
+//! repository README); the lint gate is **zero ERROR diagnostics across
+//! every kernel/variant pair**. JSON output is versioned — see
+//! [`diag::SCHEMA_VERSION`] and [`diag::RuleName`].
 //!
 //! ## Example
 //!
@@ -43,17 +55,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod audit;
+pub mod costmodel;
 pub mod diag;
 pub mod rules;
 
-pub use diag::{Diagnostic, Severity};
+pub use diag::{Diagnostic, RuleName, Severity, SCHEMA_VERSION};
 
-use std::sync::Arc;
 use valign_core::workload::KernelId;
-use valign_core::{SimContext, Workload};
+use valign_core::{SimContext, TraceKey, Workload};
 use valign_isa::Trace;
 use valign_kernels::util::Variant;
-use valign_pipeline::{LatencyTable, PipelineConfig};
+use valign_pipeline::{LatencyTable, PipelineConfig, ReplayImage};
 
 /// Cap on non-ERROR diagnostics reported per rule per trace. ERRORs are
 /// never capped; a suppression summary [`Severity::Info`] records how many
@@ -109,6 +122,65 @@ impl<'a> TraceCtx<'a> {
     }
 }
 
+/// Everything an image audit rule needs to know about the packed image
+/// under analysis. Unlike [`TraceCtx`] there is no trace here: the image
+/// may have come straight off disk (`valign audit --store-dir`), in
+/// which case the packed arrays are the *only* artefact.
+pub struct ImageCtx<'a> {
+    /// The packed replay image under analysis.
+    pub image: &'a ReplayImage,
+    /// Kernel label ("luma16x16", …) for diagnostics — or a file name
+    /// when auditing an unkeyed store entry.
+    pub kernel: String,
+    /// Variant label ("scalar", …) — or `"image"` when unknown.
+    pub variant: String,
+}
+
+impl<'a> ImageCtx<'a> {
+    /// Builds a context for one image.
+    pub fn new(
+        image: &'a ReplayImage,
+        kernel: impl Into<String>,
+        variant: impl Into<String>,
+    ) -> Self {
+        ImageCtx {
+            image,
+            kernel: kernel.into(),
+            variant: variant.into(),
+        }
+    }
+
+    /// Builds one diagnostic against this image.
+    pub fn diag(
+        &self,
+        rule: &'static str,
+        severity: Severity,
+        instr_index: Option<u32>,
+        message: String,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity,
+            kernel: self.kernel.clone(),
+            variant: self.variant.clone(),
+            instr_index,
+            message,
+        }
+    }
+}
+
+/// Runs the four static image audit rules over one packed image — no
+/// trace, no simulation. The engine of `valign audit`; also folded into
+/// every `valign lint` run by [`analyze_trace_with_image`].
+pub fn analyze_image(ctx: &ImageCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(rules::image_bitset::check(ctx));
+    out.extend(rules::image_deps::check(ctx));
+    out.extend(rules::image_dep_oracle::check(ctx));
+    out.extend(rules::image_sidearray::check(ctx));
+    out
+}
+
 /// Caps non-ERROR findings of one rule at [`MAX_WARNINGS_PER_RULE`],
 /// appending an Info summary when anything was dropped. ERRORs always
 /// pass through.
@@ -143,12 +215,26 @@ fn cap_warnings(ctx: &TraceCtx<'_>, rule: &'static str, diags: Vec<Diagnostic>) 
     out
 }
 
-/// Runs every rule over one trace against the given latency tables.
+/// Runs every rule over one trace against the given latency tables,
+/// building the packed replay image itself. Prefer
+/// [`analyze_trace_with_image`] when a prepared image already exists
+/// (the lint path does, via the trace store) — analysing the image that
+/// will actually replay beats analysing a fresh rebuild.
+pub fn analyze_trace(ctx: &TraceCtx<'_>, tables: &[LatencyTable]) -> Vec<Diagnostic> {
+    let image = ReplayImage::build(ctx.trace);
+    analyze_trace_with_image(ctx, tables, &image)
+}
+
+/// Runs every rule over one trace *and* its packed image.
 ///
 /// Diagnostics come back grouped by rule in the order of
 /// [`rules::ALL_RULES`], warnings capped per rule (see
 /// [`MAX_WARNINGS_PER_RULE`]).
-pub fn analyze_trace(ctx: &TraceCtx<'_>, tables: &[LatencyTable]) -> Vec<Diagnostic> {
+pub fn analyze_trace_with_image(
+    ctx: &TraceCtx<'_>,
+    tables: &[LatencyTable],
+    image: &ReplayImage,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     out.extend(cap_warnings(
         ctx,
@@ -175,10 +261,14 @@ pub fn analyze_trace(ctx: &TraceCtx<'_>, tables: &[LatencyTable]) -> Vec<Diagnos
         rules::latency::RULE,
         rules::latency::check(ctx, tables),
     ));
-    // The conservation and outcome rules replay the trace through the
-    // engine, which a structurally broken trace (incomplete latency table,
-    // dangling producer index) could crash — run them only when every
-    // structural rule passed without an ERROR.
+    // The static image audit rules, on the same image the replay rules
+    // below would consume.
+    let ictx = ImageCtx::new(image, ctx.kernel.clone(), ctx.variant.label());
+    out.extend(analyze_image(&ictx));
+    // The conservation, outcome and costmodel-soundness rules replay the
+    // trace through the engine, which a structurally broken trace
+    // (incomplete latency table, dangling producer index) could crash —
+    // run them only when every structural rule passed without an ERROR.
     if out.iter().all(|d| d.severity < Severity::Error) {
         out.extend(cap_warnings(
             ctx,
@@ -189,6 +279,11 @@ pub fn analyze_trace(ctx: &TraceCtx<'_>, tables: &[LatencyTable]) -> Vec<Diagnos
             ctx,
             rules::outcome::RULE,
             rules::outcome::check(ctx),
+        ));
+        out.extend(cap_warnings(
+            ctx,
+            rules::costmodel::RULE,
+            rules::costmodel::check(ctx, image),
         ));
     }
     out
@@ -261,8 +356,8 @@ impl LintReport {
         out
     }
 
-    /// Renders the report as one JSON object with counts and the full
-    /// diagnostic array.
+    /// Renders the report as one JSON object with the schema version,
+    /// counts and the full diagnostic array (see [`SCHEMA_VERSION`]).
     pub fn render_json(&self) -> String {
         let items: Vec<String> = self
             .diagnostics
@@ -270,7 +365,7 @@ impl LintReport {
             .map(diag::Diagnostic::render_json)
             .collect();
         format!(
-            r#"{{"traces_analyzed":{},"errors":{},"warnings":{},"diagnostics":[{}]}}"#,
+            r#"{{"schema_version":{SCHEMA_VERSION},"traces_analyzed":{},"errors":{},"warnings":{},"diagnostics":[{}]}}"#,
             self.traces_analyzed,
             self.errors(),
             self.warnings(),
@@ -327,8 +422,20 @@ fn lint_into(
     tables: &[LatencyTable],
     mem_limit: u64,
 ) {
-    let trace: Arc<Trace> = ctx.trace(kernel, variant, opts.execs, opts.seed);
+    // Lint the *prepared* trace: the image rules then run on exactly the
+    // packed arrays a replay would consume — when the context's store is
+    // disk-backed (`valign lint --store-dir`), that is the image decoded
+    // from the `.vimg` file, so the whole decode path is under the gate.
+    let prepared = ctx.store().prepared(TraceKey {
+        kernel,
+        variant,
+        execs: opts.execs,
+        seed: opts.seed,
+    });
+    let trace = prepared.trace();
     let tctx = TraceCtx::new(&trace, kernel.label(), variant, Some(mem_limit));
-    report.diagnostics.extend(analyze_trace(&tctx, tables));
+    report
+        .diagnostics
+        .extend(analyze_trace_with_image(&tctx, tables, &prepared.image));
     report.traces_analyzed += 1;
 }

@@ -1,0 +1,175 @@
+//! `image-bitset` — presence-bitset and cursor consistency of a packed
+//! [`ReplayImage`](valign_pipeline::ReplayImage).
+//!
+//! The replay hot path walks the compact memory/branch arrays through
+//! running cursors steered by the presence bitsets and the cumulative
+//! dependence offsets; if a popcount disagrees with a compact-array
+//! length, or an offset breaks monotonicity, the cursors silently
+//! misresolve and every later record reads someone else's data. This rule
+//! re-derives all of that bookkeeping from scratch:
+//!
+//! * mask word counts and clean tail bits past the last record;
+//! * `popcount(mem_mask) == mem_addrs.len() == mem_bytes.len()`;
+//! * `popcount(branch_mask)` against the branch-outcome word counts;
+//! * `mem_dep_offsets`: exactly `memory_records + 1` entries, monotone,
+//!   ending at `mem_deps.len()`;
+//! * per-record agreement between the flag byte and both presence masks.
+//!
+//! Every finding is an ERROR: none of these can occur in an image
+//! [`ReplayImage::build`](valign_pipeline::ReplayImage::build) produced.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::ImageCtx;
+
+pub const RULE: &str = "image-bitset";
+
+/// Cap on per-record findings: structural lies repeat per record, and one
+/// is already fatal.
+const MAX_SITES: usize = 20;
+
+fn get_bit(words: &[u64], i: usize) -> bool {
+    words.get(i >> 6).is_some_and(|w| (w >> (i & 63)) & 1 != 0)
+}
+
+fn popcount(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+pub fn check(ctx: &ImageCtx<'_>) -> Vec<Diagnostic> {
+    let img = ctx.image;
+    let n = img.len();
+    let mut out = Vec::new();
+    let mut err = |idx: Option<u32>, msg: String| {
+        out.push(ctx.diag(RULE, Severity::Error, idx, msg));
+    };
+
+    let mask_words = n.div_ceil(64).max(1);
+    let mem_mask = img.mem_mask_words();
+    let branch_mask = img.branch_mask_words();
+    if mem_mask.len() != mask_words || branch_mask.len() != mask_words {
+        err(
+            None,
+            format!(
+                "presence masks have {}/{} words, expected {mask_words} for {n} records",
+                mem_mask.len(),
+                branch_mask.len()
+            ),
+        );
+        // Word counts are the precondition of every other check here.
+        return out;
+    }
+    let spare = mask_words * 64 - n;
+    let tail_clean = |words: &[u64]| spare == 0 || words[mask_words - 1] >> (64 - spare) == 0;
+    if !tail_clean(mem_mask) {
+        err(
+            None,
+            "memory presence mask has bits past the last record".into(),
+        );
+    }
+    if !tail_clean(branch_mask) {
+        err(
+            None,
+            "branch presence mask has bits past the last record".into(),
+        );
+    }
+
+    let mem_records = popcount(mem_mask);
+    if img.mem_addrs().len() != mem_records || img.mem_bytes().len() != mem_records {
+        err(
+            None,
+            format!(
+                "memory presence popcount is {mem_records} but the compact arrays hold \
+                 {} addresses / {} widths",
+                img.mem_addrs().len(),
+                img.mem_bytes().len()
+            ),
+        );
+    }
+    let branches = popcount(branch_mask);
+    let branch_words = branches.div_ceil(64);
+    if img.branch_taken_words().len() != branch_words
+        || img.branch_uncond_words().len() != branch_words
+    {
+        err(
+            None,
+            format!(
+                "branch presence popcount is {branches} ({branch_words} outcome words) but \
+                 {}/{} taken/unconditional words are stored",
+                img.branch_taken_words().len(),
+                img.branch_uncond_words().len()
+            ),
+        );
+    }
+
+    // Dependence-cursor consistency: the offsets are the only steering
+    // the compact dependence pool has.
+    let offsets = img.mem_dep_offsets();
+    let deps = img.mem_deps().len();
+    if offsets.len() != mem_records + 1 {
+        err(
+            None,
+            format!(
+                "{} dependence offsets for {mem_records} memory records (want {})",
+                offsets.len(),
+                mem_records + 1
+            ),
+        );
+    } else {
+        let mut prev = 0u32;
+        let mut monotone = true;
+        for (c, &off) in offsets.iter().enumerate() {
+            if off < prev || off as usize > deps {
+                err(
+                    None,
+                    format!(
+                        "dependence offset {off} at cursor {c} breaks monotonicity \
+                         (prev {prev}, {deps} deps stored)"
+                    ),
+                );
+                monotone = false;
+                break;
+            }
+            prev = off;
+        }
+        if monotone && (prev as usize) != deps {
+            err(
+                None,
+                format!("dependence offsets end at {prev}, but {deps} deps are stored"),
+            );
+        }
+    }
+
+    // Per-record flag/mask agreement (the flag byte and the bitset are
+    // redundant encodings — the reference walker trusts one, the replay
+    // loop the other).
+    if img.flags().len() == n {
+        let mut sites = 0usize;
+        for (idx, &f) in img.flags().iter().enumerate() {
+            let mut disagree = |what: &str| {
+                sites += 1;
+                if sites <= MAX_SITES {
+                    err(
+                        Some(idx as u32),
+                        format!("{what} flag disagrees with the presence mask"),
+                    );
+                }
+            };
+            if (f & valign_pipeline::image::flags::MEM != 0) != get_bit(mem_mask, idx) {
+                disagree("MEM");
+            }
+            if (f & valign_pipeline::image::flags::BRANCH != 0) != get_bit(branch_mask, idx) {
+                disagree("BRANCH");
+            }
+        }
+        if sites > MAX_SITES {
+            err(
+                None,
+                format!(
+                    "{} further flag/mask disagreement(s) suppressed (cap {MAX_SITES})",
+                    sites - MAX_SITES
+                ),
+            );
+        }
+    }
+    out
+}

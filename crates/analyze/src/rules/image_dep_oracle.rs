@@ -1,0 +1,107 @@
+//! `image-dep-oracle` — the pre-resolved dependence lists agree with a
+//! recomputed store-queue oracle.
+//!
+//! `image-deps` checks the lists are *possible* (in bounds, backward,
+//! windowed); this rule checks they are *right*: it re-runs the exact
+//! build-time store-queue scan — a trailing
+//! [`STORE_QUEUE_TRACK`]-entry window of `(addr, bytes, ordinal)` with
+//! [`ranges_overlap`] — over the image's own record stream (flags +
+//! compact address/width arrays) and compares every memory record's list
+//! against the stored one. Any disagreement means the packed image would
+//! replay different store→load timing than the trace it claims to
+//! represent, which no checksum can catch once the file is the only
+//! artefact left — exactly the corruption a store-level audit exists to
+//! find.
+//!
+//! Preconditions (silently skipped when broken, `image-bitset` /
+//! `image-sidearray` report them): flag array of `len` entries, compact
+//! arrays matching the MEM population, and consistent cursor offsets.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::ImageCtx;
+use std::collections::VecDeque;
+use valign_pipeline::image::flags;
+use valign_pipeline::{ranges_overlap, STORE_QUEUE_TRACK};
+
+pub const RULE: &str = "image-dep-oracle";
+
+/// Cap on reported disagreements; one already fails the gate.
+const MAX_SITES: usize = 20;
+
+pub fn check(ctx: &ImageCtx<'_>) -> Vec<Diagnostic> {
+    let img = ctx.image;
+    let n = img.len();
+    if img.flags().len() != n {
+        return Vec::new();
+    }
+    let mem_records = img.flags().iter().filter(|&&f| f & flags::MEM != 0).count();
+    let offsets = img.mem_dep_offsets();
+    let pool = img.mem_deps();
+    if img.mem_addrs().len() != mem_records
+        || img.mem_bytes().len() != mem_records
+        || offsets.len() != mem_records + 1
+    {
+        return Vec::new();
+    }
+
+    let mut out = Vec::new();
+    let mut sites = 0usize;
+    let mut recent: VecDeque<(u64, u64, u32)> = VecDeque::with_capacity(STORE_QUEUE_TRACK);
+    let mut stores_seen = 0u32;
+    let mut cursor = 0usize;
+    for (idx, &f) in img.flags().iter().enumerate() {
+        if f & flags::MEM == 0 {
+            continue;
+        }
+        let addr = img.mem_addrs()[cursor];
+        let bytes = u64::from(img.mem_bytes()[cursor]);
+        let stored: Option<&[u32]> = match (offsets.get(cursor), offsets.get(cursor + 1)) {
+            (Some(&lo), Some(&hi)) if lo <= hi && hi as usize <= pool.len() => {
+                Some(&pool[lo as usize..hi as usize])
+            }
+            _ => None, // corrupt cursors: image-bitset's finding
+        };
+        cursor += 1;
+        if f & flags::STORE != 0 {
+            if recent.len() == STORE_QUEUE_TRACK {
+                recent.pop_front();
+            }
+            recent.push_back((addr, bytes, stores_seen));
+            stores_seen += 1;
+            continue;
+        }
+        let oracle: Vec<u32> = recent
+            .iter()
+            .filter(|&&(a, b, _)| ranges_overlap(a, b, addr, bytes))
+            .map(|&(_, _, ord)| ord)
+            .collect();
+        if let Some(stored) = stored {
+            if stored != oracle.as_slice() {
+                sites += 1;
+                if sites <= MAX_SITES {
+                    out.push(ctx.diag(
+                        RULE,
+                        Severity::Error,
+                        Some(idx as u32),
+                        format!(
+                            "stored dependence list {stored:?} disagrees with the recomputed \
+                             store-queue oracle {oracle:?}"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    if sites > MAX_SITES {
+        out.push(ctx.diag(
+            RULE,
+            Severity::Error,
+            None,
+            format!(
+                "{} further oracle disagreement(s) suppressed (cap {MAX_SITES})",
+                sites - MAX_SITES
+            ),
+        ));
+    }
+    out
+}

@@ -1,0 +1,143 @@
+//! `image-sidearray` — dense per-record side arrays have the right
+//! lengths and internally consistent opcode/flag/unit domains.
+//!
+//! The replay loop indexes `ops`/`units`/`flags`/`sids`/`src_defs` by raw
+//! record index with no per-access checks — the build invariant that all
+//! five hold exactly `len` entries is what makes that safe. Beyond
+//! lengths, the arrays encode redundant facts that must agree:
+//!
+//! * `units[i]` is exactly `ops[i].unit().index()` (the engine routes by
+//!   the cached unit index, the latency table by the opcode — a mismatch
+//!   silently issues on the wrong pool);
+//! * the `MEM` flag holds iff the opcode reads or writes memory, and the
+//!   `STORE` flag (under `MEM`) iff the opcode is a store;
+//! * `UNALIGNED` only appears on `MEM` records of unaligned-capable
+//!   opcodes (`lvxu`/`stvxu`);
+//! * `STORE` implies `MEM`, `DST_VPR` implies `HAS_DST`.
+//!
+//! All findings are ERRORs. Length checks come first; domain checks run
+//! over the common prefix of the arrays so a truncated image still gets
+//! its domain lies reported.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::ImageCtx;
+use valign_pipeline::image::flags;
+
+pub const RULE: &str = "image-sidearray";
+
+/// Cap on per-record findings; one already fails the gate.
+const MAX_SITES: usize = 20;
+
+pub fn check(ctx: &ImageCtx<'_>) -> Vec<Diagnostic> {
+    let img = ctx.image;
+    let n = img.len();
+    let mut out = Vec::new();
+
+    let lengths: [(&str, usize); 5] = [
+        ("ops", img.ops().len()),
+        ("units", img.units().len()),
+        ("flags", img.flags().len()),
+        ("sids", img.sids().len()),
+        ("src_defs", img.src_defs().len()),
+    ];
+    for (name, len) in lengths {
+        if len != n {
+            out.push(ctx.diag(
+                RULE,
+                Severity::Error,
+                None,
+                format!("side array {name} has {len} entries, expected {n} — truncated image"),
+            ));
+        }
+    }
+
+    let mut sites = 0usize;
+    let err = |out: &mut Vec<Diagnostic>, sites: &mut usize, idx: usize, msg: String| {
+        *sites += 1;
+        if *sites <= MAX_SITES {
+            out.push(ctx.diag(RULE, Severity::Error, Some(idx as u32), msg));
+        }
+    };
+    for (idx, ((&op, &unit), &f)) in img
+        .ops()
+        .iter()
+        .zip(img.units())
+        .zip(img.flags())
+        .enumerate()
+    {
+        let want_unit = op.unit().index() as u8;
+        if unit != want_unit {
+            err(
+                &mut out,
+                &mut sites,
+                idx,
+                format!(
+                    "cached unit index {unit} but opcode {} executes on unit {want_unit}",
+                    op.mnemonic()
+                ),
+            );
+        }
+        let mem = f & flags::MEM != 0;
+        if mem != op.touches_memory() {
+            err(
+                &mut out,
+                &mut sites,
+                idx,
+                format!(
+                    "MEM flag is {mem} but opcode {} {} memory",
+                    op.mnemonic(),
+                    if op.touches_memory() {
+                        "touches"
+                    } else {
+                        "does not touch"
+                    }
+                ),
+            );
+        }
+        let store = f & flags::STORE != 0;
+        if store && !mem {
+            err(&mut out, &mut sites, idx, "STORE without MEM".into());
+        } else if mem && store != op.is_store() {
+            err(
+                &mut out,
+                &mut sites,
+                idx,
+                format!(
+                    "STORE flag is {store} but opcode {} is a {}",
+                    op.mnemonic(),
+                    if op.is_store() { "store" } else { "load" }
+                ),
+            );
+        }
+        if f & flags::UNALIGNED != 0 {
+            if !mem {
+                err(&mut out, &mut sites, idx, "UNALIGNED without MEM".into());
+            } else if !op.is_unaligned_capable() {
+                err(
+                    &mut out,
+                    &mut sites,
+                    idx,
+                    format!(
+                        "UNALIGNED flag on opcode {}, which always truncates its EA",
+                        op.mnemonic()
+                    ),
+                );
+            }
+        }
+        if f & flags::DST_VPR != 0 && f & flags::HAS_DST == 0 {
+            err(&mut out, &mut sites, idx, "DST_VPR without HAS_DST".into());
+        }
+    }
+    if sites > MAX_SITES {
+        out.push(ctx.diag(
+            RULE,
+            Severity::Error,
+            None,
+            format!(
+                "{} further side-array violation(s) suppressed (cap {MAX_SITES})",
+                sites - MAX_SITES
+            ),
+        ));
+    }
+    out
+}

@@ -36,7 +36,10 @@ use std::time::{Duration, Instant};
 use valign_cache::RealignConfig;
 use valign_isa::Trace;
 use valign_kernels::util::Variant;
-use valign_pipeline::{Bucket, PipelineConfig, ReplayImage, SimResult, Simulator, StallBreakdown};
+use valign_pipeline::{
+    costmodel, Bucket, PipelineConfig, ReplayImage, SimResult, Simulator, StallBreakdown,
+};
+use valign_store::StoreDir;
 
 /// Wall time and derived throughput of one replay path over the batch.
 #[derive(Debug, Clone, Copy)]
@@ -107,6 +110,9 @@ pub struct ReplayBench {
     /// Persistent-store timing: cold rebuild vs warm disk load of the
     /// whole matrix.
     pub store: StoreMeasure,
+    /// Static-audit timing and cost-model bound tightness over the same
+    /// packed store.
+    pub audit: AuditMeasure,
 }
 
 /// Cold-vs-warm comparison of the persistent image store over the bench's
@@ -137,6 +143,42 @@ impl StoreMeasure {
     pub fn speedup(&self) -> f64 {
         self.cold_build.as_secs_f64() / self.warm_load.as_secs_f64().max(f64::EPSILON)
     }
+}
+
+/// How the zero-simulation audit path performs over the packed store, and
+/// how tight its static realign ceiling sits over the measured replay.
+///
+/// The wall time covers the decode half of `valign audit --store-dir`:
+/// every file through the full integrity ladder plus the cost-model bound
+/// computation for all three Table II configurations (the image rules
+/// live in `valign-analyze`, a layer above this crate; decode + bounds
+/// dominate the audit wall). Tightness is reported per kernel on the
+/// unaligned variant — the one the realign bounds exist for — as the
+/// static ceiling vs the attribution actually measured in replay.
+#[derive(Debug, Clone)]
+pub struct AuditMeasure {
+    /// Wall time to decode every store file and compute its Table II
+    /// cost-model bounds.
+    pub wall: Duration,
+    /// Files decoded and bounded.
+    pub files_audited: usize,
+    /// Per-kernel realign bound tightness, in [`KernelId::ALL`] order.
+    pub per_kernel: Vec<KernelTightness>,
+}
+
+/// Static-vs-measured realign attribution for one kernel's unaligned
+/// variant, summed over the three Table II configurations (at each
+/// configuration's native realign model).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelTightness {
+    /// Which kernel.
+    pub kernel: KernelId,
+    /// Σ of the static realign upper bounds.
+    pub static_realign_hi: u64,
+    /// Σ of the realign attribution measured in replay. Never exceeds
+    /// the static ceiling (the `costmodel-soundness` rule gates on it);
+    /// the gap is realign stall hidden under higher-priority buckets.
+    pub measured_realign: u64,
 }
 
 impl ReplayBench {
@@ -257,7 +299,7 @@ pub fn run(execs: usize, seed: u64, repeats: usize, store_dir: Option<&Path>) ->
         })
         .collect();
 
-    let store_measure = measure_store(repeats, store_dir, &jobs, &img_results);
+    let (store_measure, audit_measure) = measure_store(repeats, store_dir, &jobs, &img_results);
 
     let measure = |walls: &[Duration]| {
         let wall: Duration = walls.iter().sum();
@@ -280,6 +322,7 @@ pub fn run(execs: usize, seed: u64, repeats: usize, store_dir: Option<&Path>) ->
         attribution,
         attributed_cycles,
         store: store_measure,
+        audit: audit_measure,
     }
 }
 
@@ -291,7 +334,7 @@ fn measure_store(
     store_dir: Option<&Path>,
     jobs: &[BenchJob],
     img_results: &[SimResult],
-) -> StoreMeasure {
+) -> (StoreMeasure, AuditMeasure) {
     let mut keys: Vec<TraceKey> = Vec::new();
     for job in jobs {
         if !keys.contains(&job.key) {
@@ -363,16 +406,71 @@ fn measure_store(
         .filter_map(|p| std::fs::metadata(p).ok())
         .map(|m| m.len())
         .sum();
+    let audit = measure_audit(&root, jobs);
     if ephemeral {
         let _ = std::fs::remove_dir_all(&root);
     }
-    StoreMeasure {
-        entries: keys.len(),
-        total_bytes,
-        cold_build,
-        warm_load,
-        disk_hits,
-        bit_identical,
+    (
+        StoreMeasure {
+            entries: keys.len(),
+            total_bytes,
+            cold_build,
+            warm_load,
+            disk_hits,
+            bit_identical,
+        },
+        audit,
+    )
+}
+
+/// Times the zero-simulation audit decode pass over the packed store —
+/// every file through the full integrity ladder plus Table II cost-model
+/// bounds — then measures, per kernel, how tight the static realign
+/// ceiling sits over the unaligned variant's measured attribution.
+fn measure_audit(root: &Path, jobs: &[BenchJob]) -> AuditMeasure {
+    let started = Instant::now();
+    let mut files_audited = 0usize;
+    let dir = StoreDir::open(root).expect("packed store dir must be openable");
+    for entry in dir.walk().expect("packed store dir must be listable") {
+        let Ok(stored) = entry.loaded else { continue };
+        for cfg in PipelineConfig::table_ii() {
+            let _ = costmodel::bounds(&stored.image, &cfg);
+        }
+        files_audited += 1;
+    }
+    let wall = started.elapsed();
+
+    // Tightness, untimed: the bench jobs carry equal-latency realign
+    // configs (the fig8 protocol), so re-bound and re-replay the
+    // unaligned image under the native Table II realign model, where the
+    // realign buckets are live.
+    let per_kernel = KernelId::ALL
+        .iter()
+        .enumerate()
+        .map(|(kernel_idx, &kernel)| {
+            let job = jobs
+                .iter()
+                .find(|j| j.kernel_idx == kernel_idx && j.key.variant == Variant::Unaligned)
+                .expect("every kernel has an unaligned job");
+            let mut static_realign_hi = 0u64;
+            let mut measured_realign = 0u64;
+            for cfg in PipelineConfig::table_ii() {
+                static_realign_hi += costmodel::bounds(&job.image, &cfg).realign_hi;
+                let mut sim = Simulator::new(cfg);
+                let r = sim.run_image(&job.image);
+                measured_realign += r.breakdown.get(Bucket::Realign);
+            }
+            KernelTightness {
+                kernel,
+                static_realign_hi,
+                measured_realign,
+            }
+        })
+        .collect();
+    AuditMeasure {
+        wall,
+        files_audited,
+        per_kernel,
     }
 }
 
@@ -498,6 +596,27 @@ impl ReplayBench {
                 "DIVERGED"
             },
         );
+        let a = &self.audit;
+        let tight: Vec<String> = a
+            .per_kernel
+            .iter()
+            .map(|k| {
+                format!(
+                    "{} {}/{}",
+                    k.kernel.label(),
+                    k.measured_realign,
+                    k.static_realign_hi
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "audit: {} file(s) decoded + bounded in {:.2?}; \
+             measured/static realign (unaligned, Σ Table II): {}",
+            a.files_audited,
+            a.wall,
+            tight.join(", "),
+        );
         out
     }
 
@@ -550,6 +669,28 @@ impl ReplayBench {
             s.speedup(),
             s.disk_hits,
             s.bit_identical,
+        );
+        let a = &self.audit;
+        let tight: Vec<String> = a
+            .per_kernel
+            .iter()
+            .map(|k| {
+                format!(
+                    "{{\"kernel\": \"{}\", \"static_realign_hi\": {}, \
+                     \"measured_realign\": {}}}",
+                    k.kernel.label(),
+                    k.static_realign_hi,
+                    k.measured_realign,
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "  \"audit\": {{\"wall_secs\": {:.6}, \"files_audited\": {}, \
+             \"realign_tightness\": [{}]}},",
+            a.wall.as_secs_f64(),
+            a.files_audited,
+            tight.join(", "),
         );
         out.push_str("  \"per_kernel\": [\n");
         for (i, k) in self.per_kernel.iter().enumerate() {
@@ -616,6 +757,23 @@ mod tests {
         assert!(b.store.bit_identical, "disk-loaded images diverged");
         assert!(b.store.total_bytes > 0);
         assert!(b.store.warm_load > Duration::ZERO);
+        // Audit block: every packed file decodes and bounds, and the
+        // measured realign attribution never escapes the static ceiling.
+        assert_eq!(b.audit.files_audited, b.store.entries);
+        assert_eq!(b.audit.per_kernel.len(), KernelId::ALL.len());
+        for k in &b.audit.per_kernel {
+            assert!(
+                k.measured_realign <= k.static_realign_hi,
+                "{}: measured realign {} over static hi {}",
+                k.kernel.label(),
+                k.measured_realign,
+                k.static_realign_hi
+            );
+        }
+        assert!(
+            b.audit.per_kernel.iter().any(|k| k.static_realign_hi > 0),
+            "unaligned variants must have live realign bounds"
+        );
         // Per-kernel attribution conserves against per-kernel cycles and
         // sums to the batch totals.
         let mut summed = StallBreakdown::default();
@@ -643,7 +801,14 @@ mod tests {
         assert!(json.contains("\"cold_build_secs\""));
         assert!(json.contains("\"warm_load_secs\""));
         assert!(json.contains("\"disk_hits\": 33"));
-        assert_eq!(json.matches("\"kernel\":").count(), KernelId::ALL.len());
+        assert!(json.contains("\"audit\": {"));
+        assert!(json.contains("\"files_audited\": 33"));
+        assert!(json.contains("\"static_realign_hi\""));
+        assert_eq!(
+            json.matches("\"kernel\":").count(),
+            2 * KernelId::ALL.len(),
+            "one per audit-tightness entry plus one per per-kernel entry"
+        );
         assert_eq!(
             json.matches("\"attribution\":").count(),
             KernelId::ALL.len() + 1,
@@ -656,6 +821,8 @@ mod tests {
         assert!(human.contains("conserved"));
         assert!(human.contains("store:"));
         assert!(human.contains("disk hits"));
+        assert!(human.contains("audit:"));
+        assert!(human.contains("measured/static realign"));
     }
 
     #[test]

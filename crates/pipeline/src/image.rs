@@ -170,6 +170,29 @@ pub mod wire {
     }
 }
 
+/// A deterministic image corruption targeting one specific invariant of
+/// the `valign-analyze` audit rule family, applied by
+/// [`ReplayImage::sabotage_audit`]. Unlike [`Sabotage`] (whose variants
+/// land on different rungs of the runtime integrity ladder), each of
+/// these seeds exactly the violation one *static audit rule* is specified
+/// to catch, so every rule can prove it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditSabotage {
+    /// Sets a presence bit on a record that is not a memory record, so the
+    /// mask popcount exceeds the compact address/width arrays
+    /// (`image-bitset`).
+    MaskPopcountLie,
+    /// Rewrites a load's dependence ordinal to a store that executes
+    /// *after* the load — a forward (cyclic) dependence (`image-deps`).
+    DepCycle,
+    /// Rewrites a dependence ordinal far beyond any store in the image
+    /// (`image-deps`).
+    DepOutOfRange,
+    /// Truncates a dense per-record side array below the record count
+    /// (`image-sidearray`).
+    SideArrayTruncate,
+}
+
 /// A deterministic image corruption, applied by [`ReplayImage::sabotage`]
 /// for fault injection. The variants are chosen to land on *different*
 /// rungs of the integrity ladder (checksum → static validation → guarded
@@ -791,40 +814,154 @@ impl ReplayImage {
         })
     }
 
-    // ---- crate-internal hot-path views -------------------------------
+    /// Deterministically seeds one *audit-rule* violation — the
+    /// counterpart of [`ReplayImage::sabotage`] for the static
+    /// `valign-analyze` image rules. Each kind produces an image that one
+    /// named audit rule must reject; see [`AuditSabotage`]. Returns
+    /// `false` when the image has no site for the requested corruption
+    /// (e.g. no dependence lists to bend).
+    pub fn sabotage_audit(&mut self, kind: AuditSabotage) -> bool {
+        match kind {
+            AuditSabotage::MaskPopcountLie => {
+                // Claim memory presence on a record that carries no MEM
+                // flag and no compact entry: popcount(mem_mask) now
+                // exceeds mem_addrs.len().
+                let Some(idx) = (0..self.len).find(|&i| self.flags[i] & flags::MEM == 0) else {
+                    return false;
+                };
+                set_bit(&mut self.mem_mask, idx);
+                true
+            }
+            AuditSabotage::DepCycle => {
+                // Point a load's first dependence ordinal at a store that
+                // executes only *after* the load — forward in program
+                // order, i.e. a cycle through the dependence relation.
+                let total_stores = self
+                    .flags
+                    .iter()
+                    .filter(|&&f| f & flags::STORE != 0)
+                    .count() as u32;
+                let mut stores_seen = 0u32;
+                let mut cursor = 0usize;
+                for &f in &self.flags {
+                    if f & flags::MEM == 0 {
+                        continue;
+                    }
+                    let lo = self.mem_dep_offsets[cursor] as usize;
+                    let hi = self.mem_dep_offsets[cursor + 1] as usize;
+                    if f & flags::STORE != 0 {
+                        stores_seen += 1;
+                    } else if lo < hi && stores_seen < total_stores {
+                        // `stores_seen` is the ordinal of the *next* store
+                        // — one the load cannot legally depend on.
+                        self.mem_deps[lo] = stores_seen;
+                        return true;
+                    }
+                    cursor += 1;
+                }
+                false
+            }
+            AuditSabotage::DepOutOfRange => {
+                let Some(first) = self.mem_deps.first_mut() else {
+                    return false;
+                };
+                *first = u32::MAX - 1;
+                true
+            }
+            AuditSabotage::SideArrayTruncate => {
+                if self.units.is_empty() {
+                    return false;
+                }
+                self.units.pop();
+                true
+            }
+        }
+    }
 
-    pub(crate) fn ops(&self) -> &[Opcode] {
+    // ---- introspection views -----------------------------------------
+    //
+    // Dense read-only views over the packed arrays. The engine's hot
+    // path iterates these; `valign-analyze`'s audit rules and the static
+    // cost model ([`crate::costmodel`]) read the same views, so the
+    // structure the rules certify is exactly the structure the replay
+    // loop consumes.
+
+    /// Opcode per record.
+    pub fn ops(&self) -> &[Opcode] {
         &self.ops
     }
 
-    pub(crate) fn units(&self) -> &[u8] {
+    /// Execution-unit index per record (`Unit::index()` pre-resolved).
+    pub fn units(&self) -> &[u8] {
         &self.units
     }
 
-    pub(crate) fn flags(&self) -> &[u8] {
+    /// Flag byte per record (see [`flags`]).
+    pub fn flags(&self) -> &[u8] {
         &self.flags
     }
 
-    pub(crate) fn sids(&self) -> &[StaticId] {
+    /// Static site per record.
+    pub fn sids(&self) -> &[StaticId] {
         &self.sids
     }
 
-    pub(crate) fn src_defs(&self) -> &[[u32; 3]] {
+    /// Producer indices per record, [`NO_DEF`] marking absent slots.
+    pub fn src_defs(&self) -> &[[u32; 3]] {
         &self.src_defs
     }
 
-    pub(crate) fn mem_addrs(&self) -> &[u64] {
+    /// Effective addresses, one per memory record, in record order.
+    pub fn mem_addrs(&self) -> &[u64] {
         &self.mem_addrs
     }
 
-    pub(crate) fn mem_bytes(&self) -> &[u8] {
+    /// Access widths, parallel to [`ReplayImage::mem_addrs`].
+    pub fn mem_bytes(&self) -> &[u8] {
         &self.mem_bytes
+    }
+
+    /// Memory-presence bitset words (one bit per record).
+    pub fn mem_mask_words(&self) -> &[u64] {
+        &self.mem_mask
+    }
+
+    /// Branch-presence bitset words (one bit per record).
+    pub fn branch_mask_words(&self) -> &[u64] {
+        &self.branch_mask
+    }
+
+    /// Taken bitset words over branch ordinals.
+    pub fn branch_taken_words(&self) -> &[u64] {
+        &self.branch_taken
+    }
+
+    /// Unconditional bitset words over branch ordinals.
+    pub fn branch_uncond_words(&self) -> &[u64] {
+        &self.branch_uncond
+    }
+
+    /// Cumulative dependence offsets: `memory_records() + 1` entries on a
+    /// well-formed image. Audit rules read this raw (with checked
+    /// indexing) rather than through [`ReplayImage::mem_deps_at`], which
+    /// assumes the cursors are already trusted.
+    pub fn mem_dep_offsets(&self) -> &[u32] {
+        &self.mem_dep_offsets
+    }
+
+    /// The flat store-to-load dependence ordinal pool the offsets cut.
+    pub fn mem_deps(&self) -> &[u32] {
+        &self.mem_deps
     }
 
     /// Pre-resolved store-to-load dependences of the `cursor`-th memory
     /// record: ordinals of the overlapping recent stores (empty for
     /// stores and dependence-free loads).
-    pub(crate) fn mem_deps_at(&self, cursor: usize) -> &[u32] {
+    ///
+    /// Panics when the offset table is corrupt; callers that have not yet
+    /// validated the image should slice [`ReplayImage::mem_dep_offsets`]
+    /// with checked indexing instead.
+    pub fn mem_deps_at(&self, cursor: usize) -> &[u32] {
         let lo = self.mem_dep_offsets[cursor] as usize;
         let hi = self.mem_dep_offsets[cursor + 1] as usize;
         &self.mem_deps[lo..hi]
@@ -1171,6 +1308,79 @@ mod tests {
             img.sabotage(kind, 1);
             img.validate()
                 .unwrap_or_else(|e| panic!("{kind:?} must survive validate, got {e}"));
+        }
+    }
+
+    #[test]
+    fn audit_sabotage_kinds_apply_and_perturb_the_checksum() {
+        // A trace with a load that depends on an earlier store *and* a
+        // later store to re-point at, so every audit kind has a site.
+        let mut t = Trace::new();
+        t.push(DynInstr::alu(Opcode::Li, sid(0), None, &[]));
+        for i in 0..3u32 {
+            t.push(DynInstr::mem(
+                Opcode::Stw,
+                sid(1 + i),
+                None,
+                &[],
+                MemRef {
+                    addr: 0x1000,
+                    bytes: 4,
+                    kind: MemKind::Store,
+                },
+            ));
+            t.push(DynInstr::mem(
+                Opcode::Lwz,
+                sid(10 + i),
+                Some(Gpr::new(1).into()),
+                &[],
+                MemRef {
+                    addr: 0x1000,
+                    bytes: 4,
+                    kind: MemKind::Load,
+                },
+            ));
+        }
+        let clean = ReplayImage::build(&t);
+        let base = clean.checksum();
+        for kind in [
+            AuditSabotage::MaskPopcountLie,
+            AuditSabotage::DepCycle,
+            AuditSabotage::DepOutOfRange,
+            AuditSabotage::SideArrayTruncate,
+        ] {
+            let mut img = clean.clone();
+            assert!(img.sabotage_audit(kind), "{kind:?} must apply");
+            assert_ne!(img.checksum(), base, "{kind:?} must perturb the digest");
+        }
+        // DepCycle rewrote a real forward ordinal: the chosen load now
+        // names a store that has not executed yet.
+        let mut img = clean.clone();
+        assert!(img.sabotage_audit(AuditSabotage::DepCycle));
+        let mut stores_seen = 0u32;
+        let mut cursor = 0usize;
+        let mut found_forward = false;
+        for &f in img.flags() {
+            if f & flags::MEM == 0 {
+                continue;
+            }
+            if f & flags::STORE != 0 {
+                stores_seen += 1;
+            } else {
+                found_forward |= img.mem_deps_at(cursor).iter().any(|&o| o >= stores_seen);
+            }
+            cursor += 1;
+        }
+        assert!(found_forward, "DepCycle must seed a forward dependence");
+
+        let mut empty = ReplayImage::build(&Trace::new());
+        for kind in [
+            AuditSabotage::MaskPopcountLie,
+            AuditSabotage::DepCycle,
+            AuditSabotage::DepOutOfRange,
+            AuditSabotage::SideArrayTruncate,
+        ] {
+            assert!(!empty.sabotage_audit(kind), "{kind:?}: nothing to corrupt");
         }
     }
 

@@ -51,6 +51,7 @@
 pub mod attribution;
 mod backend;
 pub mod config;
+pub mod costmodel;
 pub mod engine;
 mod frontend;
 pub mod hash;
@@ -62,9 +63,10 @@ pub mod result;
 
 pub use attribution::{Bucket, StallBreakdown};
 pub use config::{IssuePolicy, PipelineConfig};
+pub use costmodel::CostBounds;
 pub use engine::{memory_ops, unit_histogram, RunGuards, Simulator, StallInjection};
 pub use hash::WordHash;
-pub use image::{ReplayImage, Sabotage};
+pub use image::{AuditSabotage, ReplayImage, Sabotage};
 pub use latency::{Latency, LatencyTable};
 pub use lsu::{ranges_overlap, STORE_QUEUE_TRACK};
 pub use predictor::{BranchPredictor, PredictorStats};

@@ -165,6 +165,56 @@ impl StoreDir {
             verdicts,
         })
     }
+
+    /// Walks every image file, decoding each through the full loader —
+    /// the audit walk behind `valign audit --store-dir`. Unlike
+    /// [`StoreDir::verify`] this hands back the decoded images
+    /// themselves, so callers can run further static analysis (the
+    /// `valign-analyze` image rules, the static cost model) on exactly
+    /// the bytes a replay would consume. Per-file failures become
+    /// entries, not errors; only a failure to list the directory itself
+    /// errors.
+    pub fn walk(&self) -> Result<Vec<WalkEntry>, StoreError> {
+        let mut out = Vec::new();
+        for path in self.entries()? {
+            let file = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("<non-utf8>")
+                .to_string();
+            let hash = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| u64::from_str_radix(s, 16).ok());
+            let (bytes, loaded) = match std::fs::read(&path) {
+                Err(e) => (0, Err(io_err(&path, &e))),
+                Ok(data) => (data.len() as u64, decode_file(&data)),
+            };
+            out.push(WalkEntry {
+                file,
+                hash,
+                bytes,
+                loaded,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// One file of an audit walk ([`StoreDir::walk`]): the decoded image (or
+/// the first integrity rung it failed) plus the content address parsed
+/// from its file name.
+#[derive(Debug)]
+pub struct WalkEntry {
+    /// File name within the store directory.
+    pub file: String,
+    /// The 64-bit content hash parsed from the file-name stem, `None`
+    /// when the name is not a well-formed hash.
+    pub hash: Option<u64>,
+    /// File size in bytes (0 if unreadable).
+    pub bytes: u64,
+    /// The fully decoded and checksum-verified image, or the error.
+    pub loaded: Result<StoredImage, StoreError>,
 }
 
 /// What a valid store file contains, for verification reports.
@@ -335,6 +385,40 @@ mod tests {
             "the verdict names the corrupt file:\n{rendered}"
         );
         assert!(rendered.contains("3 files: 2 ok, 1 invalid"), "{rendered}");
+    }
+
+    #[test]
+    fn walk_hands_back_decoded_images_with_parsed_hashes() {
+        let tmp = TempDir::new("walk");
+        let dir = StoreDir::create(&tmp.0).expect("create");
+        for (hash, records) in [(0x10u64, 10u32), (0x20, 20)] {
+            let (img, checksum) = image(records);
+            dir.save(hash, &img, checksum).expect("save");
+        }
+        // A file whose name is not a hash still walks (hash: None).
+        std::fs::write(tmp.0.join("notahash.vimg"), b"junk").expect("stray");
+        let walked = dir.walk().expect("walk");
+        assert_eq!(walked.len(), 3);
+        let by_hash = |h: u64| {
+            walked
+                .iter()
+                .find(|e| e.hash == Some(h))
+                .unwrap_or_else(|| panic!("entry {h:#x}"))
+        };
+        let e = by_hash(0x10);
+        let stored = e.loaded.as_ref().expect("decodes");
+        assert_eq!(stored.image.len(), 10);
+        assert_eq!(stored.checksum, stored.image.checksum());
+        assert_eq!(
+            by_hash(0x20).loaded.as_ref().expect("decodes").image.len(),
+            20
+        );
+        let stray = walked
+            .iter()
+            .find(|e| e.file == "notahash.vimg")
+            .expect("stray entry");
+        assert_eq!(stray.hash, None);
+        assert!(stray.loaded.is_err());
     }
 
     #[test]

@@ -37,7 +37,7 @@
 pub mod dir;
 pub mod format;
 
-pub use dir::{FileVerdict, ImageSummary, StoreDir, VerifyReport};
+pub use dir::{FileVerdict, ImageSummary, StoreDir, VerifyReport, WalkEntry};
 pub use format::{
     decode_file, encode_file, sabotage_file_bytes, StoreError, StoredImage, FORMAT_VERSION, MAGIC,
     SECTION_ALIGN,

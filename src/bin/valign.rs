@@ -4,7 +4,8 @@
 //! valign table1|table2|table3|fig4|fig8|fig9|fig10|all [--execs N] [--seed S] [--threads T]
 //! valign run [--supervised] [--inject CLASS:SELECTOR]... [--execs N] [--seed S] [--threads T] [--store-dir DIR]
 //! valign explain --kernel K --variant V [--json] [--execs N] [--seed S] [--threads T]
-//! valign lint [--json] [--kernel K --variant V | --all] [--execs N] [--seed S]
+//! valign lint [--json] [--kernel K --variant V | --all] [--execs N] [--seed S] [--store-dir DIR]
+//! valign audit [--store-dir DIR] [--json] [--execs N] [--seed S]
 //! valign bench-replay [--quick] [--execs N] [--seed S] [--repeats R] [--out PATH] [--store-dir DIR]
 //! valign pack --store-dir DIR [--execs N] [--seed S] [--threads T]
 //! valign verify-image --store-dir DIR
@@ -39,7 +40,20 @@
 //!
 //! `lint` runs the `valign-analyze` static checks over recorded traces
 //! and the pipeline latency tables, and exits 1 on any ERROR diagnostic —
-//! the trace gate CI enforces.
+//! the trace gate CI enforces. With `--store-dir` the linted images come
+//! off disk through the real loader, putting the decode path under the
+//! same gate.
+//!
+//! `audit` is the zero-simulation static audit. With `--store-dir` it
+//! walks the store directory: every `.vimg` file is decoded through the
+//! full integrity ladder, its content checksum re-derived, the four
+//! `image-*` invariant rules run, and the static cost-model bounds
+//! computed per Table II configuration — one verdict line per file,
+//! exit 1 on any ERROR. Without `--store-dir` it audits the full kernel ×
+//! variant matrix and additionally replays each clean pair to check the
+//! `costmodel-soundness` rule (measured attribution inside the static
+//! bounds), printing one `costmodel-soundness: pass` line per pair for
+//! CI to count.
 //!
 //! `bench-replay` measures replay throughput of the packed replay-image
 //! hot path against the record-form reference walker over the full
@@ -60,6 +74,7 @@
 //! routing every trace materialization through the two-tier store (the
 //! scorecard then reports memory and disk tiers separately).
 
+use valign::analyze::audit::{audit_matrix, audit_store, AuditOptions};
 use valign::analyze::{lint_all, lint_kernel, LintOptions};
 use valign::cache::RealignConfig;
 use valign::core::experiments::{fig10, fig4, fig8, fig9, table1, table2, table3, ExperimentError};
@@ -189,7 +204,8 @@ fn usage(err: &str) -> ! {
          valign explain --kernel K --variant V [--json] \
          [--execs N] [--seed S] [--threads T]\n       \
          valign lint [--json] [--kernel K --variant V | --all] \
-         [--execs N] [--seed S]\n       \
+         [--execs N] [--seed S] [--store-dir DIR]\n       \
+         valign audit [--store-dir DIR] [--json] [--execs N] [--seed S]\n       \
          valign bench-replay [--quick] [--execs N] [--seed S] \
          [--repeats R] [--out PATH] [--store-dir DIR]\n       \
          valign pack --store-dir DIR [--execs N] [--seed S] [--threads T]\n       \
@@ -393,6 +409,48 @@ fn run_lint(ctx: &SimContext, o: &Options) -> ! {
     std::process::exit(i32::from(!report.is_clean()));
 }
 
+/// Runs `valign audit --store-dir`: the zero-simulation static audit of
+/// a store directory — decode, checksum re-derivation, image rules,
+/// cost-model bounds. Exits 0 only when every file audits clean.
+fn run_audit_store(o: &Options, dir: &str) -> ! {
+    let audit_opts = AuditOptions {
+        execs: o.execs.max(2),
+        seed: o.seed,
+    };
+    match audit_store(dir, audit_opts) {
+        Ok(report) => {
+            if o.json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            std::process::exit(i32::from(!report.is_clean()));
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs `valign audit` without `--store-dir`: the full-matrix audit —
+/// image rules on every kernel/variant pair, plus the dynamic
+/// `costmodel-soundness` check on each clean pair. Exits 0 only when the
+/// whole matrix audits clean.
+fn run_audit_matrix(ctx: &SimContext, o: &Options) -> ! {
+    let audit_opts = AuditOptions {
+        execs: o.execs.max(2),
+        seed: o.seed,
+    };
+    let report = audit_matrix(ctx, audit_opts);
+    if o.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    std::process::exit(i32::from(!report.is_clean()));
+}
+
 /// Runs `valign explain`: the cycle-attribution report for one
 /// kernel/variant. Exits 1 with a diagnostic when the replay is empty or
 /// the attribution buckets fail to sum to the total cycles.
@@ -453,6 +511,13 @@ fn main() {
     if cmd == "verify-image" {
         run_verify_image(&opts);
     }
+    if cmd == "audit" {
+        // Store mode needs no simulation context at all — the whole
+        // audit is static, straight off the directory.
+        if let Some(dir) = opts.store_dir.as_deref() {
+            run_audit_store(&opts, dir);
+        }
+    }
     let ctx = match opts.store_dir.as_deref() {
         Some(dir) => match TraceStore::with_disk(dir) {
             Ok(store) => SimContext::with_store(opts.threads, store),
@@ -468,6 +533,9 @@ fn main() {
     }
     if cmd == "lint" {
         run_lint(&ctx, &opts);
+    }
+    if cmd == "audit" {
+        run_audit_matrix(&ctx, &opts);
     }
     if cmd == "explain" {
         run_explain(&ctx, &opts);
