@@ -66,6 +66,19 @@ impl RealignConfig {
         }
     }
 
+    /// Stable name for artifacts and reports: which latency model a
+    /// measurement was taken under. The named points of the paper map to
+    /// `"equal-latency"` (section V-B upper bound) and `"proposed"`
+    /// (+1 load / +2 store); everything else renders its raw knobs.
+    pub fn label(&self) -> String {
+        match (self.load_extra, self.store_extra, self.banks) {
+            (0, 0, BankScheme::TwoBankInterleaved) => "equal-latency".to_string(),
+            (1, 2, BankScheme::TwoBankInterleaved) => "proposed".to_string(),
+            (l, s, BankScheme::TwoBankInterleaved) => format!("extra-load{l}-store{s}"),
+            (l, s, BankScheme::SingleBank) => format!("single-bank-load{l}-store{s}"),
+        }
+    }
+
     /// Extra cycles for one vector access.
     ///
     /// * `unaligned` — the effective address has a non-zero 16-byte offset
@@ -160,6 +173,20 @@ mod tests {
             "second sequential access"
         );
         assert_eq!(cfg.penalty(true, true, true, 4), 6);
+    }
+
+    #[test]
+    fn labels_name_the_papers_named_points() {
+        assert_eq!(RealignConfig::equal_latency().label(), "equal-latency");
+        assert_eq!(RealignConfig::proposed().label(), "proposed");
+        assert_eq!(RealignConfig::extra(0).label(), "equal-latency");
+        assert_eq!(RealignConfig::extra(4).label(), "extra-load4-store4");
+        let single = RealignConfig {
+            load_extra: 1,
+            store_extra: 2,
+            banks: BankScheme::SingleBank,
+        };
+        assert_eq!(single.label(), "single-bank-load1-store2");
     }
 
     #[test]

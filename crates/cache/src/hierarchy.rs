@@ -65,6 +65,10 @@ pub struct Hierarchy {
     config: HierarchyConfig,
     l1d: SetAssocCache,
     l2: SetAssocCache,
+    // log2 of the D-L1 line size: split detection compares line numbers
+    // on every access, and a shift beats the divide the compiler would
+    // otherwise emit for the runtime line size.
+    line_shift: u32,
 }
 
 impl Hierarchy {
@@ -73,6 +77,7 @@ impl Hierarchy {
         Hierarchy {
             l1d: SetAssocCache::new(config.l1d),
             l2: SetAssocCache::new(config.l2),
+            line_shift: config.l1d.line_shift(),
             config,
         }
     }
@@ -145,10 +150,9 @@ impl Hierarchy {
             u64::from(bytes) <= valign_isa::align::QUAD_BYTES,
             "access wider than a vector register: {bytes} bytes"
         );
-        let line = self.config.l1d.line_bytes as u64;
         let first = addr;
         let last = addr + u64::from(bytes.max(1)) - 1;
-        let split = first / line != last / line;
+        let split = first >> self.line_shift != last >> self.line_shift;
 
         let (lat1, hit1, mem1) = self.access_line(first, write);
         if !split {

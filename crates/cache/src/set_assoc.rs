@@ -46,6 +46,12 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         self.size_bytes / (self.line_bytes * self.assoc)
     }
+
+    /// `log2(line_bytes)` — the address shift that yields the line number.
+    /// Valid because [`CacheConfig::new`] enforces a power-of-two line.
+    pub fn line_shift(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
 }
 
 /// Hit/miss counters for one cache.
@@ -105,16 +111,28 @@ pub struct SetAssocCache {
     lines: Vec<Line>,
     clock: u64,
     stats: CacheStats,
+    // Geometry is power-of-two by construction, so set/tag extraction is
+    // shift-and-mask — precomputed here because `set_index`/`tag` run on
+    // every simulated fetch and memory access, where a hardware divide
+    // per call is the single largest fixed cost of the replay loop.
+    line_shift: u32,
+    set_mask: u64,
+    tag_shift: u32,
 }
 
 impl SetAssocCache {
     /// Builds an empty (all-invalid) cache.
     pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        let line_shift = config.line_shift();
         SetAssocCache {
-            lines: vec![Line::default(); config.sets() * config.assoc],
+            lines: vec![Line::default(); sets * config.assoc],
             config,
             clock: 0,
             stats: CacheStats::default(),
+            line_shift,
+            set_mask: (sets as u64) - 1,
+            tag_shift: line_shift + sets.trailing_zeros(),
         }
     }
 
@@ -142,13 +160,14 @@ impl SetAssocCache {
         self.stats = CacheStats::default();
     }
 
+    #[inline]
     fn set_index(&self, addr: u64) -> usize {
-        let line = addr / self.config.line_bytes as u64;
-        (line as usize) & (self.config.sets() - 1)
+        ((addr >> self.line_shift) & self.set_mask) as usize
     }
 
+    #[inline]
     fn tag(&self, addr: u64) -> u64 {
-        addr / self.config.line_bytes as u64 / self.config.sets() as u64
+        addr >> self.tag_shift
     }
 
     /// Looks up the line containing `addr`, allocating on miss.

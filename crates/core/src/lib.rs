@@ -30,6 +30,10 @@
 //!   replay images, a cycle-budget watchdog, bounded retries, quarantine,
 //!   and graceful degradation to the reference walker
 //!   (`valign run --supervised --inject`).
+//! * [`serve`] — the long-running simulation service: a length-prefixed
+//!   JSON socket protocol, a priority job queue with admission control
+//!   and per-client backpressure feeding the supervised executor, and a
+//!   blocking client (`valign serve` / `valign submit`).
 //!
 //! ## Example: the headline measurement in five lines
 //!
@@ -53,6 +57,7 @@ pub mod experiments;
 pub mod explain;
 pub mod faults;
 pub mod replay_bench;
+pub mod serve;
 pub mod sim;
 pub mod store_ops;
 pub mod supervise;

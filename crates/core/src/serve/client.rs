@@ -1,0 +1,196 @@
+//! A small blocking client for the `valign serve` protocol, used by
+//! `valign submit` and by the service tests.
+//!
+//! Scorecard frames arrive in *completion* order, which under a
+//! multi-worker daemon is a race. [`Client::submit`] therefore buffers
+//! the stream until the closing `batch-done` frame and returns the
+//! scorecards sorted by `job_id` — submission order — which is what
+//! makes daemon output diffable against the `--local` batch path
+//! byte-for-byte.
+
+use super::protocol::{read_frame, write_frame, Json, SubmitRequest};
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Anything that can go wrong talking to the daemon.
+#[derive(Debug)]
+pub struct ClientError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError {
+            message: format!("i/o error: {e}"),
+        }
+    }
+}
+
+fn err(message: impl Into<String>) -> ClientError {
+    ClientError {
+        message: message.into(),
+    }
+}
+
+/// How the daemon answered a submit.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// The batch was admitted and ran to completion; `scorecards` holds
+    /// one frame per job, sorted back into submission order.
+    Accepted {
+        /// Scorecard frames, ordered by `job_id`.
+        scorecards: Vec<String>,
+        /// The closing `batch-done` frame.
+        batch_done: String,
+    },
+    /// The daemon refused the batch at admission.
+    Rejected {
+        /// `"queue-full"`, `"quota-exceeded"` or `"over-budget"`.
+        reason: String,
+        /// Present for load shedding (retry may succeed), absent for
+        /// permanent rejections.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+/// One connection to a daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let write_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+        })
+    }
+
+    fn send(&mut self, frame: &str) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Json, ClientError> {
+        match read_frame(&mut self.reader) {
+            Ok(Some(text)) => {
+                let json = Json::parse(&text)
+                    .map_err(|e| err(format!("malformed frame from daemon: {e}")))?;
+                if let Some(message) = json
+                    .get("type")
+                    .and_then(Json::as_str)
+                    .filter(|t| *t == "error")
+                    .and_then(|_| json.get("message"))
+                    .and_then(Json::as_str)
+                {
+                    return Err(err(format!("daemon error: {message}")));
+                }
+                Ok(json)
+            }
+            Ok(None) => Err(err("daemon closed the connection")),
+            Err(e) => Err(err(format!("broken frame from daemon: {e}"))),
+        }
+    }
+
+    /// Submits a batch and blocks until it fully resolves: either a
+    /// rejection, or every scorecard plus the `batch-done` frame.
+    pub fn submit(&mut self, req: &SubmitRequest) -> Result<SubmitOutcome, ClientError> {
+        self.send(&req.render())?;
+        let first = self.recv()?;
+        match first.get("type").and_then(Json::as_str) {
+            Some("rejected") => {
+                let reason = first
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified")
+                    .to_string();
+                let retry_after_ms = first.get("retry_after_ms").and_then(Json::as_u64);
+                return Ok(SubmitOutcome::Rejected {
+                    reason,
+                    retry_after_ms,
+                });
+            }
+            Some("accepted") => {}
+            other => {
+                return Err(err(format!(
+                    "expected accepted/rejected, daemon sent {other:?}"
+                )))
+            }
+        }
+        let expected = first
+            .get("jobs")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| err("accepted frame missing the job count"))?
+            as usize;
+        // Completion order races across workers; collect (job_id, frame)
+        // pairs and restore submission order before returning.
+        let mut cards: Vec<(u64, String)> = Vec::with_capacity(expected);
+        loop {
+            let frame = match read_frame(&mut self.reader) {
+                Ok(Some(text)) => text,
+                Ok(None) => return Err(err("daemon closed the stream mid-batch")),
+                Err(e) => return Err(err(format!("broken frame from daemon: {e}"))),
+            };
+            let json = Json::parse(&frame)
+                .map_err(|e| err(format!("malformed frame from daemon: {e}")))?;
+            match json.get("type").and_then(Json::as_str) {
+                Some("scorecard") => {
+                    let job_id = json
+                        .get("job_id")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| err("scorecard frame missing job_id"))?;
+                    cards.push((job_id, frame));
+                }
+                Some("batch-done") => {
+                    if cards.len() != expected {
+                        return Err(err(format!(
+                            "batch-done after {} of {expected} scorecards",
+                            cards.len()
+                        )));
+                    }
+                    cards.sort_by_key(|(job_id, _)| *job_id);
+                    return Ok(SubmitOutcome::Accepted {
+                        scorecards: cards.into_iter().map(|(_, frame)| frame).collect(),
+                        batch_done: frame,
+                    });
+                }
+                other => return Err(err(format!("unexpected frame in batch stream: {other:?}"))),
+            }
+        }
+    }
+
+    /// Fetches the daemon's live `/stats` frame, verbatim.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.send("{\"type\": \"stats\"}")?;
+        match read_frame(&mut self.reader) {
+            Ok(Some(text)) => Ok(text),
+            Ok(None) => Err(err("daemon closed the connection")),
+            Err(e) => Err(err(format!("broken frame from daemon: {e}"))),
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully (drain, then exit).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send("{\"type\": \"shutdown\"}")?;
+        let reply = self.recv()?;
+        match reply.get("type").and_then(Json::as_str) {
+            Some("shutdown-ok") => Ok(()),
+            other => Err(err(format!("expected shutdown-ok, daemon sent {other:?}"))),
+        }
+    }
+}

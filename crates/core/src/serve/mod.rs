@@ -1,0 +1,27 @@
+//! The long-running simulation service behind `valign serve` /
+//! `valign submit`.
+//!
+//! Three layers:
+//!
+//! * [`protocol`] — the wire format (4-byte big-endian length-prefixed
+//!   UTF-8 JSON frames), a dependency-free total JSON parser, request
+//!   parsing and every response renderer. The scorecard renderer here is
+//!   shared by the daemon, the `--local` path and the tests — it is the
+//!   mechanism behind the bit-identical-output contract.
+//! * [`server`] — the daemon: accept loop, priority queue, admission
+//!   control against the cycle-budget watchdog, per-client quotas with
+//!   reject-with-retry-after backpressure, a worker pool running each
+//!   job through its own single-threaded [`SupervisedRunner`], live
+//!   `/stats`, graceful drain-then-exit shutdown.
+//! * [`client`] — a blocking client that restores submission order over
+//!   the racy completion-order scorecard stream.
+//!
+//! [`SupervisedRunner`]: crate::supervise::SupervisedRunner
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, SubmitOutcome};
+pub use protocol::{JobSpec, Priority, Request, SubmitRequest, MAX_FRAME};
+pub use server::{run_local, ServeConfig, Server};

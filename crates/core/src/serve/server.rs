@@ -1,0 +1,601 @@
+//! The `valign serve` daemon: a TCP listener feeding a priority job
+//! queue into the [`SupervisedRunner`].
+//!
+//! # Architecture
+//!
+//! One accept thread, one detached handler thread per connection, and a
+//! fixed pool of worker threads sharing a priority queue:
+//!
+//! ```text
+//! client ──frames──▶ handler ──admission──▶ queue ──▶ worker ──▶ SupervisedRunner
+//!    ▲                                                   │
+//!    └────────────── scorecard / batch-done frames ◀─────┘
+//! ```
+//!
+//! * **Admission control** happens under the queue lock, before
+//!   anything is enqueued: a job whose projected cycle-budget (the
+//!   supervisor watchdog's `budget_for` over a conservative instruction
+//!   estimate) exceeds [`ServeConfig::max_budget`] is rejected outright —
+//!   retrying cannot help, so the rejection carries no `retry_after_ms`.
+//!   Jobs that pass admission but blow the watchdog *at runtime* are
+//!   quarantined by the supervisor without affecting siblings — the same
+//!   isolation contract the batch CLI has.
+//! * **Backpressure** is reject-with-retry-after, never unbounded
+//!   queueing: a full queue or an exhausted per-client quota answers
+//!   `rejected` with `retry_after_ms`, and nothing is enqueued (a submit
+//!   is admitted atomically or not at all).
+//! * **Priorities** order the queue (high > normal > low); within one
+//!   priority jobs run FIFO by a monotone sequence number.
+//! * **Determinism**: every job runs alone through its own
+//!   single-threaded [`SupervisedRunner`] with the server's fixed
+//!   [`SupervisorConfig`], so its scorecard is a pure function of the
+//!   job spec and seed — independent of queue order, worker count,
+//!   sibling load, and (with a warm `--store-dir`) daemon restarts.
+//! * **Shutdown** is graceful: stop accepting, drain the queue, then
+//!   join the workers. In-flight scorecards are delivered before exit.
+
+use super::protocol::{
+    self, read_frame, render_accepted, render_batch_done, render_error, render_rejected,
+    render_scorecard, write_frame, Priority, Request, SubmitRequest,
+};
+use crate::faults::FaultSet;
+use crate::sim::{SimJob, TraceSource, TraceStore};
+use crate::supervise::{JobFailure, JobOutcome, OutcomeTally, SupervisedRunner, SupervisorConfig};
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt::Write as _;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use valign_pipeline::{Bucket, StallBreakdown};
+
+/// Tuning knobs of one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue.
+    pub threads: usize,
+    /// Maximum jobs queued or running at once, across all clients; a
+    /// submit that would exceed it is rejected with `retry_after_ms`.
+    pub queue_cap: usize,
+    /// Maximum jobs one client may have queued or running; exceeding it
+    /// is rejected with `retry_after_ms`.
+    pub client_quota: usize,
+    /// Admission ceiling on a job's projected watchdog budget (simulated
+    /// cycles). Jobs projected over it are rejected outright. The
+    /// default admits everything; operators size it to bound worst-case
+    /// per-job work.
+    pub max_budget: u64,
+    /// The `retry_after_ms` hint sent with load-shedding rejections.
+    pub retry_after_ms: u64,
+    /// Supervision policy every job runs under.
+    pub supervisor: SupervisorConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 2,
+            queue_cap: 64,
+            client_quota: 16,
+            max_budget: u64::MAX,
+            retry_after_ms: 50,
+            supervisor: SupervisorConfig::default(),
+        }
+    }
+}
+
+/// Conservative per-execution instruction proxy for admission control:
+/// no kernel of the suite traces anywhere near this many instructions
+/// per execution, so `execs × ADMISSION_INSTRS_PER_EXEC` over-estimates
+/// the trace length and the projected budget errs on the rejecting side.
+pub const ADMISSION_INSTRS_PER_EXEC: usize = 4096;
+
+/// Live counters behind the `/stats` response.
+#[derive(Debug, Default)]
+struct ServeTally {
+    submitted: u64,
+    rejected_queue_full: u64,
+    rejected_quota: u64,
+    rejected_budget: u64,
+    outcomes: OutcomeTally,
+    /// Stall-bucket aggregate over every measurement the daemon served.
+    breakdown: StallBreakdown,
+    attributed_cycles: u64,
+}
+
+/// One queued job, ordered by (priority, arrival).
+struct QueuedJob {
+    priority: Priority,
+    seq: u64,
+    job_id: u64,
+    job: SimJob,
+    inject: Arc<FaultSet>,
+    client: String,
+    tracker: Arc<SubmitTracker>,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then earlier arrival.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Per-submit bookkeeping: where scorecards go, how many jobs remain,
+/// and the running tally for the closing `batch-done` frame.
+struct SubmitTracker {
+    reply: mpsc::Sender<String>,
+    remaining: Mutex<usize>,
+    tally: Mutex<OutcomeTally>,
+    jobs: usize,
+}
+
+struct Queue {
+    heap: BinaryHeap<QueuedJob>,
+    /// Monotone arrival counter — the FIFO axis within a priority.
+    seq: u64,
+    /// Jobs queued or running, per client (quota accounting).
+    in_system: HashMap<String, usize>,
+    /// Jobs queued or running, total (capacity accounting).
+    total: usize,
+}
+
+struct Shared {
+    store: Arc<TraceStore>,
+    cfg: ServeConfig,
+    queue: Mutex<Queue>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    tally: Mutex<ServeTally>,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, Queue> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_tally(&self) -> std::sync::MutexGuard<'_, ServeTally> {
+        self.tally.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A running daemon. Dropping the handle does not stop it; send a
+/// `shutdown` request (or call [`Server::shutdown`]) and then
+/// [`Server::wait`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the accept loop and worker pool.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        store: Arc<TraceStore>,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store,
+            cfg: cfg.clone(),
+            queue: Mutex::new(Queue {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                in_system: HashMap::new(),
+                total: 0,
+            }),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            tally: Mutex::new(ServeTally::default()),
+        });
+        let workers = (0..cfg.threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates shutdown: stop accepting, let the workers drain the
+    /// queue. Idempotent.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared, self.addr);
+    }
+
+    /// Blocks until the daemon has fully stopped: the accept loop has
+    /// exited and every worker has drained. Call after a shutdown was
+    /// initiated (by request or by [`Server::shutdown`]).
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Flips the shutdown flag, wakes the workers, and unblocks the accept
+/// loop with a throwaway connection.
+fn initiate_shutdown(shared: &Shared, addr: SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.ready.notify_all();
+    // The accept loop blocks in `accept()`; poke it so it observes the
+    // flag. Failure is fine — it also wakes on any real connection.
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let shared = Arc::clone(shared);
+                let addr = listener.local_addr().ok();
+                // Handler threads are detached: they exit when their
+                // client disconnects, and a client that lingers past
+                // shutdown must not block the daemon's exit path.
+                std::thread::spawn(move || handle_connection(stream, &shared, addr));
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// One connection: a reader loop on this thread, a writer thread
+/// draining an mpsc channel, so slow job streams never block request
+/// parsing.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: Option<SocketAddr>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = std::thread::spawn(move || {
+        let mut w = io::BufWriter::new(write_half);
+        while let Ok(frame) = rx.recv() {
+            if write_frame(&mut w, &frame).is_err() {
+                break;
+            }
+        }
+    });
+    let mut reader = io::BufReader::new(stream);
+    // Deferred until the writer thread has drained: initiating shutdown
+    // inside the loop races the process exit against the flush of our
+    // own `shutdown-ok` frame.
+    let mut want_shutdown = false;
+    loop {
+        match read_frame(&mut reader) {
+            Ok(None) => break,
+            Err(e) => {
+                // Framing is broken — report once and close; there is no
+                // way to resynchronize mid-stream. Crucially this is an
+                // *error frame*, not a panic: hostile bytes cost their
+                // own connection, nothing else.
+                let _ = tx.send(render_error(&e.to_string()));
+                break;
+            }
+            Ok(Some(text)) => match Request::parse(&text) {
+                Err(e) => {
+                    // A well-framed but malformed request keeps the
+                    // connection: answer the diagnostic and read on.
+                    let _ = tx.send(render_error(&e.message));
+                }
+                Ok(Request::Stats) => {
+                    let _ = tx.send(render_stats(shared));
+                }
+                Ok(Request::Shutdown) => {
+                    let _ = tx.send("{\"type\": \"shutdown-ok\"}".to_string());
+                    want_shutdown = true;
+                    break;
+                }
+                Ok(Request::Submit(req)) => {
+                    let _ = tx.send(admit(shared, req, &tx));
+                }
+            },
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+    if want_shutdown {
+        if let Some(addr) = addr {
+            initiate_shutdown(shared, addr);
+        }
+    }
+}
+
+/// Admission: resolve every job, project its watchdog budget, then —
+/// atomically under the queue lock — check capacity and quota and either
+/// enqueue the whole submit or reject it untouched.
+fn admit(shared: &Arc<Shared>, req: SubmitRequest, reply: &mpsc::Sender<String>) -> String {
+    let cfg = &shared.cfg;
+    let mut jobs = Vec::with_capacity(req.jobs.len());
+    for spec in &req.jobs {
+        match spec.resolve() {
+            Ok(job) => jobs.push(job),
+            Err(e) => return render_error(&e.message),
+        }
+    }
+    let inject = match FaultSet::parse(&req.inject) {
+        Ok(set) => Arc::new(set),
+        Err(e) => return render_error(&e.to_string()),
+    };
+    // Admission control against the cycle-budget watchdog: project each
+    // job's budget from a deliberately generous instruction estimate —
+    // the real trace length when the store already holds it, otherwise
+    // execs × ADMISSION_INSTRS_PER_EXEC — and refuse outright anything
+    // projected over the operator's ceiling. No retry_after: resubmitting
+    // the same job cannot shrink its budget.
+    for job in &jobs {
+        let estimate = match &job.source {
+            TraceSource::Key(key) => shared
+                .store
+                .resident_len(*key)
+                .unwrap_or_else(|| key.execs.saturating_mul(ADMISSION_INSTRS_PER_EXEC)),
+            TraceSource::Shared(trace) => trace.len(),
+        };
+        let projected = cfg.supervisor.budget_for(estimate);
+        if projected > cfg.max_budget {
+            let mut tally = shared.lock_tally();
+            tally.rejected_budget += 1;
+            return render_rejected("over-budget", None);
+        }
+    }
+    let tracker = Arc::new(SubmitTracker {
+        reply: reply.clone(),
+        remaining: Mutex::new(jobs.len()),
+        tally: Mutex::new(OutcomeTally::default()),
+        jobs: jobs.len(),
+    });
+    {
+        let mut q = shared.lock_queue();
+        if q.total + jobs.len() > cfg.queue_cap {
+            let mut tally = shared.lock_tally();
+            tally.rejected_queue_full += 1;
+            return render_rejected("queue-full", Some(cfg.retry_after_ms));
+        }
+        let in_system = q.in_system.get(&req.client).copied().unwrap_or(0);
+        if in_system + jobs.len() > cfg.client_quota {
+            let mut tally = shared.lock_tally();
+            tally.rejected_quota += 1;
+            return render_rejected("quota-exceeded", Some(cfg.retry_after_ms));
+        }
+        for (job_id, job) in jobs.into_iter().enumerate() {
+            let seq = q.seq;
+            q.seq += 1;
+            q.total += 1;
+            *q.in_system.entry(req.client.clone()).or_insert(0) += 1;
+            q.heap.push(QueuedJob {
+                priority: req.priority,
+                seq,
+                job_id: job_id as u64,
+                job,
+                inject: Arc::clone(&inject),
+                client: req.client.clone(),
+                tracker: Arc::clone(&tracker),
+            });
+        }
+        shared.ready.notify_all();
+    }
+    let mut tally = shared.lock_tally();
+    tally.submitted += tracker.jobs as u64;
+    render_accepted(tracker.jobs)
+}
+
+/// One worker: pop the highest-priority job, run it alone through a
+/// single-threaded supervisor, stream its scorecard, close out the
+/// submit when it was the last job. Exits when the queue is drained
+/// after shutdown.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let queued = {
+            let mut q = shared.lock_queue();
+            loop {
+                if let Some(job) = q.heap.pop() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // Each job gets its own single-threaded supervisor so the
+        // outcome is independent of sibling jobs, worker count and queue
+        // order — the determinism contract. Construction is a few
+        // allocations; the replay dominates.
+        let supervisor = SupervisedRunner::new(1)
+            .with_config(shared.cfg.supervisor)
+            .with_faults((*queued.inject).clone());
+        let outcome = supervisor
+            .run(&shared.store, std::slice::from_ref(&queued.job))
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| JobOutcome::Quarantined {
+                failure: JobFailure::Panicked {
+                    message: "supervisor returned no outcome".to_string(),
+                },
+                attempts: 0,
+            });
+        let frame = render_scorecard(queued.job_id, &queued.job, &outcome);
+        {
+            let mut tally = shared.lock_tally();
+            tally.outcomes = tally
+                .outcomes
+                .merged(OutcomeTally::of(std::slice::from_ref(&outcome)));
+            if let Some(result) = outcome.result() {
+                tally.breakdown.accumulate(&result.breakdown);
+                tally.attributed_cycles += result.cycles;
+            }
+        }
+        // The client may be gone; a dead channel drops the frame and the
+        // job's accounting still completes.
+        let _ = queued.tracker.reply.send(frame);
+        let last = {
+            let mut remaining = queued
+                .tracker
+                .remaining
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let mut tally = queued
+                .tracker
+                .tally
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *tally = tally.merged(OutcomeTally::of(std::slice::from_ref(&outcome)));
+            *remaining = remaining.saturating_sub(1);
+            (*remaining == 0).then(|| *tally)
+        };
+        if let Some(tally) = last {
+            let _ = queued
+                .tracker
+                .reply
+                .send(render_batch_done(queued.tracker.jobs, &tally));
+        }
+        {
+            let mut q = shared.lock_queue();
+            q.total = q.total.saturating_sub(1);
+            if let Some(n) = q.in_system.get_mut(&queued.client) {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    q.in_system.remove(&queued.client);
+                }
+            }
+        }
+    }
+}
+
+/// Renders the `/stats` frame: TraceStore tier hit rates, queue state,
+/// admission/outcome counters, and the stall-bucket aggregate across
+/// every measurement served.
+fn render_stats(shared: &Shared) -> String {
+    let s = shared.store.stats();
+    let rate = |hits: u64, misses: u64| {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    };
+    let (depth, capacity) = {
+        let q = shared.lock_queue();
+        (q.heap.len(), shared.cfg.queue_cap)
+    };
+    let t = shared.lock_tally();
+    let buckets: Vec<String> = Bucket::ALL
+        .iter()
+        .map(|&b| format!("\"{}\": {}", b.label(), t.breakdown.get(b)))
+        .collect();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"type\": \"stats\", \
+         \"store\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \
+         \"memory_hit_rate\": {:.4}, \"disk_enabled\": {}, \
+         \"disk_hits\": {}, \"disk_misses\": {}, \"disk_invalid\": {}, \
+         \"disk_hit_rate\": {:.4}}}, \
+         \"queue\": {{\"depth\": {depth}, \"capacity\": {capacity}}}, \
+         \"jobs\": {{\"submitted\": {}, \"completed\": {}, \"retried\": {}, \
+         \"degraded\": {}, \"quarantined\": {}, \
+         \"rejected_queue_full\": {}, \"rejected_quota\": {}, \
+         \"rejected_budget\": {}}}, \
+         \"stall_buckets\": {{{}}}, \"attributed_cycles\": {}}}",
+        s.hits,
+        s.misses,
+        s.entries,
+        rate(s.hits, s.misses),
+        s.disk_enabled,
+        s.disk_hits,
+        s.disk_misses,
+        s.disk_invalid,
+        rate(s.disk_hits, s.disk_misses + s.disk_invalid),
+        t.submitted,
+        t.outcomes.completed,
+        t.outcomes.retried,
+        t.outcomes.degraded,
+        t.outcomes.quarantined,
+        t.rejected_queue_full,
+        t.rejected_quota,
+        t.rejected_budget,
+        buckets.join(", "),
+        t.attributed_cycles,
+    );
+    out
+}
+
+/// Runs `specs` through the identical execution + rendering path the
+/// daemon uses — one single-threaded supervisor per job, the shared
+/// [`render_scorecard`] — without any socket. This is the batch-CLI leg
+/// of the determinism contract (`valign submit --local`) and the oracle
+/// the service tests diff daemon output against.
+pub fn run_local(
+    store: &TraceStore,
+    specs: &[protocol::JobSpec],
+    inject: &[String],
+    supervisor_cfg: SupervisorConfig,
+) -> Result<Vec<String>, protocol::RequestError> {
+    let faults = FaultSet::parse(inject).map_err(|e| protocol::RequestError {
+        message: e.to_string(),
+    })?;
+    let mut frames = Vec::with_capacity(specs.len());
+    for (job_id, spec) in specs.iter().enumerate() {
+        let job = spec.resolve()?;
+        let supervisor = SupervisedRunner::new(1)
+            .with_config(supervisor_cfg)
+            .with_faults(faults.clone());
+        let outcome = supervisor
+            .run(store, std::slice::from_ref(&job))
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| JobOutcome::Quarantined {
+                failure: JobFailure::Panicked {
+                    message: "supervisor returned no outcome".to_string(),
+                },
+                attempts: 0,
+            });
+        frames.push(render_scorecard(job_id as u64, &job, &outcome));
+    }
+    Ok(frames)
+}

@@ -656,15 +656,29 @@ impl BatchRunner {
                 scope.spawn(|| loop {
                     let rank = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&i) = order.get(rank) else { break };
-                    if slots[i].set(run_one(i)).is_err() {
-                        unreachable!("each slot is filled once");
-                    }
+                    // A duplicate index in `order` means the job ran
+                    // twice; `f` is pure, so first-fill-wins is still
+                    // deterministic. Never panic here — an unwinding
+                    // worker would poison the scoped join and take every
+                    // sibling's finished result down with it.
+                    let _ = slots[i].set(run_one(i));
                 });
             }
         });
+        // A slot can only stay empty if `order` skipped its index — a
+        // malformed dispatch order, not a worker crash (`run_one` catches
+        // every unwind). Surface it as that job's failure rather than
+        // panicking away the siblings' results.
         slots
             .into_iter()
-            .map(|slot| slot.into_inner().expect("worker filled every slot"))
+            .map(|slot| {
+                slot.into_inner().unwrap_or_else(|| {
+                    Err(JobPanic {
+                        message: "job was never dispatched (index missing from dispatch order)"
+                            .to_string(),
+                    })
+                })
+            })
             .collect()
     }
 }
@@ -847,6 +861,30 @@ mod tests {
             execs,
             seed: 7,
         }
+    }
+
+    /// A malformed dispatch order (an index never dispatched) must cost
+    /// exactly that slot — surfaced as a `JobPanic` — while every sibling
+    /// keeps its finished result; nothing panics or poisons the pool.
+    #[test]
+    fn scatter_survives_a_skipped_dispatch_index() {
+        let runner = BatchRunner::new(2);
+        let results = runner.scatter(3, vec![2, 0], |i| i * 10);
+        assert_eq!(results[0].as_ref().copied(), Ok(0));
+        assert!(results[1]
+            .as_ref()
+            .is_err_and(|p| p.message.contains("never dispatched")));
+        assert_eq!(results[2].as_ref().copied(), Ok(20));
+    }
+
+    /// A duplicate index in the dispatch order runs the (pure) job twice;
+    /// first fill wins and no worker unwinds the scoped join.
+    #[test]
+    fn scatter_survives_a_duplicate_dispatch_index() {
+        let runner = BatchRunner::new(2);
+        let results = runner.scatter(2, vec![0, 1, 1], |i| i + 100);
+        assert_eq!(results[0].as_ref().copied(), Ok(100));
+        assert_eq!(results[1].as_ref().copied(), Ok(101));
     }
 
     #[test]

@@ -53,7 +53,7 @@ use crate::faults::{FaultClass, FaultPlan, FaultSet};
 use crate::sim::{dispatch_order, BatchRunner, ImageProvenance, SimJob, TraceStore};
 use std::cell::Cell;
 use std::fmt;
-use std::sync::{Arc, Once};
+use std::sync::{Arc, OnceLock};
 use valign_isa::Trace;
 use valign_pipeline::hash::hash_words;
 use valign_pipeline::{RunGuards, SimError, SimResult, Simulator, StallInjection};
@@ -255,9 +255,16 @@ thread_local! {
 /// Installs (once per process) a forwarding panic hook that stays silent
 /// for supervised attempts and delegates to the pre-existing hook for
 /// every other panic.
+///
+/// The install slot is a [`OnceLock`], not a [`std::sync::Once`]: `Once`
+/// *poisons* when its closure unwinds, and this function runs on every
+/// supervision round of every batch — a single panicking install (e.g.
+/// under an injected allocation fault) would then panic every sibling
+/// batch for the life of the process. `OnceLock` rolls the slot back on
+/// unwind, so a later round simply retries the install.
 fn install_quiet_hook() {
-    static INSTALL: Once = Once::new();
-    INSTALL.call_once(|| {
+    static INSTALL: OnceLock<()> = OnceLock::new();
+    INSTALL.get_or_init(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
             if !QUIET_PANICS.with(Cell::get) {
@@ -399,9 +406,21 @@ impl SupervisedRunner {
             pending = next_round;
             attempt += 1;
         }
+        // Every round either resolves a pending job or re-queues it, so
+        // every slot is filled — but a hole must not panic the whole
+        // batch (that would let one supervisor bug take every sibling's
+        // finished outcome with it). Map it into the failure taxonomy
+        // instead, as a quarantine the tally and scorecard surface.
         outcomes
             .into_iter()
-            .map(|o| o.expect("every job reached an outcome"))
+            .map(|o| {
+                o.unwrap_or_else(|| JobOutcome::Quarantined {
+                    failure: JobFailure::Panicked {
+                        message: "supervisor lost track of the job outcome".to_string(),
+                    },
+                    attempts: 0,
+                })
+            })
             .collect()
     }
 

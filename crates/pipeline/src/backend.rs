@@ -23,16 +23,19 @@ impl UnitPool {
     }
 
     /// Earliest cycle `>= min` at which an instance can accept one op;
-    /// books the chosen instance for one cycle.
+    /// books the chosen instance for one cycle. Hand-rolled first-minimum
+    /// scan: pools hold a handful of instances and this runs once per
+    /// instruction, so the iterator adaptor chain is worth trimming.
+    #[inline]
     pub(crate) fn acquire(&mut self, min: u64) -> u64 {
-        let (idx, &free) = self
-            .next_free
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &f)| f)
-            .expect("pool non-empty");
-        let at = min.max(free);
-        self.next_free[idx] = at + 1;
+        let mut best = 0;
+        for i in 1..self.next_free.len() {
+            if self.next_free[i] < self.next_free[best] {
+                best = i;
+            }
+        }
+        let at = min.max(self.next_free[best]);
+        self.next_free[best] = at + 1;
         at
     }
 }
@@ -71,6 +74,12 @@ pub(crate) struct Backend {
     retire_ring: Vec<u64>,
     complete_ring: Vec<u64>,
     window: usize,
+    // `idx % window` maintained incrementally. Instructions pass through
+    // `window_floor` → `ready_at` → `retire` once each, in index order,
+    // so a wrapping cursor replaces the per-call divide the runtime
+    // window size would otherwise cost (several per instruction, on the
+    // replay hot path).
+    slot: usize,
     in_order: bool,
     last_issue: u64,
     last_retire: u64,
@@ -89,6 +98,7 @@ impl Backend {
             retire_ring: vec![0; window],
             complete_ring: vec![0; window],
             window,
+            slot: 0,
             in_order: cfg.policy == IssuePolicy::InOrder,
             last_issue: 0,
             last_retire: 0,
@@ -98,8 +108,12 @@ impl Backend {
     /// In-flight-window constraint on fetching instruction `idx`: it may
     /// not fetch before the instruction `window` older has retired.
     pub(crate) fn window_floor(&self, idx: usize) -> Option<u64> {
+        debug_assert_eq!(self.slot, idx % self.window, "cursor out of step");
         if idx >= self.window {
-            Some(self.retire_ring[idx % self.window])
+            // `slot` is exactly `idx % window`: the ring entry about to be
+            // overwritten by this instruction's own retirement, i.e. the
+            // instruction `window` older.
+            Some(self.retire_ring[self.slot])
         } else {
             None
         }
@@ -137,8 +151,16 @@ impl Backend {
                 continue;
             }
             let def = def as usize;
-            if idx - def <= self.window {
-                earliest = earliest.max(self.complete_ring[def % self.window]);
+            let age = idx - def;
+            if age <= self.window {
+                // def % window, derived from the maintained cursor by
+                // subtraction: age is in [1, window], so one conditional
+                // wrap suffices and no divide is emitted.
+                let mut def_slot = self.slot + self.window - age;
+                if def_slot >= self.window {
+                    def_slot -= self.window;
+                }
+                earliest = earliest.max(self.complete_ring[def_slot]);
             }
         }
         let after_deps = earliest;
@@ -178,10 +200,18 @@ impl Backend {
     /// Returns the retire cycle.
     #[inline]
     pub(crate) fn retire(&mut self, idx: usize, complete: u64) -> u64 {
+        debug_assert_eq!(self.slot, idx % self.window, "cursor out of step");
+        let _ = idx;
         let retire_cycle = self.retire.reserve(complete.max(self.last_retire));
         self.last_retire = retire_cycle;
-        self.retire_ring[idx % self.window] = retire_cycle;
-        self.complete_ring[idx % self.window] = complete;
+        self.retire_ring[self.slot] = retire_cycle;
+        self.complete_ring[self.slot] = complete;
+        // Advance the cursor for the next instruction — retire is the one
+        // per-instruction call, so this is where `idx % window` steps.
+        self.slot += 1;
+        if self.slot == self.window {
+            self.slot = 0;
+        }
         retire_cycle
     }
 

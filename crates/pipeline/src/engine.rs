@@ -226,11 +226,14 @@ impl Simulator {
         let mut backend = Backend::new(&self.cfg);
         let mut lsu = Lsu::new(&self.cfg, &mut self.mem);
 
-        let ops = image.ops();
-        let units = image.units();
-        let flag_bytes = image.flags();
-        let sids = image.sids();
-        let src_defs = image.src_defs();
+        // Pin every per-instruction column to exactly `n` entries so the
+        // `idx in 0..n` walk indexes with provably in-range subscripts and
+        // the bounds checks vanish from the hot loop.
+        let ops = &image.ops()[..n];
+        let units = &image.units()[..n];
+        let flag_bytes = &image.flags()[..n];
+        let sids = &image.sids()[..n];
+        let src_defs = &image.src_defs()[..n];
         let mem_addrs = image.mem_addrs();
         let mem_bytes = image.mem_bytes();
         // The forward walk consumes the compact memory/branch side arrays

@@ -9,6 +9,10 @@
 //! valign bench-replay [--quick] [--execs N] [--seed S] [--repeats R] [--out PATH] [--store-dir DIR]
 //! valign pack --store-dir DIR [--execs N] [--seed S] [--threads T]
 //! valign verify-image --store-dir DIR
+//! valign serve [--addr HOST:PORT] [--threads T] [--queue-cap N] [--quota N] [--max-budget CYC] [--store-dir DIR]
+//! valign submit [--addr HOST:PORT] [--client NAME] [--priority low|normal|high] [--kernel K --variant V] [--config C] [--realign M] [--inject CLASS:SELECTOR]... [--execs N] [--seed S]
+//! valign submit --stats | --shutdown [--addr HOST:PORT]
+//! valign submit --local [--store-dir DIR] ...
 //! ```
 //!
 //! Each experiment subcommand prints the corresponding table/figure of
@@ -63,6 +67,17 @@
 //! cold-vs-warm store comparison packs into (and reuses) that directory
 //! instead of an ephemeral one.
 //!
+//! `serve` starts the long-running simulation daemon: a socket protocol
+//! of length-prefixed JSON frames feeding a priority job queue into the
+//! supervised executor, with admission control against the cycle-budget
+//! watchdog, per-client quotas, reject-with-retry-after backpressure,
+//! streaming per-job scorecards, and a live `stats` view of the trace
+//! store's tier hit rates and the stall-bucket aggregate. `submit` is
+//! the matching client; `--local` runs the identical jobs through the
+//! identical execution and rendering path in-process, which is what
+//! makes daemon scorecards diffable against the batch CLI
+//! byte-for-byte.
+//!
 //! `pack` pre-populates a persistent store directory with the packed
 //! replay image of every kernel × variant of the standard matrix —
 //! already-present verified files are reused, corrupt ones evicted and
@@ -80,7 +95,7 @@ use valign::cache::RealignConfig;
 use valign::core::experiments::{fig10, fig4, fig8, fig9, table1, table2, table3, ExperimentError};
 use valign::core::workload::KernelId;
 use valign::core::SimContext;
-use valign::core::{explain, replay_bench, store_ops};
+use valign::core::{explain, replay_bench, serve, store_ops};
 use valign::core::{FaultSet, JobOutcome, SimJob, SupervisedRunner, TraceKey, TraceStore};
 use valign::kernels::util::Variant;
 use valign::pipeline::PipelineConfig;
@@ -99,6 +114,17 @@ struct Options {
     supervised: bool,
     inject: Vec<String>,
     store_dir: Option<String>,
+    addr: String,
+    client: String,
+    priority: String,
+    config: String,
+    realign: String,
+    local: bool,
+    stats: bool,
+    shutdown: bool,
+    queue_cap: usize,
+    quota: usize,
+    max_budget: u64,
 }
 
 fn parse_args() -> (String, Options) {
@@ -111,18 +137,83 @@ fn parse_args() -> (String, Options) {
         json: false,
         kernel: None,
         variant: None,
-        repeats: 3,
+        repeats: 5,
         quick: false,
         out: None,
         supervised: false,
         inject: Vec::new(),
         store_dir: None,
+        addr: "127.0.0.1:4573".to_string(),
+        client: "cli".to_string(),
+        priority: "normal".to_string(),
+        config: "4-way".to_string(),
+        realign: "equal-latency".to_string(),
+        local: false,
+        stats: false,
+        shutdown: false,
+        queue_cap: 64,
+        quota: 16,
+        max_budget: u64::MAX,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--json" => opts.json = true,
             "--quick" => opts.quick = true,
             "--supervised" => opts.supervised = true,
+            "--local" => opts.local = true,
+            "--stats" => opts.stats = true,
+            "--shutdown" => opts.shutdown = true,
+            "--addr" => {
+                opts.addr = args.next().unwrap_or_else(|| usage("--addr needs a value"));
+            }
+            "--client" => {
+                opts.client = args
+                    .next()
+                    .unwrap_or_else(|| usage("--client needs a value"));
+            }
+            "--priority" => {
+                opts.priority = args
+                    .next()
+                    .unwrap_or_else(|| usage("--priority needs a value"));
+            }
+            "--config" => {
+                opts.config = args
+                    .next()
+                    .unwrap_or_else(|| usage("--config needs a value"));
+            }
+            "--realign" => {
+                opts.realign = args
+                    .next()
+                    .unwrap_or_else(|| usage("--realign needs a value"));
+            }
+            "--queue-cap" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--queue-cap needs a value"));
+                opts.queue_cap = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--queue-cap must be a positive number"));
+            }
+            "--quota" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--quota needs a value"));
+                opts.quota = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--quota must be a positive number"));
+            }
+            "--max-budget" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--max-budget needs a value"));
+                opts.max_budget = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-budget must be a number (cycles)"));
+            }
             "--inject" => {
                 opts.inject.push(
                     args.next()
@@ -209,7 +300,14 @@ fn usage(err: &str) -> ! {
          valign bench-replay [--quick] [--execs N] [--seed S] \
          [--repeats R] [--out PATH] [--store-dir DIR]\n       \
          valign pack --store-dir DIR [--execs N] [--seed S] [--threads T]\n       \
-         valign verify-image --store-dir DIR"
+         valign verify-image --store-dir DIR\n       \
+         valign serve [--addr HOST:PORT] [--threads T] [--queue-cap N] \
+         [--quota N] [--max-budget CYC] [--store-dir DIR]\n       \
+         valign submit [--addr HOST:PORT] [--client NAME] \
+         [--priority low|normal|high] [--kernel K --variant V] [--config C] \
+         [--realign M] [--inject CLASS:SELECTOR]... [--execs N] [--seed S]\n       \
+         valign submit --stats | --shutdown [--addr HOST:PORT]\n       \
+         valign submit --local [--store-dir DIR] ..."
     );
     std::process::exit(2);
 }
@@ -225,7 +323,10 @@ fn or_die<T>(result: Result<T, ExperimentError>) -> T {
 }
 
 /// Runs `valign bench-replay`: the replay-throughput comparison. Exits 1
-/// if the packed and reference paths ever diverge.
+/// if the packed and reference paths ever diverge. Besides the artifact
+/// itself, every non-quick run *appends* one summary line to the
+/// trajectory file next to it (`BENCH_trajectory.jsonl`), so the speedup
+/// history accumulates instead of being overwritten.
 fn run_bench_replay(o: &Options) -> ! {
     let (execs, repeats) = if o.quick {
         (o.execs.clamp(2, 20), 1)
@@ -245,6 +346,25 @@ fn run_bench_replay(o: &Options) -> ! {
         std::process::exit(1);
     }
     println!("\nwrote {path}");
+    if !o.quick {
+        let traj = std::path::Path::new(path).parent().map_or_else(
+            || std::path::PathBuf::from("BENCH_trajectory.jsonl"),
+            |d| d.join("BENCH_trajectory.jsonl"),
+        );
+        let line = bench.trajectory_line("bench-replay run");
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&traj)
+            .and_then(|mut f| {
+                use std::io::Write as _;
+                writeln!(f, "{line}")
+            });
+        match appended {
+            Ok(()) => println!("appended {}", traj.display()),
+            Err(e) => eprintln!("warning: cannot append {}: {e}", traj.display()),
+        }
+    }
     if !bench.bit_identical {
         eprintln!("error: packed-image replay diverged from the reference walker");
         std::process::exit(1);
@@ -282,6 +402,167 @@ fn run_verify_image(o: &Options) -> ! {
         Ok(report) => {
             print!("{}", report.render());
             std::process::exit(i32::from(!report.all_ok()));
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Builds the job list a `submit` describes: one job for an explicit
+/// `--kernel`/`--variant` pair, otherwise the full kernel × variant
+/// matrix — always on the chosen `--config` and `--realign` model, so a
+/// submit and a `--local` run of the same flags mean the same jobs.
+fn submit_specs(o: &Options) -> Vec<serve::JobSpec> {
+    let execs = o.execs.max(2);
+    let spec = |kernel: String, variant: String| serve::JobSpec {
+        kernel,
+        variant,
+        config: o.config.clone(),
+        execs,
+        seed: o.seed,
+        realign: o.realign.clone(),
+    };
+    match (&o.kernel, &o.variant) {
+        (Some(k), Some(v)) => vec![spec(k.clone(), v.clone())],
+        (None, None) => {
+            let mut specs = Vec::new();
+            for &kernel in KernelId::ALL {
+                for &variant in Variant::ALL {
+                    specs.push(spec(kernel.label(), variant.label().to_string()));
+                }
+            }
+            specs
+        }
+        _ => usage("--kernel and --variant go together (omit both for the full matrix)"),
+    }
+}
+
+/// Runs `valign serve`: binds the daemon and blocks until a client sends
+/// `shutdown`. The queue drains before exit — accepted jobs always get
+/// their scorecards.
+fn run_serve(o: &Options) -> ! {
+    let store = match o.store_dir.as_deref() {
+        Some(dir) => match TraceStore::with_disk(dir) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("error: cannot open store dir: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => TraceStore::new(),
+    };
+    let cfg = serve::ServeConfig {
+        threads: o.threads,
+        queue_cap: o.queue_cap,
+        client_quota: o.quota,
+        max_budget: o.max_budget,
+        ..serve::ServeConfig::default()
+    };
+    match serve::Server::bind(o.addr.as_str(), std::sync::Arc::new(store), cfg) {
+        Ok(server) => {
+            println!("listening on {}", server.addr());
+            server.wait();
+            println!("drained and stopped");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", o.addr);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs `valign submit`: `--stats` and `--shutdown` are daemon controls;
+/// `--local` executes the identical jobs in-process through the
+/// identical scorecard renderer (no daemon involved); otherwise the jobs
+/// go over the wire and the scorecards stream back. Rejection
+/// (backpressure or admission) exits 3 so scripts can distinguish
+/// "try later" from failure.
+fn run_submit(o: &Options) -> ! {
+    if o.local {
+        let store = match o.store_dir.as_deref() {
+            Some(dir) => match TraceStore::with_disk(dir) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("error: cannot open store dir: {e}");
+                    std::process::exit(1);
+                }
+            },
+            None => TraceStore::new(),
+        };
+        let frames = serve::run_local(
+            &store,
+            &submit_specs(o),
+            &o.inject,
+            valign::core::SupervisorConfig::default(),
+        )
+        .unwrap_or_else(|e| usage(&e.message));
+        for frame in frames {
+            println!("{frame}");
+        }
+        std::process::exit(0);
+    }
+    let mut client = match serve::Client::connect(o.addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: cannot connect to {}: {e}", o.addr);
+            std::process::exit(1);
+        }
+    };
+    if o.stats {
+        match client.stats() {
+            Ok(frame) => {
+                println!("{frame}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if o.shutdown {
+        match client.shutdown() {
+            Ok(()) => {
+                println!("daemon shutting down");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let priority = serve::Priority::from_label(&o.priority)
+        .unwrap_or_else(|| usage("--priority must be low|normal|high"));
+    let req = serve::SubmitRequest {
+        client: o.client.clone(),
+        priority,
+        inject: o.inject.clone(),
+        jobs: submit_specs(o),
+    };
+    match client.submit(&req) {
+        Ok(serve::SubmitOutcome::Accepted {
+            scorecards,
+            batch_done,
+        }) => {
+            for frame in scorecards {
+                println!("{frame}");
+            }
+            println!("{batch_done}");
+            std::process::exit(0);
+        }
+        Ok(serve::SubmitOutcome::Rejected {
+            reason,
+            retry_after_ms,
+        }) => {
+            match retry_after_ms {
+                Some(ms) => eprintln!("rejected: {reason} (retry after {ms} ms)"),
+                None => eprintln!("rejected: {reason}"),
+            }
+            std::process::exit(3);
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -510,6 +791,12 @@ fn main() {
     }
     if cmd == "verify-image" {
         run_verify_image(&opts);
+    }
+    if cmd == "serve" {
+        run_serve(&opts);
+    }
+    if cmd == "submit" {
+        run_submit(&opts);
     }
     if cmd == "audit" {
         // Store mode needs no simulation context at all — the whole
