@@ -23,6 +23,14 @@
 //! | `image-corrupt`| dependence cursor bent, stale checksum  | checksum verification |
 //! | `lsu-overflow` | dependence ordinal outside store window | guarded replay walk |
 //! | `disk-corrupt` | stored image file bytes corrupted       | store integrity ladder (`valign-store`) |
+//! | `io-error`     | store write-back fails outright         | write-failure stat, memory-tier fallback |
+//! | `short-write`  | store write-back tears mid-file         | atomic temp-file discipline (never renamed) |
+//! | `torn-frame`   | scorecard frame cut mid-payload         | client framing (`FrameError::Truncated`) |
+//! | `disconnect`   | connection severed before delivery      | client `ServeError::Disconnected` |
+//!
+//! The last four classes never touch a simulated image: they fire in the
+//! storage and service layers (`StoreDir` write-back, the serve
+//! connection writer) and are no-ops inside the simulator proper.
 
 use std::fmt;
 use valign_pipeline::hash::WordHash;
@@ -53,6 +61,21 @@ pub enum FaultClass {
     /// integrity ladder and reject — the job then degrades to the
     /// reference walker. Never touches the in-memory image.
     DiskCorrupt,
+    /// Store write-back fails outright (full or read-only disk model).
+    /// The job keeps its in-memory image; the disk tier records a
+    /// write-failure stat instead of aborting the batch.
+    IoError,
+    /// Store write-back tears partway through the temp file. The atomic
+    /// rename discipline means the torn bytes are never visible under the
+    /// content-addressed name.
+    ShortWrite,
+    /// The serve connection writer cuts a scorecard frame mid-payload and
+    /// severs the stream — the client must surface a disconnect with
+    /// whatever scorecards arrived intact.
+    TornFrame,
+    /// The serve connection is severed before a scorecard is written at
+    /// all.
+    Disconnect,
 }
 
 impl FaultClass {
@@ -65,6 +88,10 @@ impl FaultClass {
         FaultClass::ImageCorrupt,
         FaultClass::LsuOverflow,
         FaultClass::DiskCorrupt,
+        FaultClass::IoError,
+        FaultClass::ShortWrite,
+        FaultClass::TornFrame,
+        FaultClass::Disconnect,
     ];
 
     /// The spec name used by `--inject class:selector`.
@@ -77,6 +104,10 @@ impl FaultClass {
             FaultClass::ImageCorrupt => "image-corrupt",
             FaultClass::LsuOverflow => "lsu-overflow",
             FaultClass::DiskCorrupt => "disk-corrupt",
+            FaultClass::IoError => "io-error",
+            FaultClass::ShortWrite => "short-write",
+            FaultClass::TornFrame => "torn-frame",
+            FaultClass::Disconnect => "disconnect",
         }
     }
 
@@ -87,10 +118,17 @@ impl FaultClass {
 
     /// The image corruption this class applies, `None` for the classes
     /// that never touch the in-memory image (`panic`, `stall`,
-    /// `disk-corrupt` — the latter damages the *file* form instead).
+    /// `disk-corrupt` — the latter damages the *file* form instead — and
+    /// the I/O and connection classes, which fire outside the simulator).
     pub fn sabotage(self) -> Option<Sabotage> {
         match self {
-            FaultClass::Panic | FaultClass::Stall | FaultClass::DiskCorrupt => None,
+            FaultClass::Panic
+            | FaultClass::Stall
+            | FaultClass::DiskCorrupt
+            | FaultClass::IoError
+            | FaultClass::ShortWrite
+            | FaultClass::TornFrame
+            | FaultClass::Disconnect => None,
             FaultClass::Truncate => Some(Sabotage::Truncate),
             FaultClass::BitFlip => Some(Sabotage::FlagBitFlip),
             FaultClass::ImageCorrupt => Some(Sabotage::CursorCorrupt),

@@ -7,37 +7,78 @@
 //! scorecards sorted by `job_id` — submission order — which is what
 //! makes daemon output diffable against the `--local` batch path
 //! byte-for-byte.
+//!
+//! A daemon that dies (or injects `disconnect` / `torn-frame` chaos)
+//! mid-batch must not hang the client or vanish its partial results:
+//! every connection runs under a read deadline (default
+//! [`DEFAULT_DEADLINE`], tunable via [`Client::set_deadline`]), and a
+//! stream that ends mid-batch surfaces as
+//! [`ServeError::Disconnected`] carrying the scorecards that did arrive
+//! — exactly what a resubmit against the recovered daemon will dedupe.
 
 use super::protocol::{read_frame, write_frame, Json, SubmitRequest};
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Default socket read/write deadline: generous enough for a full-matrix
+/// batch on a cold store, finite so a wedged daemon cannot hang the
+/// client forever.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(120);
 
 /// Anything that can go wrong talking to the daemon.
 #[derive(Debug)]
-pub struct ClientError {
-    /// Human-readable description.
-    pub message: String,
+pub enum ServeError {
+    /// The daemon vanished (or tore the stream) mid-batch, after
+    /// accepting. `partial` holds every scorecard that made it across,
+    /// sorted by `job_id` — a journaled daemon serves the rest on
+    /// resubmit.
+    Disconnected {
+        /// Scorecard frames received before the stream died.
+        partial: Vec<String>,
+        /// What severed the stream.
+        detail: String,
+    },
+    /// Everything else: connection refused, protocol violations, daemon
+    /// error frames.
+    Failed {
+        /// Human-readable description.
+        message: String,
+    },
 }
 
-impl fmt::Display for ClientError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.message)
+impl ServeError {
+    /// The human-readable description, whichever variant.
+    pub fn message(&self) -> String {
+        match self {
+            ServeError::Disconnected { partial, detail } => format!(
+                "daemon disconnected mid-batch after {} scorecard(s): {detail}",
+                partial.len()
+            ),
+            ServeError::Failed { message } => message.clone(),
+        }
     }
 }
 
-impl std::error::Error for ClientError {}
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message())
+    }
+}
 
-impl From<io::Error> for ClientError {
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
     fn from(e: io::Error) -> Self {
-        ClientError {
+        ServeError::Failed {
             message: format!("i/o error: {e}"),
         }
     }
 }
 
-fn err(message: impl Into<String>) -> ClientError {
-    ClientError {
+fn err(message: impl Into<String>) -> ServeError {
+    ServeError::Failed {
         message: message.into(),
     }
 }
@@ -65,28 +106,40 @@ pub enum SubmitOutcome {
 
 /// One connection to a daemon.
 pub struct Client {
+    stream: TcpStream,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
 impl Client {
-    /// Connects to a running daemon.
+    /// Connects to a running daemon, with [`DEFAULT_DEADLINE`] on reads
+    /// and writes.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(DEFAULT_DEADLINE))?;
+        stream.set_write_timeout(Some(DEFAULT_DEADLINE))?;
+        let read_half = stream.try_clone()?;
         let write_half = stream.try_clone()?;
         Ok(Client {
-            reader: BufReader::new(stream),
+            stream,
+            reader: BufReader::new(read_half),
             writer: BufWriter::new(write_half),
         })
     }
 
-    fn send(&mut self, frame: &str) -> Result<(), ClientError> {
+    /// Overrides the socket read/write deadline (`None` blocks forever).
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(deadline)?;
+        self.stream.set_write_timeout(deadline)
+    }
+
+    fn send(&mut self, frame: &str) -> Result<(), ServeError> {
         write_frame(&mut self.writer, frame)?;
         self.writer.flush()?;
         Ok(())
     }
 
-    fn recv(&mut self) -> Result<Json, ClientError> {
+    fn recv(&mut self) -> Result<Json, ServeError> {
         match read_frame(&mut self.reader) {
             Ok(Some(text)) => {
                 let json = Json::parse(&text)
@@ -107,9 +160,11 @@ impl Client {
         }
     }
 
-    /// Submits a batch and blocks until it fully resolves: either a
-    /// rejection, or every scorecard plus the `batch-done` frame.
-    pub fn submit(&mut self, req: &SubmitRequest) -> Result<SubmitOutcome, ClientError> {
+    /// Submits a batch and blocks until it fully resolves: a rejection,
+    /// every scorecard plus the `batch-done` frame, or — when the daemon
+    /// dies mid-stream — [`ServeError::Disconnected`] with whatever
+    /// scorecards arrived first.
+    pub fn submit(&mut self, req: &SubmitRequest) -> Result<SubmitOutcome, ServeError> {
         self.send(&req.render())?;
         let first = self.recv()?;
         match first.get("type").and_then(Json::as_str) {
@@ -138,13 +193,29 @@ impl Client {
             .ok_or_else(|| err("accepted frame missing the job count"))?
             as usize;
         // Completion order races across workers; collect (job_id, frame)
-        // pairs and restore submission order before returning.
+        // pairs and restore submission order before returning. Once the
+        // batch is accepted, any stream failure is a *disconnection*:
+        // the daemon made a durable promise, so report what arrived and
+        // let the caller resubmit against the recovered daemon.
         let mut cards: Vec<(u64, String)> = Vec::with_capacity(expected);
+        let disconnected = |cards: Vec<(u64, String)>, detail: String| {
+            let mut partial = cards;
+            partial.sort_by_key(|(job_id, _)| *job_id);
+            ServeError::Disconnected {
+                partial: partial.into_iter().map(|(_, frame)| frame).collect(),
+                detail,
+            }
+        };
         loop {
             let frame = match read_frame(&mut self.reader) {
                 Ok(Some(text)) => text,
-                Ok(None) => return Err(err("daemon closed the stream mid-batch")),
-                Err(e) => return Err(err(format!("broken frame from daemon: {e}"))),
+                Ok(None) => {
+                    return Err(disconnected(
+                        cards,
+                        "daemon closed the stream mid-batch".to_string(),
+                    ))
+                }
+                Err(e) => return Err(disconnected(cards, format!("broken frame: {e}"))),
             };
             let json = Json::parse(&frame)
                 .map_err(|e| err(format!("malformed frame from daemon: {e}")))?;
@@ -175,7 +246,7 @@ impl Client {
     }
 
     /// Fetches the daemon's live `/stats` frame, verbatim.
-    pub fn stats(&mut self) -> Result<String, ClientError> {
+    pub fn stats(&mut self) -> Result<String, ServeError> {
         self.send("{\"type\": \"stats\"}")?;
         match read_frame(&mut self.reader) {
             Ok(Some(text)) => Ok(text),
@@ -185,7 +256,7 @@ impl Client {
     }
 
     /// Asks the daemon to shut down gracefully (drain, then exit).
-    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
         self.send("{\"type\": \"shutdown\"}")?;
         let reply = self.recv()?;
         match reply.get("type").and_then(Json::as_str) {

@@ -59,6 +59,14 @@ pub enum FrameError {
     /// The stream ended inside a header or body — the peer vanished
     /// mid-frame.
     Truncated,
+    /// A socket read deadline expired before the frame completed.
+    /// `started` distinguishes an idle peer (no byte of the frame had
+    /// arrived — the daemon keeps waiting) from a slow-loris peer that
+    /// stalled mid-frame (the connection is dropped).
+    TimedOut {
+        /// Whether any bytes of this frame had already arrived.
+        started: bool,
+    },
     /// The payload is not UTF-8.
     NotUtf8,
 }
@@ -71,6 +79,12 @@ impl fmt::Display for FrameError {
                 write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap")
             }
             FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::TimedOut { started: true } => {
+                write!(f, "read deadline expired mid-frame")
+            }
+            FrameError::TimedOut { started: false } => {
+                write!(f, "read deadline expired while idle")
+            }
             FrameError::NotUtf8 => write!(f, "frame payload is not UTF-8"),
         }
     }
@@ -110,7 +124,13 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, FrameError> {
         return Err(FrameError::Oversized { len });
     }
     let mut body = vec![0u8; len as usize];
-    match fill(r, &mut body)? {
+    // Once the header has arrived the frame has started: a deadline
+    // expiring inside the body is always a mid-frame stall.
+    let filled = fill(r, &mut body).map_err(|e| match e {
+        FrameError::TimedOut { .. } => FrameError::TimedOut { started: true },
+        other => other,
+    })?;
+    match filled {
         Fill::Full => {}
         // A body of zero bytes "fills" trivially; anything short of the
         // advertised length is truncation.
@@ -142,6 +162,16 @@ fn fill(r: &mut impl Read, buf: &mut [u8]) -> Result<Fill, FrameError> {
             }
             Ok(n) => got += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Platform-dependent: a socket read timeout surfaces as
+            // `WouldBlock` on Unix and `TimedOut` on Windows.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(FrameError::TimedOut { started: got > 0 });
+            }
             Err(e) => return Err(FrameError::Io(e)),
         }
     }
@@ -614,7 +644,7 @@ impl JobSpec {
         ))
     }
 
-    fn render(&self) -> String {
+    pub(crate) fn render(&self) -> String {
         format!(
             "{{\"kernel\": \"{}\", \"variant\": \"{}\", \"config\": \"{}\", \
              \"execs\": {}, \"seed\": {}, \"realign\": \"{}\"}}",
@@ -627,7 +657,7 @@ impl JobSpec {
         )
     }
 
-    fn from_json(v: &Json) -> Result<JobSpec, RequestError> {
+    pub(crate) fn from_json(v: &Json) -> Result<JobSpec, RequestError> {
         let field_str = |k: &str| {
             v.get(k)
                 .and_then(Json::as_str)
@@ -816,12 +846,26 @@ pub fn render_rejected(reason: &str, retry_after_ms: Option<u64>) -> String {
 /// render through this one function, which is what makes "bit-identical
 /// scorecards" a meaningful cross-path guarantee.
 pub fn render_scorecard(job_id: u64, job: &SimJob, outcome: &JobOutcome) -> String {
+    compose_scorecard(job_id, &scorecard_body(job, outcome))
+}
+
+/// Splices a subscriber's `job_id` onto a stored scorecard body —
+/// the exact inverse of the split performed by [`scorecard_body`].
+pub fn compose_scorecard(job_id: u64, body: &str) -> String {
+    format!("{{\"type\": \"scorecard\", \"job_id\": {job_id}, {body}")
+}
+
+/// The `job_id`-independent remainder of a scorecard frame, starting at
+/// the `"job"` key and running through the closing brace. This is what
+/// the journal persists: a recovered card re-renders byte-identically
+/// for any subscriber's `job_id` via [`compose_scorecard`].
+pub fn scorecard_body(job: &SimJob, outcome: &JobOutcome) -> String {
     let execs = match &job.source {
         crate::sim::TraceSource::Key(key) => key.execs,
         crate::sim::TraceSource::Shared(_) => 0,
     };
     let mut out = format!(
-        "{{\"type\": \"scorecard\", \"job_id\": {job_id}, \"job\": \"{}\", \
+        "\"job\": \"{}\", \
          \"config\": \"{}\", \"realign_config\": \"{}\", \"execs\": {execs}, \
          \"seed\": {}, \"outcome\": \"{}\", \"attempts\": {}",
         escape_json(&job.label()),
@@ -909,6 +953,45 @@ mod tests {
         // Non-UTF-8 body.
         let mut r: &[u8] = &[0, 0, 0, 2, 0xff, 0xfe];
         assert!(matches!(read_frame(&mut r), Err(FrameError::NotUtf8)));
+    }
+
+    #[test]
+    fn read_deadline_maps_to_timed_out_with_frame_progress() {
+        struct Stutter {
+            data: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for Stutter {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.pos >= self.data.len() {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "deadline"));
+                }
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        // Nothing arrived: an idle timeout the daemon waits through.
+        let mut idle = Stutter {
+            data: Vec::new(),
+            pos: 0,
+        };
+        assert!(matches!(
+            read_frame(&mut idle),
+            Err(FrameError::TimedOut { started: false })
+        ));
+        // Header arrived, body stalled: a mid-frame (slow-loris) timeout.
+        let mut framed = Vec::new();
+        write_frame(&mut framed, "{\"type\": \"stats\"}").unwrap();
+        framed.truncate(6);
+        let mut stalled = Stutter {
+            data: framed,
+            pos: 0,
+        };
+        assert!(matches!(
+            read_frame(&mut stalled),
+            Err(FrameError::TimedOut { started: true })
+        ));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!   `valign-store`), and only a disk miss traces and compiles the
 //!   image — then writes it back, so the next process starts warm. Every
 //!   disk load climbs `valign-store`'s full integrity ladder; a file that
-//!   fails any rung is evicted and rebuilt from source, the rebuild
+//!   fails any rung is quarantined and rebuilt from source, the rebuild
 //!   recorded in the entry's [`ImageProvenance`] so supervised replays
 //!   degrade that key's jobs instead of silently trusting a
 //!   once-corrupt file.
@@ -47,7 +47,7 @@
 //! [`crate::supervise`] layer builds retries, quarantine and degradation
 //! on top of this.
 
-use crate::faults::{FaultClass, FaultPlan};
+use crate::faults::{FaultClass, FaultPlan, FaultSet};
 use crate::supervise::OutcomeTally;
 use crate::workload::{trace_kernel, KernelId};
 use std::collections::HashMap;
@@ -60,7 +60,7 @@ use std::time::Instant;
 use valign_isa::Trace;
 use valign_kernels::util::Variant;
 use valign_pipeline::{PipelineConfig, ReplayImage, SimResult, Simulator, WordHash};
-use valign_store::{StoreDir, StoreError};
+use valign_store::{StoreDir, StoreError, WriteFault};
 
 /// Domain-separation seed of [`TraceKey::content_hash`].
 const KEY_HASH_SEED: u64 = 0x7661_6c69_676e_0003;
@@ -229,8 +229,15 @@ pub struct TraceStoreStats {
     /// source (and written back).
     pub disk_misses: u64,
     /// Disk-tier integrity failures: a file existed but failed the
-    /// integrity ladder and was evicted and rebuilt from source.
+    /// integrity ladder and was quarantined and rebuilt from source.
     pub disk_invalid: u64,
+    /// Corrupt files preserved in the store's `quarantine/` subdirectory
+    /// (a subset of `disk_invalid`; the rest could only be evicted).
+    pub disk_quarantined: u64,
+    /// Failed write-backs (full/read-only disk, injected faults). Each
+    /// one degrades that key to the memory tier for this process — a
+    /// WARN, never a batch abort.
+    pub disk_write_failures: u64,
 }
 
 impl TraceStoreStats {
@@ -264,6 +271,11 @@ pub struct TraceStore {
     disk_hits: AtomicU64,
     disk_misses: AtomicU64,
     disk_invalid: AtomicU64,
+    disk_quarantined: AtomicU64,
+    disk_write_failures: AtomicU64,
+    // Write-back fault injection (`io-error` / `short-write` specs); all
+    // other classes are ignored here.
+    chaos: FaultSet,
 }
 
 impl TraceStore {
@@ -285,6 +297,15 @@ impl TraceStore {
     /// The persistent tier's directory, if one is attached.
     pub fn disk(&self) -> Option<&StoreDir> {
         self.disk.as_ref()
+    }
+
+    /// Attaches disk-fault injection: `io-error` and `short-write` specs
+    /// in `chaos` make matching keys' write-backs fail deterministically
+    /// (the chaos harness's disk-fault scenarios). Non-I/O classes are
+    /// ignored by this layer.
+    pub fn with_chaos(mut self, chaos: FaultSet) -> Self {
+        self.chaos = chaos;
+        self
     }
 
     /// The trace for `key`, generating it on first request. Repeated calls
@@ -324,10 +345,12 @@ impl TraceStore {
     }
 
     /// Fills a memory miss: disk load when possible, else build from
-    /// source (writing the fresh image back, best-effort). Every rung
-    /// failure on a stored file evicts it and rebuilds — recorded in the
-    /// provenance so supervised replays of the key degrade rather than
-    /// trust a store that served corrupt bytes.
+    /// source (writing the fresh image back). Every rung failure on a
+    /// stored file quarantines the corrupt bytes and rebuilds — recorded
+    /// in the provenance so supervised replays of the key degrade rather
+    /// than trust a store that served corrupt bytes. A failed write-back
+    /// degrades the key to the memory tier and bumps a WARN counter; it
+    /// never fails the batch.
     fn materialize(&self, key: TraceKey) -> PreparedTrace {
         let Some(dir) = &self.disk else {
             return self.build(key, ImageProvenance::Built);
@@ -346,16 +369,43 @@ impl TraceStore {
             Err(StoreError::Missing) => {
                 self.disk_misses.fetch_add(1, Ordering::Relaxed);
                 let prepared = self.build(key, ImageProvenance::Built);
-                let _ = dir.save(hash, &prepared.image, prepared.image_checksum);
+                self.write_back(dir, key, hash, &prepared);
                 prepared
             }
             Err(error) => {
                 self.disk_invalid.fetch_add(1, Ordering::Relaxed);
-                dir.evict(hash);
+                // Preserve the corrupt bytes for post-mortem; fall back
+                // to plain eviction only if the move itself fails.
+                if dir.quarantine(hash).is_ok() {
+                    self.disk_quarantined.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    dir.evict(hash);
+                }
                 let prepared = self.build(key, ImageProvenance::DiskRebuilt { error });
-                let _ = dir.save(hash, &prepared.image, prepared.image_checksum);
+                self.write_back(dir, key, hash, &prepared);
                 prepared
             }
+        }
+    }
+
+    /// Writes a freshly built image back to the disk tier, routing any
+    /// injected write fault for the key through the store's fallible
+    /// writer. The job keeps its in-memory image either way.
+    fn write_back(&self, dir: &StoreDir, key: TraceKey, hash: u64, prepared: &PreparedTrace) {
+        let label = format!("{}.{}", key.kernel.label(), key.variant.label());
+        let fault = self
+            .chaos
+            .plan_for(&label, key.seed)
+            .and_then(|plan| match plan.class {
+                FaultClass::IoError => Some(WriteFault::Error),
+                FaultClass::ShortWrite => Some(WriteFault::Short),
+                _ => None,
+            });
+        if dir
+            .save_with_fault(hash, &prepared.image, prepared.image_checksum, fault)
+            .is_err()
+        {
+            self.disk_write_failures.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -393,6 +443,8 @@ impl TraceStore {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_misses: self.disk_misses.load(Ordering::Relaxed),
             disk_invalid: self.disk_invalid.load(Ordering::Relaxed),
+            disk_quarantined: self.disk_quarantined.load(Ordering::Relaxed),
+            disk_write_failures: self.disk_write_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -499,8 +551,15 @@ impl SimJob {
                 ),
                 // Stalls ride on `RunGuards`, which the unsupervised hot
                 // path deliberately does not carry; disk corruption lives
-                // in the store file form, which this path never reads.
-                FaultClass::Stall | FaultClass::DiskCorrupt => {}
+                // in the store file form, which this path never reads;
+                // the I/O and connection classes fire in the storage and
+                // service layers, never inside the simulator.
+                FaultClass::Stall
+                | FaultClass::DiskCorrupt
+                | FaultClass::IoError
+                | FaultClass::ShortWrite
+                | FaultClass::TornFrame
+                | FaultClass::Disconnect => {}
                 class => {
                     let kind = class
                         .sabotage()
@@ -798,10 +857,22 @@ impl SimContext {
         let stats = self.store.stats();
         let mut out = String::new();
         let disk = if stats.disk_enabled {
-            format!(
+            let mut line = format!(
                 "disk {} hits / {} misses / {} invalid",
                 stats.disk_hits, stats.disk_misses, stats.disk_invalid
-            )
+            );
+            // Incident suffixes extend — never reshape — the stable
+            // counter prefix other tooling substring-matches on.
+            if stats.disk_quarantined > 0 {
+                line.push_str(&format!(" ({} quarantined)", stats.disk_quarantined));
+            }
+            if stats.disk_write_failures > 0 {
+                line.push_str(&format!(
+                    " [WARN: {} write failure(s), degraded to memory tier]",
+                    stats.disk_write_failures
+                ));
+            }
+            line
         } else {
             "disk tier off".to_string()
         };
@@ -983,16 +1054,61 @@ mod tests {
         let rebuilt = store.prepared(key(3));
         let s = store.stats();
         assert_eq!((s.disk_hits, s.disk_misses, s.disk_invalid), (0, 0, 1));
+        assert_eq!(s.disk_quarantined, 1, "corrupt bytes kept for post-mortem");
         assert!(
             matches!(rebuilt.provenance, ImageProvenance::DiskRebuilt { .. }),
             "{:?}",
             rebuilt.provenance
         );
+        // The corrupt bytes moved into quarantine/ unchanged.
+        let kept = tier
+            .0
+            .join("quarantine")
+            .join(valign_store::StoreDir::file_name(hash));
+        assert_eq!(std::fs::read(&kept).expect("quarantined copy"), bytes);
         // The rebuild healed the file: a third store loads it cleanly.
         let healed = TraceStore::with_disk(&tier.0).expect("attach tier");
         let loaded = healed.prepared(key(3));
         assert_eq!(loaded.provenance, ImageProvenance::DiskLoaded);
         assert_eq!(loaded.image.checksum(), rebuilt.image.checksum());
+    }
+
+    #[test]
+    fn injected_write_faults_degrade_to_the_memory_tier() {
+        use crate::faults::FaultSet;
+        for spec in ["io-error:*", "short-write:*"] {
+            let tier = DiskTier::new(&spec[..2]);
+            let chaos = FaultSet::parse(&[spec.to_string()]).expect("spec parses");
+            let store = TraceStore::with_disk(&tier.0)
+                .expect("attach tier")
+                .with_chaos(chaos);
+            let built = store.prepared(key(3));
+            assert_eq!(built.provenance, ImageProvenance::Built);
+            let s = store.stats();
+            assert_eq!((s.disk_hits, s.disk_misses), (0, 1));
+            assert_eq!(s.disk_write_failures, 1, "{spec}: write-back must fail");
+            // Nothing visible landed on disk — no image file, no torn
+            // temp file.
+            let visible: Vec<_> = std::fs::read_dir(&tier.0)
+                .expect("list")
+                .filter_map(Result::ok)
+                .filter(|e| e.path().is_file())
+                .collect();
+            assert!(visible.is_empty(), "{spec} leaked: {visible:?}");
+            // The job itself was unaffected: the image is resident and
+            // replays come off the memory tier.
+            assert_eq!(store.resident_len(key(3)), Some(built.image.len()));
+            // A clean store on the same directory rebuilds and persists.
+            let clean = TraceStore::with_disk(&tier.0).expect("attach tier");
+            let rebuilt = clean.prepared(key(3));
+            assert_eq!(rebuilt.image.checksum(), built.image.checksum());
+            assert_eq!(clean.stats().disk_write_failures, 0);
+            let warm = TraceStore::with_disk(&tier.0).expect("attach tier");
+            assert_eq!(
+                warm.prepared(key(3)).provenance,
+                ImageProvenance::DiskLoaded
+            );
+        }
     }
 
     #[test]

@@ -113,7 +113,8 @@ impl PackReport {
 /// Packs the standard evaluation matrix into the store at `root`:
 /// materializes every kernel × variant image through a disk-backed
 /// [`TraceStore`] (so already-present verified files are reused, corrupt
-/// ones evicted and rebuilt) on `threads` workers, then stats every file
+/// ones quarantined and rebuilt) on `threads` workers, then stats every
+/// file
 /// it now guarantees on disk.
 pub fn pack(
     root: impl Into<PathBuf>,

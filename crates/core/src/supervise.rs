@@ -464,7 +464,7 @@ impl SupervisedRunner {
         if let ImageProvenance::DiskRebuilt { error } = &prepared.provenance {
             let reason = SimError::CorruptImage {
                 index: None,
-                detail: format!("stored image evicted and rebuilt: {error}"),
+                detail: format!("stored image quarantined and rebuilt: {error}"),
             };
             return self.degrade(job, &prepared.trace(), reason);
         }
@@ -508,6 +508,14 @@ impl SupervisedRunner {
                         cycles: budget.saturating_add(1),
                     });
                 }
+                // The I/O and connection classes fire in the storage and
+                // service layers (store write-back, the serve connection
+                // writer); inside the supervised simulator they are
+                // no-ops so a wildcard spec never derails the batch.
+                FaultClass::IoError
+                | FaultClass::ShortWrite
+                | FaultClass::TornFrame
+                | FaultClass::Disconnect => {}
                 class => {
                     let kind = class
                         .sabotage()
@@ -725,7 +733,7 @@ mod tests {
             panic!("unexpected degrade reason {reason}");
         };
         assert!(
-            detail.contains("stored image evicted and rebuilt"),
+            detail.contains("stored image quarantined and rebuilt"),
             "{detail}"
         );
         assert_eq!(store.stats().disk_invalid, 1);

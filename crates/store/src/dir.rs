@@ -1,21 +1,44 @@
 //! The content-addressed cache directory: one container file per image,
 //! named by the 64-bit content hash of its trace key.
 //!
-//! Files are `{hash:016x}.vimg`. Writes are atomic (unique temp file in
-//! the same directory, then rename), so a concurrent loader sees either
-//! the complete old file, the complete new file, or nothing — never a
+//! Files are `{hash:016x}.vimg`. Writes are atomic *and durable*: a
+//! unique temp file in the same directory is written, fsynced, then
+//! renamed over the target, and the directory itself is fsynced so the
+//! rename survives power loss. A concurrent loader sees either the
+//! complete old file, the complete new file, or nothing — never a
 //! half-written image; the format's integrity ladder backstops whatever
-//! the filesystem does anyway. The directory layer never interprets the
-//! hash: key semantics (and the hash itself) live with the caller.
+//! the filesystem does anyway. Files that *fail* that ladder are not
+//! deleted but moved into a `quarantine/` subdirectory
+//! ([`StoreDir::quarantine`]) so the corrupt bytes stay available for
+//! post-mortem while the caller rebuilds from trace. The directory layer
+//! never interprets the hash: key semantics (and the hash itself) live
+//! with the caller.
 
 use crate::format::{decode_file, encode_file, StoreError, StoredImage};
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use valign_pipeline::ReplayImage;
 
 /// Extension of every image file in a store directory.
 const EXTENSION: &str = "vimg";
+
+/// Subdirectory that corrupt files are moved into instead of deleted.
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// How an injected write fault fails a save — the fallible-writer shim
+/// the chaos harness drives through [`StoreDir::save_with_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The write fails outright before any byte lands (full or
+    /// read-only disk model).
+    Error,
+    /// Only a prefix of the temp file hits the disk before the error (a
+    /// torn write). The atomic rename discipline must keep the torn
+    /// bytes invisible under the content-addressed name.
+    Short,
+}
 
 /// Process-wide counter making concurrent temp-file names unique.
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -84,10 +107,26 @@ impl StoreDir {
         decode_file(&bytes)
     }
 
-    /// Atomically writes `image` (with its build-time content `checksum`)
-    /// as `hash`'s file, replacing any previous file. Returns the file
-    /// size in bytes.
+    /// Atomically and durably writes `image` (with its build-time content
+    /// `checksum`) as `hash`'s file, replacing any previous file: temp
+    /// file, fsync, rename, directory fsync. Returns the file size in
+    /// bytes.
     pub fn save(&self, hash: u64, image: &ReplayImage, checksum: u64) -> Result<u64, StoreError> {
+        self.save_with_fault(hash, image, checksum, None)
+    }
+
+    /// [`StoreDir::save`] with an optional injected [`WriteFault`] — the
+    /// chaos harness's hook for proving that a failed or torn write
+    /// leaves the store clean. On any failure (real or injected) the
+    /// temp file is removed and the previously stored file, if any, is
+    /// untouched.
+    pub fn save_with_fault(
+        &self,
+        hash: u64,
+        image: &ReplayImage,
+        checksum: u64,
+        fault: Option<WriteFault>,
+    ) -> Result<u64, StoreError> {
         let bytes = encode_file(image, checksum);
         let tmp = self.root.join(format!(
             ".{:016x}.tmp.{}.{}",
@@ -95,13 +134,72 @@ impl StoreDir {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, &e))?;
+        if let Err(e) = self.write_durable(&tmp, &bytes, fault) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
         let path = self.path_for(hash);
         std::fs::rename(&tmp, &path).map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
             io_err(&path, &e)
         })?;
+        self.sync_root();
         Ok(bytes.len() as u64)
+    }
+
+    /// Writes and fsyncs `bytes` to `tmp`, or fails the injected way.
+    fn write_durable(
+        &self,
+        tmp: &Path,
+        bytes: &[u8],
+        fault: Option<WriteFault>,
+    ) -> Result<(), StoreError> {
+        if fault == Some(WriteFault::Error) {
+            return Err(StoreError::Io {
+                path: tmp.display().to_string(),
+                detail: "injected write fault: disk full".to_string(),
+            });
+        }
+        let mut file = std::fs::File::create(tmp).map_err(|e| io_err(tmp, &e))?;
+        if fault == Some(WriteFault::Short) {
+            let half = bytes.len() / 2;
+            file.write_all(&bytes[..half])
+                .map_err(|e| io_err(tmp, &e))?;
+            let _ = file.sync_all();
+            return Err(StoreError::Io {
+                path: tmp.display().to_string(),
+                detail: format!(
+                    "injected write fault: short write ({half} of {} bytes)",
+                    bytes.len()
+                ),
+            });
+        }
+        file.write_all(bytes).map_err(|e| io_err(tmp, &e))?;
+        file.sync_all().map_err(|e| io_err(tmp, &e))?;
+        Ok(())
+    }
+
+    /// Best-effort fsync of the directory itself, so a rename that moved
+    /// a file into it survives power loss. Failure is ignored: some
+    /// filesystems refuse directory fsync and the data file is already
+    /// durable.
+    fn sync_root(&self) {
+        let _ = std::fs::File::open(&self.root).and_then(|d| d.sync_all());
+    }
+
+    /// Moves `hash`'s file into the `quarantine/` subdirectory instead of
+    /// deleting it, preserving the corrupt bytes for post-mortem, and
+    /// returns the quarantined path. The file keeps its name; a prior
+    /// quarantined copy of the same hash is replaced. Quarantined files
+    /// are invisible to [`StoreDir::entries`] and every walk built on it.
+    pub fn quarantine(&self, hash: u64) -> Result<PathBuf, StoreError> {
+        let src = self.path_for(hash);
+        let qdir = self.root.join(QUARANTINE_DIR);
+        std::fs::create_dir_all(&qdir).map_err(|e| io_err(&qdir, &e))?;
+        let dst = qdir.join(Self::file_name(hash));
+        std::fs::rename(&src, &dst).map_err(|e| io_err(&src, &e))?;
+        self.sync_root();
+        Ok(dst)
     }
 
     /// Removes `hash`'s file if present; `true` when a file was removed.
@@ -419,6 +517,87 @@ mod tests {
             .expect("stray entry");
         assert_eq!(stray.hash, None);
         assert!(stray.loaded.is_err());
+    }
+
+    #[test]
+    fn injected_write_faults_leave_the_store_clean() {
+        let tmp = TempDir::new("writefault");
+        let dir = StoreDir::create(&tmp.0).expect("create");
+        let (old, old_sum) = image(10);
+        let (new, new_sum) = image(20);
+        dir.save(9, &old, old_sum).expect("seed file");
+
+        for fault in [WriteFault::Error, WriteFault::Short] {
+            let err = dir
+                .save_with_fault(9, &new, new_sum, Some(fault))
+                .expect_err("injected fault must surface");
+            assert!(err.to_string().contains("injected write fault"), "{err}");
+            // The previously stored file is untouched and no temp file
+            // (torn or otherwise) is left behind.
+            let stored = dir.load(9).expect("old file survives");
+            assert_eq!(stored.image.len(), 10);
+            let leftovers: Vec<_> = std::fs::read_dir(&tmp.0)
+                .expect("list")
+                .filter_map(Result::ok)
+                .filter(|e| e.path().is_file())
+                .filter(|e| e.path().extension().and_then(|x| x.to_str()) != Some(EXTENSION))
+                .collect();
+            assert!(leftovers.is_empty(), "torn temp leaked: {leftovers:?}");
+        }
+        // A clean retry after the faults succeeds normally.
+        dir.save(9, &new, new_sum).expect("clean save");
+        assert_eq!(dir.load(9).expect("load").image.len(), 20);
+    }
+
+    #[test]
+    fn quarantine_preserves_the_corrupt_bytes_out_of_band() {
+        let tmp = TempDir::new("quarantine");
+        let dir = StoreDir::create(&tmp.0).expect("create");
+        let (img, checksum) = image(15);
+        dir.save(0xBEEF, &img, checksum).expect("save");
+        let path = dir.path_for(0xBEEF);
+        let mut bytes = std::fs::read(&path).expect("read");
+        sabotage_file_bytes(&mut bytes, 3);
+        std::fs::write(&path, &bytes).expect("corrupt");
+
+        let kept = dir.quarantine(0xBEEF).expect("quarantine");
+        assert!(kept.ends_with(Path::new("quarantine").join(StoreDir::file_name(0xBEEF))));
+        assert_eq!(std::fs::read(&kept).expect("kept bytes"), bytes);
+        // The store no longer sees the file: a load is a clean miss and
+        // walks skip the quarantine subdirectory entirely.
+        assert!(matches!(dir.load(0xBEEF), Err(StoreError::Missing)));
+        assert_eq!(dir.entries().expect("list").len(), 0);
+        assert!(dir.verify().expect("verify").all_ok());
+        // A rebuilt save replaces the slot; the quarantined copy stays.
+        dir.save(0xBEEF, &img, checksum).expect("rebuild");
+        assert!(dir.load(0xBEEF).is_ok());
+        assert!(kept.is_file());
+        // Quarantining a missing hash is an error, not a panic.
+        assert!(dir.quarantine(0xDEAD).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn read_only_directory_fails_the_save_not_the_process() {
+        use std::os::unix::fs::PermissionsExt;
+        let tmp = TempDir::new("readonly");
+        let dir = StoreDir::create(&tmp.0).expect("create");
+        let (img, checksum) = image(5);
+        let mut perms = std::fs::metadata(&tmp.0).expect("meta").permissions();
+        perms.set_mode(0o555);
+        std::fs::set_permissions(&tmp.0, perms.clone()).expect("chmod");
+        let result = dir.save(0x0DD, &img, checksum);
+        perms.set_mode(0o755);
+        std::fs::set_permissions(&tmp.0, perms).expect("chmod back");
+        match result {
+            // root ignores permission bits; the injected-fault shim
+            // covers the failure path deterministically in that case.
+            Ok(_) => assert!(dir.load(0x0DD).is_ok()),
+            Err(e) => {
+                assert!(matches!(e, StoreError::Io { .. }), "{e}");
+                assert!(matches!(dir.load(0x0DD), Err(StoreError::Missing)));
+            }
+        }
     }
 
     #[test]

@@ -231,6 +231,9 @@ pub fn encode_file(image: &ReplayImage, checksum: u64) -> Vec<u8> {
     out[24..32].copy_from_slice(&checksum.to_le_bytes());
     for (i, ((id, payload), &offset)) in sections.iter().zip(&offsets).enumerate() {
         let at = FIXED_HEADER_BYTES + i * SECTION_ENTRY_BYTES;
+        // Not an I/O result: `sections` comes from `encode_sections`,
+        // whose ids are by construction known to `elem_bytes`.
+        #[allow(clippy::expect_used)]
         let elem = wire::elem_bytes(*id).expect("encode_sections emits known ids");
         out[at..at + 4].copy_from_slice(&id.to_le_bytes());
         out[at + 4..at + 8].copy_from_slice(&elem.to_le_bytes());

@@ -33,11 +33,16 @@
 //! a format change.
 
 #![forbid(unsafe_code)]
+// I/O failure is a first-class outcome in this crate (full disks, torn
+// writes, corrupt files): every `Result` must flow into the `StoreError`
+// taxonomy, never unwrap. Invariant-backed exceptions carry a scoped
+// `#[allow]` with justification; unit tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod dir;
 pub mod format;
 
-pub use dir::{FileVerdict, ImageSummary, StoreDir, VerifyReport, WalkEntry};
+pub use dir::{FileVerdict, ImageSummary, StoreDir, VerifyReport, WalkEntry, WriteFault};
 pub use format::{
     decode_file, encode_file, sabotage_file_bytes, StoreError, StoredImage, FORMAT_VERSION, MAGIC,
     SECTION_ALIGN,

@@ -9,7 +9,7 @@
 //! valign bench-replay [--quick] [--execs N] [--seed S] [--repeats R] [--out PATH] [--store-dir DIR]
 //! valign pack --store-dir DIR [--execs N] [--seed S] [--threads T]
 //! valign verify-image --store-dir DIR
-//! valign serve [--addr HOST:PORT] [--threads T] [--queue-cap N] [--quota N] [--max-budget CYC] [--store-dir DIR]
+//! valign serve [--addr HOST:PORT] [--threads T] [--queue-cap N] [--quota N] [--max-budget CYC] [--io-timeout-ms MS] [--inject CLASS:SELECTOR]... [--store-dir DIR]
 //! valign submit [--addr HOST:PORT] [--client NAME] [--priority low|normal|high] [--kernel K --variant V] [--config C] [--realign M] [--inject CLASS:SELECTOR]... [--execs N] [--seed S]
 //! valign submit --stats | --shutdown [--addr HOST:PORT]
 //! valign submit --local [--store-dir DIR] ...
@@ -72,10 +72,16 @@
 //! supervised executor, with admission control against the cycle-budget
 //! watchdog, per-client quotas, reject-with-retry-after backpressure,
 //! streaming per-job scorecards, and a live `stats` view of the trace
-//! store's tier hit rates and the stall-bucket aggregate. `submit` is
-//! the matching client; `--local` runs the identical jobs through the
-//! identical execution and rendering path in-process, which is what
-//! makes daemon scorecards diffable against the batch CLI
+//! store's tier hit rates and the stall-bucket aggregate. With a
+//! `--store-dir` the daemon is crash-safe: accepted jobs are journaled
+//! durably before the accept is acknowledged, so a `kill -9` mid-batch
+//! loses nothing — the next start replays the journal, re-runs
+//! unfinished jobs and serves finished scorecards straight from the log
+//! when clients resubmit. `serve --inject` plants server-side chaos
+//! (disk write faults, severed deliveries) for the chaos harness.
+//! `submit` is the matching client; `--local` runs the identical jobs
+//! through the identical execution and rendering path in-process, which
+//! is what makes daemon scorecards diffable against the batch CLI
 //! byte-for-byte.
 //!
 //! `pack` pre-populates a persistent store directory with the packed
@@ -125,6 +131,7 @@ struct Options {
     queue_cap: usize,
     quota: usize,
     max_budget: u64,
+    io_timeout_ms: u64,
 }
 
 fn parse_args() -> (String, Options) {
@@ -154,6 +161,7 @@ fn parse_args() -> (String, Options) {
         queue_cap: 64,
         quota: 16,
         max_budget: u64::MAX,
+        io_timeout_ms: 10_000,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -213,6 +221,14 @@ fn parse_args() -> (String, Options) {
                 opts.max_budget = v
                     .parse()
                     .unwrap_or_else(|_| usage("--max-budget must be a number (cycles)"));
+            }
+            "--io-timeout-ms" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--io-timeout-ms needs a value"));
+                opts.io_timeout_ms = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--io-timeout-ms must be a number (0 disables)"));
             }
             "--inject" => {
                 opts.inject.push(
@@ -302,7 +318,8 @@ fn usage(err: &str) -> ! {
          valign pack --store-dir DIR [--execs N] [--seed S] [--threads T]\n       \
          valign verify-image --store-dir DIR\n       \
          valign serve [--addr HOST:PORT] [--threads T] [--queue-cap N] \
-         [--quota N] [--max-budget CYC] [--store-dir DIR]\n       \
+         [--quota N] [--max-budget CYC] [--io-timeout-ms MS] \
+         [--inject CLASS:SELECTOR]... [--store-dir DIR]\n       \
          valign submit [--addr HOST:PORT] [--client NAME] \
          [--priority low|normal|high] [--kernel K --variant V] [--config C] \
          [--realign M] [--inject CLASS:SELECTOR]... [--execs N] [--seed S]\n       \
@@ -441,8 +458,12 @@ fn submit_specs(o: &Options) -> Vec<serve::JobSpec> {
 
 /// Runs `valign serve`: binds the daemon and blocks until a client sends
 /// `shutdown`. The queue drains before exit — accepted jobs always get
-/// their scorecards.
+/// their scorecards. `--inject` here is *server-side* chaos: `io-error`
+/// / `short-write` specs fail matching image write-backs, `disconnect` /
+/// `torn-frame` specs sever matching scorecard deliveries — the knobs
+/// the chaos harness turns.
 fn run_serve(o: &Options) -> ! {
+    let chaos = FaultSet::parse(&o.inject).unwrap_or_else(|e| usage(&e.to_string()));
     let store = match o.store_dir.as_deref() {
         Some(dir) => match TraceStore::with_disk(dir) {
             Ok(store) => store,
@@ -452,12 +473,15 @@ fn run_serve(o: &Options) -> ! {
             }
         },
         None => TraceStore::new(),
-    };
+    }
+    .with_chaos(chaos.clone());
     let cfg = serve::ServeConfig {
         threads: o.threads,
         queue_cap: o.queue_cap,
         client_quota: o.quota,
         max_budget: o.max_budget,
+        io_timeout_ms: o.io_timeout_ms,
+        chaos,
         ..serve::ServeConfig::default()
     };
     match serve::Server::bind(o.addr.as_str(), std::sync::Arc::new(store), cfg) {
@@ -563,6 +587,20 @@ fn run_submit(o: &Options) -> ! {
                 None => eprintln!("rejected: {reason}"),
             }
             std::process::exit(3);
+        }
+        Err(serve::ServeError::Disconnected { partial, detail }) => {
+            // The daemon died (or injected chaos) mid-batch: print what
+            // arrived — a journaled daemon serves the remainder on
+            // resubmit — and fail so scripts notice.
+            for frame in &partial {
+                println!("{frame}");
+            }
+            eprintln!(
+                "error: daemon disconnected mid-batch after {} scorecard(s): {detail}",
+                partial.len()
+            );
+            eprintln!("hint: resubmit against the restarted daemon to recover the rest");
+            std::process::exit(1);
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -111,7 +111,7 @@ fn pack_warm_corrupt_degrade_heal() {
                 assert!(
                     reason
                         .to_string()
-                        .contains("stored image evicted and rebuilt"),
+                        .contains("stored image quarantined and rebuilt"),
                     "{reason}"
                 );
                 assert_eq!(result, expected, "degraded result still bit-identical");
