@@ -163,9 +163,13 @@ struct ServeTally {
     /// Submitted jobs that attached to an identical job already queued
     /// or running instead of enqueueing a duplicate execution.
     deduped: u64,
-    /// Submitted jobs served directly from a stored (journaled)
-    /// scorecard body, with no execution at all.
+    /// Submitted jobs served from a scorecard body recovered from the
+    /// journal of a *previous* incarnation, with no execution at all.
     journal_served: u64,
+    /// Submitted jobs served from a scorecard completed earlier in
+    /// *this* daemon's lifetime (the in-memory dedup cache), with no
+    /// execution at all.
+    cache_served: u64,
     /// Journal appends/compactions that failed (durability degraded,
     /// service continued).
     journal_write_errors: u64,
@@ -261,6 +265,11 @@ struct Queue {
     /// no execution. Seeded from the journal on recovery; cleared (with
     /// a journal compaction) whenever the queue fully drains.
     completed: HashMap<u64, DoneCard>,
+    /// The subset of `completed` keys that were recovered from a
+    /// previous incarnation's journal rather than finished in this
+    /// lifetime — the `journal_served` vs `cache_served` stats axis.
+    /// Cleared together with `completed` on drain.
+    recovered: HashSet<u64>,
     /// Consecutive load-shedding rejections per client — the attempt
     /// axis of [`jittered_retry_after`]; reset on a successful admit.
     rejections: HashMap<String, u64>,
@@ -336,6 +345,7 @@ impl Server {
             total: 0,
             inflight: HashMap::new(),
             completed: HashMap::new(),
+            recovered: HashSet::new(),
             rejections: HashMap::new(),
         };
         let mut journal = None;
@@ -343,6 +353,7 @@ impl Server {
             match Journal::open(dir.root().join(JOURNAL_FILE)) {
                 Ok((j, replay)) => {
                     for done in replay.done {
+                        queue.recovered.insert(done.hash);
                         queue.completed.insert(
                             done.hash,
                             DoneCard {
@@ -581,9 +592,11 @@ enum Lane {
 /// atomically under the queue lock — check capacity and quota and either
 /// commit the whole submit or reject it untouched. All response frames
 /// (error, rejected, accepted, immediately-served scorecards) go out
-/// through `reply`; the `accepted` frame is sent from inside the commit,
-/// *before* any worker can deliver a scorecard for these jobs — the
-/// ordering the client protocol requires.
+/// through `reply`; the commit journals every fresh record *before*
+/// sending the `accepted` frame (the durable promise precedes the
+/// acknowledgment), and sends it from under the queue lock, before any
+/// worker can deliver a scorecard for these jobs — the ordering the
+/// client protocol requires.
 fn admit(shared: &Arc<Shared>, req: SubmitRequest, reply: &mpsc::Sender<WriterMsg>) {
     let send = |frame: String| {
         let _ = reply.send(WriterMsg::Frame(frame));
@@ -680,16 +693,34 @@ fn admit(shared: &Arc<Shared>, req: SubmitRequest, reply: &mpsc::Sender<WriterMs
             ));
         }
         q.rejections.remove(&req.client);
-        // Commit. The accepted frame goes out first, from under the
-        // lock — no worker can reach these jobs' subscribers until the
-        // lock drops, so no scorecard can overtake it.
+        // Commit. The durable promise precedes the acknowledgment:
+        // every Fresh record is journaled (each append fsyncs) before
+        // the `accepted` frame reaches the writer thread, so a crash
+        // after the client hears "accepted" cannot lose a job. Both
+        // happen under the queue lock — no worker can reach these
+        // jobs' subscribers until the lock drops, so no scorecard can
+        // overtake the accept.
+        shared.with_journal(|j| {
+            for (job_id, (hash, lane)) in hashes.iter().zip(&lanes).enumerate() {
+                if let Lane::Fresh = lane {
+                    j.append_accepted(&PendingRecord {
+                        hash: *hash,
+                        priority: req.priority,
+                        inject: req.inject.clone(),
+                        spec: req.jobs[job_id].clone(),
+                    })?;
+                }
+            }
+            Ok(())
+        });
         send(render_accepted(jobs.len()));
         {
             let mut tally = shared.lock_tally();
             tally.submitted += jobs.len() as u64;
-            for lane in &lanes {
+            for (hash, lane) in hashes.iter().zip(&lanes) {
                 match lane {
-                    Lane::Served => tally.journal_served += 1,
+                    Lane::Served if q.recovered.contains(hash) => tally.journal_served += 1,
+                    Lane::Served => tally.cache_served += 1,
                     Lane::Attach => tally.deduped += 1,
                     Lane::Fresh => {}
                 }
@@ -722,16 +753,9 @@ fn admit(shared: &Arc<Shared>, req: SubmitRequest, reply: &mpsc::Sender<WriterMs
                     }
                 }
                 Lane::Fresh => {
-                    // The durable promise precedes the enqueue: once this
-                    // record is on disk, a crash cannot lose the job.
-                    shared.with_journal(|j| {
-                        j.append_accepted(&PendingRecord {
-                            hash,
-                            priority: req.priority,
-                            inject: req.inject.clone(),
-                            spec: req.jobs[job_id].clone(),
-                        })
-                    });
+                    // Already journaled above, before the `accepted`
+                    // frame was sent: the record is on disk by the time
+                    // the client hears its job was taken.
                     let seq = q.seq;
                     q.seq += 1;
                     q.total += 1;
@@ -790,23 +814,25 @@ fn deliver(
 ) {
     let frame = compose_scorecard(subscriber.job_id, body);
     let msg = chaos_delivery(frame, inject, &shared.cfg.chaos, label, seed);
-    let last = {
-        let mut remaining = subscriber
-            .tracker
-            .remaining
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        let mut tally = subscriber
-            .tracker
-            .tally
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        *tally = tally.merged(tally_of_kind(kind));
-        *remaining = remaining.saturating_sub(1);
-        (*remaining == 0).then(|| *tally)
-    };
+    // The tracker locks are held across the sends so channel order
+    // matches accounting order: the delivery that observes
+    // `remaining == 0` is necessarily the last scorecard enqueued, and
+    // its `batch-done` follows every sibling's frame. (Sends on the
+    // unbounded channel never block, so the critical section is short.)
+    let mut remaining = subscriber
+        .tracker
+        .remaining
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let mut tally = subscriber
+        .tracker
+        .tally
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    *tally = tally.merged(tally_of_kind(kind));
+    *remaining = remaining.saturating_sub(1);
     let _ = subscriber.tracker.reply.send(msg);
-    if let Some(tally) = last {
+    if *remaining == 0 {
         let _ = subscriber
             .tracker
             .reply
@@ -920,6 +946,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             // a fresh accepted record can never be compacted away.
             if q.total == 0 {
                 q.completed.clear();
+                q.recovered.clear();
                 shared.with_journal(Journal::compact);
             }
             subscribers
@@ -987,7 +1014,8 @@ fn render_stats(shared: &Shared) -> String {
          \"jobs\": {{\"submitted\": {}, \"completed\": {}, \"retried\": {}, \
          \"degraded\": {}, \"quarantined\": {}, \
          \"rejected_queue_full\": {}, \"rejected_quota\": {}, \
-         \"rejected_budget\": {}, \"deduped\": {}, \"journal_served\": {}}}, \
+         \"rejected_budget\": {}, \"deduped\": {}, \"journal_served\": {}, \
+         \"cache_served\": {}}}, \
          \"stall_buckets\": {{{}}}, \"attributed_cycles\": {}}}",
         s.hits,
         s.misses,
@@ -1018,6 +1046,7 @@ fn render_stats(shared: &Shared) -> String {
         t.rejected_budget,
         t.deduped,
         t.journal_served,
+        t.cache_served,
         buckets.join(", "),
         t.attributed_cycles,
     );

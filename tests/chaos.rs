@@ -237,6 +237,11 @@ fn journaled_scorecards_are_served_without_rerunning() {
     assert_eq!(stat_u64(&stats, "journal", "recovered_done"), 1, "{stats}");
     assert_eq!(stat_u64(&stats, "jobs", "journal_served"), 1, "{stats}");
     assert_eq!(
+        stat_u64(&stats, "jobs", "cache_served"),
+        0,
+        "a journal-recovered serve is not a lifetime-cache serve: {stats}"
+    );
+    assert_eq!(
         stat_u64(&stats, "jobs", "completed"),
         0,
         "nothing may have executed: {stats}"
@@ -244,6 +249,66 @@ fn journaled_scorecards_are_served_without_rerunning() {
     server.shutdown();
     server.wait();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A scorecard completed during *this* daemon's lifetime serves a
+/// resubmit from the in-memory dedup cache while other work keeps the
+/// queue from draining — counted as `cache_served`, never as
+/// `journal_served` (which is reserved for bodies recovered from a
+/// previous incarnation's journal).
+#[test]
+fn lifetime_cache_serves_are_not_counted_as_journal_served() {
+    let specs = small_specs(4);
+    let quick = specs[0].clone();
+    // Slow enough (~seconds) that the queue is still occupied when the
+    // resubmit below lands — the window in which `quick`'s card lives
+    // in the dedup cache.
+    let slow = JobSpec {
+        execs: 150,
+        ..specs[1].clone()
+    };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(TraceStore::new()),
+        ServeConfig {
+            threads: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+    // The single worker drains in arrival order: `quick` completes
+    // first, then `slow` holds the queue open for seconds.
+    let background = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        submit_ok(&mut client, &plain(vec![quick, slow]))
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = client.stats().expect("stats");
+        if stat_u64(&stats, "jobs", "completed") >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "quick job never completed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let cards = submit_ok(&mut client, &plain(vec![specs[0].clone()]));
+    assert_eq!(
+        cards,
+        oracle(&specs[..1]),
+        "cache-served card must be byte-identical"
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat_u64(&stats, "jobs", "cache_served"), 1, "{stats}");
+    assert_eq!(
+        stat_u64(&stats, "jobs", "journal_served"),
+        0,
+        "no journal was ever replayed: {stats}"
+    );
+    assert_eq!(background.join().expect("background submit").len(), 2);
+    server.shutdown();
+    server.wait();
 }
 
 /// Garbage on the journal tail — a crash mid-append — is truncated away
@@ -462,6 +527,8 @@ fn duplicate_jobs_in_one_submit_run_once() {
     let stats = client.stats().expect("stats");
     assert_eq!(stat_u64(&stats, "jobs", "submitted"), 2, "{stats}");
     assert_eq!(stat_u64(&stats, "jobs", "deduped"), 1, "{stats}");
+    assert_eq!(stat_u64(&stats, "jobs", "journal_served"), 0, "{stats}");
+    assert_eq!(stat_u64(&stats, "jobs", "cache_served"), 0, "{stats}");
     assert_eq!(
         stat_u64(&stats, "jobs", "completed"),
         1,
